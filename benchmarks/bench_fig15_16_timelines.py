@@ -1,0 +1,92 @@
+"""Figures 15 and 16 — tainted-region size and cumulative taint/untaint
+operations over time, for the paper's parameter combinations, on LGRoot.
+
+Reproduced observations:
+* larger windows keep more state: the (NI, 3) curves order by NI;
+* the cumulative operation count grows with the window parameters;
+* quiet periods ("inactivity on the sensitive data") leave flat stretches
+  in both curves.
+"""
+
+from repro.core.config import PIFTConfig
+from repro.analysis.overhead import taint_timelines
+
+CONFIGS = [
+    PIFTConfig(5, 1), PIFTConfig(5, 3),
+    PIFTConfig(10, 3), PIFTConfig(15, 3), PIFTConfig(20, 3),
+]
+
+
+def _series(timeline, points=8):
+    if not timeline:
+        return []
+    step = max(len(timeline) // points, 1)
+    return timeline[::step]
+
+
+def test_fig15_tainted_size_over_time(benchmark, lgroot_trace):
+    timelines = benchmark.pedantic(
+        taint_timelines, args=(lgroot_trace, CONFIGS), rounds=1, iterations=1
+    )
+    print("\nFigure 15: tainted bytes over time (sampled)")
+    finals = {}
+    peaks = {}
+    for config in CONFIGS:
+        timeline = timelines[config]
+        peaks[config] = max((p.tainted_bytes for p in timeline), default=0)
+        finals[config] = timeline[-1].tainted_bytes if timeline else 0
+        samples = " ".join(
+            f"{p.instruction_index}:{p.tainted_bytes}B"
+            for p in _series(timeline)
+        )
+        print(f"  {config}: peak={peaks[config]}B  {samples}")
+    # Curve ordering by window size at NT=3.
+    assert peaks[PIFTConfig(10, 3)] <= peaks[PIFTConfig(15, 3)] + 64
+    assert peaks[PIFTConfig(5, 3)] <= peaks[PIFTConfig(20, 3)]
+    # NT matters at fixed NI.
+    assert peaks[PIFTConfig(5, 1)] <= peaks[PIFTConfig(5, 3)]
+    benchmark.extra_info["peaks"] = {
+        str(c): peaks[c] for c in CONFIGS
+    }
+
+
+def test_fig16_operation_counts_over_time(benchmark, lgroot_trace):
+    timelines = benchmark.pedantic(
+        taint_timelines, args=(lgroot_trace, CONFIGS), rounds=1, iterations=1
+    )
+    print("\nFigure 16: cumulative taint+untaint operations (sampled)")
+    totals = {}
+    for config in CONFIGS:
+        timeline = timelines[config]
+        totals[config] = (
+            timeline[-1].cumulative_operations if timeline else 0
+        )
+        samples = " ".join(
+            f"{p.instruction_index}:{p.cumulative_operations}"
+            for p in _series(timeline)
+        )
+        print(f"  {config}: total={totals[config]}  {samples}")
+    # Bigger windows perform at least as many operations.
+    assert totals[PIFTConfig(5, 3)] <= totals[PIFTConfig(20, 3)]
+    assert totals[PIFTConfig(5, 1)] <= totals[PIFTConfig(5, 3)]
+    # Cumulative counts are monotone within each curve by construction.
+    for config in CONFIGS:
+        ops = [p.cumulative_operations for p in timelines[config]]
+        assert all(b >= a for a, b in zip(ops, ops[1:]))
+
+
+def test_fig15_quiet_period_is_flat(benchmark, lgroot_trace):
+    """Between the theft and the send, LGRoot's cover activity touches no
+    sensitive data: the tainted-size curve has a long flat stretch."""
+    timelines = benchmark.pedantic(
+        taint_timelines, args=(lgroot_trace, [PIFTConfig(5, 2)]),
+        rounds=1, iterations=1,
+    )
+    timeline = timelines[PIFTConfig(5, 2)]
+    assert len(timeline) >= 2
+    gaps = [
+        b.instruction_index - a.instruction_index
+        for a, b in zip(timeline, timeline[1:])
+    ]
+    span = timeline[-1].instruction_index - timeline[0].instruction_index
+    assert max(gaps) > span * 0.10  # a flat stretch >10% of the active span

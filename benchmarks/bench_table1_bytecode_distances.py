@@ -1,0 +1,80 @@
+"""Table 1 — native load->store distances within Dalvik bytecodes.
+
+Regenerates the paper's bucket table (distances 1, 2, 3, 4, 5, 6, 9-12,
+Unknown) by measuring the translator's actual mterp routines, and checks
+the published counts/examples line up.
+"""
+
+from repro.dalvik.bytecode import OPCODES, opcode
+from repro.analysis.bytecode_stats import (
+    load_store_distance_table,
+    render_table1,
+    routine_for,
+)
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(load_store_distance_table, 6)
+    print("\n" + render_table1(rows))
+    by_label = {row.label: row for row in rows}
+    # Paper Table 1 anchor points.
+    assert by_label["1"].count == 3  # return, return-wide, return-object
+    assert set(by_label["1"].examples) == {
+        "return", "return-wide", "return-object"
+    }
+    assert by_label["Unknown"].count == 47
+    assert by_label["2"].count >= 10  # the big move/aget/aput/sput bucket
+    benchmark.extra_info["buckets"] = {
+        row.label: row.count for row in rows
+    }
+
+
+def test_every_routine_measures_to_its_table_value(benchmark):
+    """Benchmark translating the full instruction set; assert agreement."""
+
+    def translate_all():
+        measured = {}
+        for info in OPCODES:
+            if not info.moves_data:
+                continue
+            routine = routine_for(info)
+            measured[info.name] = (
+                routine.load_store_distance if routine else None
+            )
+        return measured
+
+    measured = benchmark(translate_all)
+    for info in OPCODES:
+        if not info.moves_data:
+            continue
+        if info.load_store_distance is not None:
+            assert measured[info.name] == info.load_store_distance, info.name
+
+
+def test_paper_examples_in_right_buckets(benchmark):
+    expected_rows = {
+        1: ["return", "return-wide", "return-object"],
+        2: ["move-result", "move/16", "aget", "aput", "sput", "iput-quick"],
+        3: ["move-object", "sget-object", "long-to-int", "sget"],
+        4: ["iput", "iget-quick", "neg-double"],
+        5: ["iget", "iget-object", "int-to-long", "add-int/lit8"],
+        6: ["int-to-char", "sub-long", "shl-int/lit8", "iget-volatile"],
+    }
+
+    def check():
+        mismatches = []
+        for distance, names in expected_rows.items():
+            for name in names:
+                if opcode(name).load_store_distance != distance:
+                    mismatches.append(name)
+        return mismatches
+
+    mismatches = benchmark(check)
+    assert not mismatches
+    long_bucket = [
+        "mul-long/2addr", "aput-object", "mul-long", "shr-long"
+    ]
+    for name in long_bucket:
+        assert 9 <= opcode(name).load_store_distance <= 12, name
+    for name in ["double-to-int", "rem-float", "div-int/lit16"]:
+        assert opcode(name).load_store_distance is None, name

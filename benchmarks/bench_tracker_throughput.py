@@ -1,0 +1,115 @@
+"""Tracker hot-path throughput — the cost side of the paper's design.
+
+PIFT's premise is that per-event work is tiny: a range-overlap lookup per
+load, a bounded insert/remove per store.  These microbenchmarks measure
+the software model's sustained event rate on the LGRoot stream for the
+tracker configurations that matter:
+
+* the unbounded software RangeSet reference,
+* the paper's 32KB cache-of-ranges hardware model,
+* untainting on vs off,
+* the full-DIFT baseline's per-record cost, for contrast.
+"""
+
+import pytest
+
+from repro.core import PAPER_DEFAULT, PIFTConfig, PIFTTracker
+from repro.core.taint_storage import BoundedRangeCache, entry_capacity
+
+
+@pytest.fixture(scope="module")
+def event_stream(lgroot_trace):
+    return list(lgroot_trace.trace)
+
+
+@pytest.fixture(scope="module")
+def source_ranges(lgroot_trace):
+    return [source.address_range for source in lgroot_trace.sources]
+
+
+def _run_tracker(events, sources, config, state_factory=None):
+    kwargs = {"state_factory": state_factory} if state_factory else {}
+    tracker = PIFTTracker(config, **kwargs)
+    for source in sources:
+        tracker.taint_source(source)
+    tracker.run(events)
+    return tracker
+
+
+def test_throughput_reference_rangeset(benchmark, event_stream, source_ranges):
+    tracker = benchmark(
+        _run_tracker, event_stream, source_ranges, PAPER_DEFAULT
+    )
+    events_per_second = len(event_stream) / benchmark.stats["mean"]
+    print(f"\nRangeSet tracker: {events_per_second:,.0f} events/s "
+          f"({len(event_stream)} events)")
+    benchmark.extra_info["events"] = len(event_stream)
+    assert tracker.stats.loads_observed > 0
+
+
+def test_throughput_paper_hardware_model(benchmark, event_stream, source_ranges):
+    factory = lambda: BoundedRangeCache(entry_capacity(32 * 1024))
+    tracker = benchmark(
+        _run_tracker, event_stream, source_ranges, PAPER_DEFAULT, factory
+    )
+    print(f"\n32KB cache-of-ranges model over {len(event_stream)} events")
+    assert tracker.stats.loads_observed > 0
+
+
+def test_throughput_untainting_off(benchmark, event_stream, source_ranges):
+    tracker = benchmark(
+        _run_tracker,
+        event_stream,
+        source_ranges,
+        PAPER_DEFAULT.with_untainting(False),
+    )
+    assert tracker.stats.untaint_operations == 0
+
+
+def test_untainting_keeps_state_small_hence_fast(
+    benchmark, event_stream, source_ranges
+):
+    """Untainting's point is bounding the state per-event lookups run
+    against; the range-count high-water marks make that visible."""
+    def run_both():
+        return (
+            _run_tracker(event_stream, source_ranges, PAPER_DEFAULT),
+            _run_tracker(
+                event_stream, source_ranges,
+                PAPER_DEFAULT.with_untainting(False),
+            ),
+        )
+
+    with_untaint, without_untaint = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert (
+        with_untaint.stats.max_range_count
+        <= without_untaint.stats.max_range_count + 8
+    )
+
+
+def test_throughput_full_dift_baseline(benchmark):
+    """Per-record cost of the byte-exact baseline on the same workload."""
+    from repro.core.ranges import AddressRange
+    from repro.baseline import FullDIFTTracker
+    from repro.android import AndroidDevice
+    from repro.apps.malware import SAMPLES
+
+    device = AndroidDevice(config=PAPER_DEFAULT, keep_full_trace=True)
+    device.install(SAMPLES[0].build(device, 64))
+    device.run(SAMPLES[0].entry)
+    records = device.full_trace.records
+    sources = [s.address_range for s in device.recorded.sources]
+
+    def run_baseline():
+        baseline = FullDIFTTracker()
+        for source in sources:
+            baseline.taint_source(source)
+        baseline.run(records)
+        return baseline
+
+    baseline = benchmark(run_baseline)
+    print(f"\nfull DIFT over {len(records)} records "
+          f"({baseline.stats.instructions_processed} instructions)")
+    assert baseline.stats.instructions_processed == len(records)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Expensive artifacts (the LGRoot trace, the recorded 57-app suite) are
+produced once per session and shared across benchmark files.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to also see the
+regenerated tables and figure series printed to stdout.
+"""
+
+import pytest
+
+from repro.apps.droidbench import record_suite
+from repro.apps.malware import record_lgroot_trace
+
+
+@pytest.fixture(scope="session")
+def lgroot_trace():
+    """The LGRoot malware execution trace (paper Figures 2, 12-19)."""
+    return record_lgroot_trace(work=160)
+
+
+@pytest.fixture(scope="session")
+def suite_runs():
+    """All 57 DroidBench-style apps, recorded once (paper Figure 11)."""
+    return record_suite()

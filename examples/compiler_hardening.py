@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compiler hardening: defeating the paper's §4.2 evasion with its §7 idea.
+
+The paper's stated limitation: native code can stretch the distance
+between a sensitive load and its store past any reasonable tainting
+window.  Its proposed future work: a compiler that relocates unrelated
+instructions out of the gap.  This example shows both — the attack
+working, and the implemented scheduling pass neutralising it.
+
+Run:  python examples/compiler_hardening.py
+"""
+
+from repro.core import MemoryAccess, PIFTConfig, PIFTTracker
+from repro.core.ranges import AddressRange
+from repro.isa import asm
+from repro.isa.cpu import CPU
+from repro.isa.scheduler import load_store_distances, tighten_load_store
+
+IMEI = "356938035643809"
+SRC_BASE, DST_BASE = 0x1000, 0x2000
+
+
+def evasion_copy(dummy_instructions: int):
+    """JNI-style malicious copy: per character, a tainted load, a dummy
+    computation block, then the real store (the paper's §4.2 listing)."""
+    program = []
+    for i in range(len(IMEI)):
+        program.append(asm.patch("r1", SRC_BASE + 2 * i, mnemonic="add"))
+        program.append(asm.ldrh("r0", "r1"))  # load IMEI char (tainted)
+        for _ in range(dummy_instructions):  # dummy computations
+            program.append(asm.add("r2", "r2", 1))
+        program.append(asm.patch("r3", DST_BASE + 2 * i, mnemonic="add"))
+        program.append(asm.strh("r0", "r3"))  # store it elsewhere
+    return program
+
+
+def run_under_pift(program):
+    cpu = CPU()
+    tracker = PIFTTracker(PIFTConfig(13, 3))
+    tracker.taint_source(AddressRange.from_base_size(SRC_BASE, 2 * len(IMEI)))
+    cpu.add_observer(
+        lambda record, index, pid: tracker.observe(
+            MemoryAccess(record.kind, record.address_range, index, pid)
+        )
+        if record.is_memory
+        else None
+    )
+    for i, char in enumerate(IMEI):  # place the secret
+        cpu.address_space.memory.write_u16(SRC_BASE + 2 * i, ord(char))
+    cpu.run(program)
+    stolen = bytes(
+        cpu.address_space.memory.read_bytes(DST_BASE, 2 * len(IMEI))
+    ).decode("utf-16-le")
+    caught = tracker.check(AddressRange.from_base_size(DST_BASE, 2 * len(IMEI)))
+    return stolen, caught
+
+
+def main() -> None:
+    attack = evasion_copy(dummy_instructions=50)
+    distances = load_store_distances(attack)
+    print(f"attack program: {len(attack)} instructions, "
+          f"load->store distance {max(distances)}")
+    stolen, caught = run_under_pift(attack)
+    print(f"  data exfiltrated: {stolen == IMEI}; "
+          f"PIFT (NI=13) caught it: {caught}")
+    assert stolen == IMEI and not caught  # the §4.2 evasion works
+
+    hardened = tighten_load_store(attack)
+    distances = load_store_distances(hardened)
+    print(f"\nafter the PIFT-aware scheduling pass: "
+          f"max load->store distance {max(distances)}")
+    stolen, caught = run_under_pift(hardened)
+    print(f"  data exfiltrated: {stolen == IMEI}; "
+          f"PIFT (NI=13) caught it: {caught}")
+    assert stolen == IMEI and caught  # same computation, now visible
+
+    print("\nthe compiler pass preserved the program's behaviour and "
+          "collapsed the gap\nthe attacker relied on — the paper's §7 "
+          "countermeasure, working.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Parameter sweep: regenerate the paper's Figure 11 accuracy heatmap.
+
+Records each of the 57 DroidBench-style apps once, then replays every
+trace under all 200 (NI, NT) combinations — the same trace-then-analyze
+methodology the paper uses with gem5.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+import time
+
+from repro.core import PAPER_DEFAULT, PAPER_PERFECT
+from repro.analysis.accuracy import evaluate_suite, sweep
+from repro.apps.droidbench import record_suite
+
+
+def main() -> None:
+    started = time.time()
+    print("recording the 57-app suite ...")
+    runs = record_suite()
+    print(f"  done in {time.time() - started:.1f}s "
+          f"({sum(len(r.recorded.trace) for r in runs)} memory events total)")
+
+    started = time.time()
+    print("\nsweeping NI in [1, 20] x NT in [1, 10] ...")
+    grid = sweep(runs)
+    print(f"  done in {time.time() - started:.1f}s\n")
+
+    print("Figure 11 — accuracy (%) over NI (columns) x NT (rows):")
+    print(grid.render())
+
+    default = evaluate_suite(runs, PAPER_DEFAULT)
+    perfect = evaluate_suite(runs, PAPER_PERFECT)
+    print(
+        f"\nat {PAPER_DEFAULT}: accuracy {default.accuracy * 100:.1f}% "
+        f"(FP {default.false_positives}/16, FN {default.false_negatives}/41)"
+    )
+    if default.missed_apps:
+        print(f"  the one miss: {default.missed_apps[0]} "
+              "(obfuscated flow through the division helper)")
+    print(
+        f"at {PAPER_PERFECT}: accuracy {perfect.accuracy * 100:.1f}%"
+    )
+    window, cap, best = grid.best()
+    print(f"first 100% cell (smallest NI): NI={window}, NT={cap}")
+    print("\npaper: 98% at (13, 3) — 0% FP, 2% FN; 100% at (18, 3).")
+
+
+if __name__ == "__main__":
+    main()

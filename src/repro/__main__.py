@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``suite``    — run the 57-app DroidBench-style suite at a given (NI, NT)
+* ``sweep``    — the Figure 11 accuracy grid
+* ``malware``  — the seven-sample malware scan
+* ``table1``   — regenerate the bytecode-distance table
+* ``trace``    — record the LGRoot trace to a file (for offline analysis)
+* ``analyze``  — replay a recorded trace file under a given (NI, NT)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ni", type=int, default=13,
+                        help="tainting-window size NI (default 13)")
+    parser.add_argument("--nt", type=int, default=3,
+                        help="max propagations per window NT (default 3)")
+    parser.add_argument("--no-untainting", action="store_true",
+                        help="disable untainting of out-of-window stores")
+
+
+def _config(args):
+    from repro.core import PIFTConfig
+
+    return PIFTConfig(args.ni, args.nt, untainting=not args.no_untainting)
+
+
+def cmd_suite(args) -> int:
+    from repro.analysis.accuracy import evaluate_suite
+    from repro.apps.droidbench import record_suite
+
+    config = _config(args)
+    report = evaluate_suite(record_suite(), config)
+    print(f"{config}")
+    print(
+        f"accuracy {report.accuracy * 100:.1f}%  "
+        f"TP={report.true_positives} FP={report.false_positives} "
+        f"TN={report.true_negatives} FN={report.false_negatives}"
+    )
+    for name in report.missed_apps:
+        print(f"  missed: {name}")
+    for name in report.false_alarm_apps:
+        print(f"  false alarm: {name}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.accuracy import sweep
+    from repro.apps.droidbench import record_suite
+
+    grid = sweep(record_suite())
+    print("accuracy (%) over NI (columns) x NT (rows):")
+    print(grid.render())
+    window, cap, best = grid.best()
+    print(f"best cell: NI={window}, NT={cap} -> {best * 100:.1f}%")
+    return 0
+
+
+def cmd_malware(args) -> int:
+    from repro.apps.malware import SAMPLES, run_sample
+
+    config = _config(args)
+    detected = 0
+    for sample in SAMPLES:
+        device = run_sample(sample, config, work=24)
+        flag = "DETECTED" if device.leak_detected else "missed"
+        detected += device.leak_detected
+        print(f"{sample.name:<13} {sample.kind:<12} {flag}")
+    print(f"\n{detected}/{len(SAMPLES)} detected at {config}")
+    return 0 if detected == len(SAMPLES) else 1
+
+
+def cmd_table1(args) -> int:
+    from repro.analysis.bytecode_stats import (
+        load_store_distance_table,
+        render_table1,
+    )
+
+    print(render_table1(load_store_distance_table()))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.analysis.tracefile import save_recorded_run
+    from repro.apps.malware import record_lgroot_trace
+
+    recorded = record_lgroot_trace(work=args.work)
+    path = save_recorded_run(recorded, args.output)
+    print(
+        f"wrote {path}: {recorded.instruction_count} instructions, "
+        f"{recorded.trace.load_count} loads, "
+        f"{recorded.trace.store_count} stores, "
+        f"{len(recorded.sources)} sources, "
+        f"{len(recorded.sink_checks)} sink checks"
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis.replay import replay
+    from repro.analysis.tracefile import load_recorded_run
+
+    config = _config(args)
+    recorded = load_recorded_run(args.trace)
+    result = replay(recorded, config)
+    stats = result.stats
+    print(f"{config} over {args.trace}")
+    print(
+        f"  {stats.loads_observed} loads, {stats.stores_observed} stores; "
+        f"{stats.taint_operations} taints, "
+        f"{stats.untaint_operations} untaints"
+    )
+    print(
+        f"  peak taint state: {stats.max_tainted_bytes} bytes in "
+        f"{stats.max_range_count} ranges"
+    )
+    for outcome in result.sink_outcomes:
+        flag = "TAINTED" if outcome.tainted else "clean"
+        print(f"  sink {outcome.sink_name} @{outcome.instruction_index}: {flag}")
+    print(f"  verdict: {'LEAK DETECTED' if result.alarm else 'no leak'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PIFT (ASPLOS 2016) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    suite = commands.add_parser("suite", help="evaluate the DroidBench suite")
+    _add_window_arguments(suite)
+    suite.set_defaults(func=cmd_suite)
+
+    sweep_cmd = commands.add_parser("sweep", help="Figure 11 accuracy grid")
+    sweep_cmd.set_defaults(func=cmd_sweep)
+
+    malware = commands.add_parser("malware", help="seven-sample malware scan")
+    _add_window_arguments(malware)
+    malware.set_defaults(func=cmd_malware)
+
+    table1 = commands.add_parser("table1", help="bytecode distance table")
+    table1.set_defaults(func=cmd_table1)
+
+    trace = commands.add_parser("trace", help="record the LGRoot trace")
+    trace.add_argument("output", help="output file (gzip JSON)")
+    trace.add_argument("--work", type=int, default=160,
+                       help="background workload size (default 160)")
+    trace.set_defaults(func=cmd_trace)
+
+    analyze = commands.add_parser("analyze", help="replay a recorded trace")
+    analyze.add_argument("trace", help="trace file written by 'trace'")
+    _add_window_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

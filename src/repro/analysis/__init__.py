@@ -1,0 +1,83 @@
+"""Trace analysis: replay, distance statistics, accuracy sweeps, overheads."""
+
+from repro.analysis.accuracy import (
+    AccuracyGrid,
+    AccuracyReport,
+    AppRun,
+    evaluate_app,
+    evaluate_suite,
+    sweep,
+)
+from repro.analysis.bytecode_stats import (
+    OpcodeFrequency,
+    Table1Row,
+    load_store_distance_table,
+    measured_distance,
+    render_table1,
+    render_top_opcodes,
+    routine_for,
+    top_opcodes,
+)
+from repro.analysis.distances import (
+    Distribution,
+    kth_store_distances,
+    load_to_load_distances,
+    mean_kth_store_distances,
+    store_to_last_load_distances,
+    stores_between_loads,
+    stores_in_window,
+)
+from repro.analysis.overhead import (
+    OverheadGrid,
+    UntaintingEffect,
+    overhead_grids,
+    taint_timelines,
+    untainting_effect,
+)
+from repro.analysis.replay import (
+    ReplayResult,
+    SinkOutcome,
+    replay,
+    replay_with_provenance,
+)
+from repro.analysis.tracefile import (
+    TraceFormatError,
+    load_recorded_run,
+    save_recorded_run,
+)
+
+__all__ = [
+    "AccuracyGrid",
+    "AccuracyReport",
+    "AppRun",
+    "Distribution",
+    "OpcodeFrequency",
+    "OverheadGrid",
+    "ReplayResult",
+    "SinkOutcome",
+    "Table1Row",
+    "TraceFormatError",
+    "UntaintingEffect",
+    "evaluate_app",
+    "evaluate_suite",
+    "kth_store_distances",
+    "load_recorded_run",
+    "load_store_distance_table",
+    "load_to_load_distances",
+    "mean_kth_store_distances",
+    "measured_distance",
+    "overhead_grids",
+    "render_table1",
+    "render_top_opcodes",
+    "replay",
+    "replay_with_provenance",
+    "routine_for",
+    "save_recorded_run",
+    "store_to_last_load_distances",
+    "stores_between_loads",
+    "stores_in_window",
+    "sweep",
+    "taint_timelines",
+    "top_opcodes",
+    "untainting_effect",
+]

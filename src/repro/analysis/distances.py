@@ -1,0 +1,142 @@
+"""Memory-operation distance statistics — the paper's Figures 2, 12, 13.
+
+All distances are measured in *instructions* (the paper's Figure 2
+caption: "distance = number of instructions"), over the memory-event
+stream of one execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import EventTrace
+
+
+@dataclass
+class Distribution:
+    """A discrete probability distribution plus its CDF, as in Figure 2."""
+
+    values: np.ndarray  # the support (bin values)
+    probability: np.ndarray
+    cdf: np.ndarray
+    sample_count: int
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[int], max_value: Optional[int] = None
+    ) -> "Distribution":
+        if not len(samples):
+            return cls(np.array([]), np.array([]), np.array([]), 0)
+        array = np.asarray(samples)
+        top = int(array.max()) if max_value is None else max_value
+        clipped = np.clip(array, 0, top)
+        counts = np.bincount(clipped, minlength=top + 1)
+        probability = counts / counts.sum()
+        return cls(
+            values=np.arange(top + 1),
+            probability=probability,
+            cdf=np.cumsum(probability),
+            sample_count=len(samples),
+        )
+
+    def probability_at_most(self, value: int) -> float:
+        """P(X <= value) — e.g. the paper's "0-10 captures 99%" claim."""
+        if not self.sample_count:
+            return 0.0
+        index = min(value, len(self.cdf) - 1)
+        return float(self.cdf[index])
+
+    def mode(self) -> int:
+        return int(self.values[int(np.argmax(self.probability))])
+
+
+def store_to_last_load_distances(trace: EventTrace) -> List[int]:
+    """Figure 2a: for every store, the distance back to the last load."""
+    distances: List[int] = []
+    last_load_index: Optional[int] = None
+    for event in trace:
+        if event.is_load:
+            last_load_index = event.instruction_index
+        elif last_load_index is not None:
+            distances.append(event.instruction_index - last_load_index)
+    return distances
+
+
+def stores_between_loads(trace: EventTrace) -> List[int]:
+    """Figure 2b: number of stores between each pair of consecutive loads."""
+    counts: List[int] = []
+    pending: Optional[int] = None
+    for event in trace:
+        if event.is_load:
+            if pending is not None:
+                counts.append(pending)
+            pending = 0
+        elif pending is not None:
+            pending += 1
+    if pending is not None:
+        counts.append(pending)
+    return counts
+
+
+def load_to_load_distances(trace: EventTrace) -> List[int]:
+    """Figure 2c: distance between consecutive loads."""
+    distances: List[int] = []
+    previous: Optional[int] = None
+    for event in trace:
+        if event.is_load:
+            if previous is not None:
+                distances.append(event.instruction_index - previous)
+            previous = event.instruction_index
+    return distances
+
+
+def stores_in_window(trace: EventTrace, window_size: int) -> List[int]:
+    """Figure 12: for every load, the number of stores within NI instructions."""
+    loads = [e.instruction_index for e in trace if e.is_load]
+    stores = [e.instruction_index for e in trace if e.is_store]
+    store_array = np.asarray(stores)
+    counts: List[int] = []
+    for load_index in loads:
+        low = np.searchsorted(store_array, load_index, side="left")
+        high = np.searchsorted(store_array, load_index + window_size, side="right")
+        counts.append(int(high - low))
+    return counts
+
+
+def kth_store_distances(
+    trace: EventTrace, window_size: int, k_max: int = 3
+) -> List[List[int]]:
+    """Figure 13: distances from each load to its 1st..k-th store in-window.
+
+    Returns ``k_max`` lists; list ``k`` holds, for every load that has at
+    least ``k+1`` stores inside its window, the distance to that store.
+    """
+    stores = [e.instruction_index for e in trace if e.is_store]
+    store_array = np.asarray(stores)
+    results: List[List[int]] = [[] for _ in range(k_max)]
+    for event in trace:
+        if not event.is_load:
+            continue
+        load_index = event.instruction_index
+        low = np.searchsorted(store_array, load_index, side="left")
+        high = np.searchsorted(store_array, load_index + window_size, side="right")
+        in_window = store_array[low:high]
+        for k in range(min(k_max, len(in_window))):
+            results[k].append(int(in_window[k] - load_index))
+    return results
+
+
+def mean_kth_store_distances(
+    trace: EventTrace, window_sizes: Sequence[int], k_max: int = 3
+) -> Dict[int, List[float]]:
+    """Figure 13's series: mean distance to the k-th store per window size."""
+    output: Dict[int, List[float]] = {}
+    for window_size in window_sizes:
+        per_k = kth_store_distances(trace, window_size, k_max)
+        output[window_size] = [
+            float(np.mean(d)) if d else float("nan") for d in per_k
+        ]
+    return output

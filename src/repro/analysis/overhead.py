@@ -1,0 +1,121 @@
+"""Runtime-overhead metrics over tainting-window parameters (Figures 14-19).
+
+The paper analyses a real malware trace (LGRoot) for: the maximum size of
+tainted addresses (Figure 14), its growth over time (Figure 15), the
+cumulative taint+untaint operation count (Figure 16), the number of
+distinct ranges (Figure 17), and the effect of disabling untainting on
+both (Figures 18 and 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PIFTConfig
+from repro.core.tracker import TimelinePoint
+from repro.android.device import RecordedRun
+from repro.analysis.replay import replay
+
+
+@dataclass
+class OverheadGrid:
+    """One scalar metric over the (NI, NT) grid; rows are NT, columns NI."""
+
+    window_sizes: List[int]
+    propagation_caps: List[int]
+    values: np.ndarray
+
+    def at(self, window_size: int, propagation_cap: int) -> float:
+        row = self.propagation_caps.index(propagation_cap)
+        column = self.window_sizes.index(window_size)
+        return float(self.values[row, column])
+
+    def render(self, unit: str = "") -> str:
+        lines = ["NT\\NI " + " ".join(f"{w:>8d}" for w in self.window_sizes)]
+        for row, cap in enumerate(self.propagation_caps):
+            cells = " ".join(
+                f"{self.values[row, column]:8.0f}"
+                for column in range(len(self.window_sizes))
+            )
+            lines.append(f"{cap:5d} {cells}")
+        if unit:
+            lines.append(f"(values in {unit})")
+        return "\n".join(lines)
+
+
+def overhead_grids(
+    recorded: RecordedRun,
+    window_sizes: Sequence[int] = range(1, 21),
+    propagation_caps: Sequence[int] = range(1, 11),
+    untainting: bool = True,
+) -> Tuple[OverheadGrid, OverheadGrid]:
+    """Figures 14 and 17: (max tainted bytes, max distinct ranges) grids."""
+    sizes = np.zeros((len(propagation_caps), len(window_sizes)))
+    counts = np.zeros((len(propagation_caps), len(window_sizes)))
+    for row, cap in enumerate(propagation_caps):
+        for column, window in enumerate(window_sizes):
+            config = PIFTConfig(
+                window_size=window, max_propagations=cap, untainting=untainting
+            )
+            stats = replay(recorded, config).stats
+            sizes[row, column] = stats.max_tainted_bytes
+            counts[row, column] = stats.max_range_count
+    grid_args = (list(window_sizes), list(propagation_caps))
+    return OverheadGrid(*grid_args, sizes), OverheadGrid(*grid_args, counts)
+
+
+def taint_timelines(
+    recorded: RecordedRun, configs: Sequence[PIFTConfig]
+) -> Dict[PIFTConfig, List[TimelinePoint]]:
+    """Figures 15 and 16: per-config evolution of tainted size and op count."""
+    timelines: Dict[PIFTConfig, List[TimelinePoint]] = {}
+    for config in configs:
+        result = replay(recorded, config, record_timeline=True)
+        timelines[config] = result.stats.timeline
+    return timelines
+
+
+@dataclass
+class UntaintingEffect:
+    """Figures 18/19: the same run with and without untainting."""
+
+    config: PIFTConfig
+    max_tainted_bytes_with: int
+    max_tainted_bytes_without: int
+    max_ranges_with: int
+    max_ranges_without: int
+
+    @property
+    def size_reduction_factor(self) -> float:
+        if not self.max_tainted_bytes_with:
+            return float("inf")
+        return self.max_tainted_bytes_without / self.max_tainted_bytes_with
+
+    @property
+    def range_reduction_factor(self) -> float:
+        if not self.max_ranges_with:
+            return float("inf")
+        return self.max_ranges_without / self.max_ranges_with
+
+
+def untainting_effect(
+    recorded: RecordedRun, configs: Sequence[PIFTConfig]
+) -> List[UntaintingEffect]:
+    """Measure how much untainting shrinks taint state, per configuration."""
+    effects: List[UntaintingEffect] = []
+    for config in configs:
+        with_stats = replay(recorded, config.with_untainting(True)).stats
+        without_stats = replay(recorded, config.with_untainting(False)).stats
+        effects.append(
+            UntaintingEffect(
+                config=config,
+                max_tainted_bytes_with=with_stats.max_tainted_bytes,
+                max_tainted_bytes_without=without_stats.max_tainted_bytes,
+                max_ranges_with=with_stats.max_range_count,
+                max_ranges_without=without_stats.max_range_count,
+            )
+        )
+    return effects

@@ -1,0 +1,136 @@
+"""Offline replay: re-run a recorded execution under any PIFT configuration.
+
+The paper's methodology (§5): app executions are traced once on the
+simulator, and "the PIFT analysis code" consumes the trace together with
+the source/sink address ranges.  That makes parameter sweeps cheap — the
+200-point Figure 11/14/17 grids re-run the *tracker*, not the app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import PIFTConfig
+from repro.core.ranges import RangeSet
+from repro.core.tracker import PIFTTracker, StateFactory, TrackerStats
+from repro.android.device import RecordedRun
+
+
+@dataclass(frozen=True)
+class SinkOutcome:
+    """The tracker's verdict for one recorded sink check."""
+
+    sink_name: str
+    channel: str
+    instruction_index: int
+    tainted: bool
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one recorded run under one configuration."""
+
+    config: PIFTConfig
+    stats: TrackerStats
+    sink_outcomes: List[SinkOutcome] = field(default_factory=list)
+
+    @property
+    def alarm(self) -> bool:
+        """Did any sink check come back tainted (the app-level verdict)?"""
+        return any(outcome.tainted for outcome in self.sink_outcomes)
+
+
+def replay_with_provenance(
+    recorded: RecordedRun, config: PIFTConfig
+) -> Dict[int, frozenset]:
+    """Replay with per-source labels: which sources reach each sink check?
+
+    Returns a mapping from each sink check's position in
+    ``recorded.sink_checks`` to the frozenset of source names whose taint
+    reaches it (empty set = clean) — the Raksha-style multi-label view
+    (see :mod:`repro.core.provenance`).
+    """
+    from repro.core.provenance import ProvenanceTracker
+
+    tracker = ProvenanceTracker(config)
+    sources = sorted(recorded.sources, key=lambda s: s.instruction_index)
+    order = {id(check): i for i, check in enumerate(recorded.sink_checks)}
+    checks = sorted(recorded.sink_checks, key=lambda c: c.instruction_index)
+    outcomes: Dict[int, frozenset] = {}
+    source_i = check_i = 0
+
+    def drain(upto_index: int) -> None:
+        nonlocal source_i, check_i
+        while (
+            source_i < len(sources)
+            and sources[source_i].instruction_index <= upto_index
+        ):
+            source = sources[source_i]
+            tracker.taint_source(source.source_name, source.address_range)
+            source_i += 1
+        while (
+            check_i < len(checks)
+            and checks[check_i].instruction_index <= upto_index
+        ):
+            check = checks[check_i]
+            outcomes[order[id(check)]] = tracker.check(
+                check.address_range, sink_name=check.sink_name
+            )
+            check_i += 1
+
+    for event in recorded.trace:
+        drain(event.instruction_index)
+        tracker.observe(event)
+    drain(recorded.instruction_count)
+    return outcomes
+
+
+def replay(
+    recorded: RecordedRun,
+    config: PIFTConfig,
+    state_factory: StateFactory = RangeSet,
+    record_timeline: bool = False,
+) -> ReplayResult:
+    """Feed a recorded run through a fresh tracker in instruction order.
+
+    Source registrations and sink checks interleave with the memory-event
+    stream at the instruction indices they originally occurred at.
+    """
+    tracker = PIFTTracker(
+        config, state_factory=state_factory, record_timeline=record_timeline
+    )
+    result = ReplayResult(config=config, stats=tracker.stats)
+    sources = sorted(recorded.sources, key=lambda s: s.instruction_index)
+    checks = sorted(recorded.sink_checks, key=lambda c: c.instruction_index)
+    source_i = 0
+    check_i = 0
+
+    def drain_pending(upto_index: int) -> None:
+        nonlocal source_i, check_i
+        while (
+            source_i < len(sources)
+            and sources[source_i].instruction_index <= upto_index
+        ):
+            tracker.taint_source(sources[source_i].address_range)
+            source_i += 1
+        while (
+            check_i < len(checks)
+            and checks[check_i].instruction_index <= upto_index
+        ):
+            check = checks[check_i]
+            result.sink_outcomes.append(
+                SinkOutcome(
+                    sink_name=check.sink_name,
+                    channel=check.channel,
+                    instruction_index=check.instruction_index,
+                    tainted=tracker.check(check.address_range),
+                )
+            )
+            check_i += 1
+
+    for event in recorded.trace:
+        drain_pending(event.instruction_index)
+        tracker.observe(event)
+    drain_pending(recorded.instruction_count)
+    return result

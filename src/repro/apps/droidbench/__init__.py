@@ -1,0 +1,20 @@
+"""The DroidBench-style benchmark suite: 57 apps (41 leaky, 16 benign)."""
+
+from repro.apps.droidbench.common import AppBuilder, BenchApp
+from repro.apps.droidbench.suite import (
+    all_apps,
+    app_by_name,
+    record_app,
+    record_suite,
+    run_app,
+)
+
+__all__ = [
+    "AppBuilder",
+    "BenchApp",
+    "all_apps",
+    "app_by_name",
+    "record_app",
+    "record_suite",
+    "run_app",
+]

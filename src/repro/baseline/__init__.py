@@ -1,0 +1,19 @@
+"""Baselines PIFT is compared against: full register-level DIFT (the
+byte-exact oracle) and a TaintDroid-style variable-granularity tracker."""
+
+from repro.baseline.full_tracker import FullDIFTTracker, FullTrackerStats
+from repro.baseline.taintdroid import (
+    SINK_METHODS,
+    SOURCE_METHODS,
+    TaintDroidSinkEvent,
+    TaintDroidTracker,
+)
+
+__all__ = [
+    "FullDIFTTracker",
+    "FullTrackerStats",
+    "SINK_METHODS",
+    "SOURCE_METHODS",
+    "TaintDroidSinkEvent",
+    "TaintDroidTracker",
+]

@@ -1,0 +1,117 @@
+"""Full register-level DIFT — the ground-truth baseline PIFT trades against.
+
+This is the "full-tracking" design the paper contrasts with (§2: Suh et
+al., Raksha, FlexiTaint): every storage element — each CPU register and
+each memory byte — carries a taint bit, and *every* instruction propagates
+taint from its source operands to its destinations:
+
+* ALU/move: destination registers become tainted iff any source register
+  is (``RegisterPatch`` records report the true dataflow of the oracle-
+  computed instructions, so the baseline stays exact),
+* load: destination registers become tainted iff any loaded byte is,
+* store: stored bytes inherit the data registers' taint (overwrite with
+  clean data *clears* taint — precise untainting for free).
+
+Besides serving as the accuracy oracle, the baseline exposes the cost
+model of §2's argument: it must do taint work on every instruction, while
+PIFT only acts on loads and stores ("at least an order of magnitude less
+frequent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.core.events import AccessKind
+from repro.core.ranges import AddressRange, RangeSet
+from repro.isa.instructions import ExecutionRecord
+from repro.isa.registers import REGISTER_COUNT
+
+
+@dataclass
+class FullTrackerStats:
+    """Cost counters: how much work full tracking performs."""
+
+    instructions_processed: int = 0
+    propagation_operations: int = 0  # per-instruction taint updates
+    memory_taint_operations: int = 0  # byte-range taints/untaints
+
+    @property
+    def operations_per_instruction(self) -> float:
+        if not self.instructions_processed:
+            return 0.0
+        return (
+            self.propagation_operations + self.memory_taint_operations
+        ) / self.instructions_processed
+
+
+class FullDIFTTracker:
+    """Byte- and register-accurate taint propagation over execution records."""
+
+    def __init__(self) -> None:
+        self.register_taint: List[bool] = [False] * REGISTER_COUNT
+        self.memory_taint = RangeSet()
+        self.stats = FullTrackerStats()
+
+    # -- sources and sinks -----------------------------------------------------
+
+    def taint_source(self, address_range: AddressRange) -> None:
+        self.memory_taint.add(address_range)
+
+    def check(self, address_range: AddressRange) -> bool:
+        return self.memory_taint.overlaps(address_range)
+
+    @property
+    def tainted_bytes(self) -> int:
+        return self.memory_taint.total_size
+
+    # -- propagation -------------------------------------------------------------
+
+    def observe(self, record: ExecutionRecord) -> None:
+        """Propagate taint through one executed instruction."""
+        self.stats.instructions_processed += 1
+        if record.kind is AccessKind.LOAD:
+            assert record.address_range is not None
+            tainted = self.memory_taint.overlaps(record.address_range)
+            for register in record.data_registers:
+                self.register_taint[register] = tainted
+            self._clear_written_address_registers(record)
+            self.stats.propagation_operations += 1
+        elif record.kind is AccessKind.STORE:
+            assert record.address_range is not None
+            tainted = any(
+                self.register_taint[register] for register in record.data_registers
+            )
+            if tainted:
+                self.memory_taint.add(record.address_range)
+            else:
+                # Precise untainting: clean data overwrites the bytes.
+                self.memory_taint.remove(record.address_range)
+            self._clear_written_address_registers(record)
+            self.stats.memory_taint_operations += 1
+        else:
+            if record.writes:
+                tainted = any(
+                    self.register_taint[register] for register in record.reads
+                )
+                for register in record.writes:
+                    self.register_taint[register] = tainted
+                self.stats.propagation_operations += 1
+
+    def _clear_written_address_registers(self, record: ExecutionRecord) -> None:
+        """Writeback-updated base registers get address (untainted) values
+        unless they were data destinations."""
+        for register in record.writes:
+            if register not in record.data_registers:
+                tainted = any(
+                    self.register_taint[source]
+                    for source in record.reads
+                    if source not in record.data_registers
+                )
+                self.register_taint[register] = tainted
+
+    def run(self, records: Iterable[ExecutionRecord]) -> FullTrackerStats:
+        for record in records:
+            self.observe(record)
+        return self.stats

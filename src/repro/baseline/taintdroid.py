@@ -1,0 +1,420 @@
+"""A TaintDroid-style variable-granularity tracker (paper §6, Enck et al.).
+
+The paper's closest software comparison point: TaintDroid instruments the
+Dalvik interpreter and tracks taint at *variable* granularity — per
+virtual register, per instance field, per static field — with two
+signature coarsenings:
+
+* **arrays carry one taint tag for the whole array** (storing one tainted
+  element taints every element — the source of TaintDroid's documented
+  false positives on DroidBench's ArrayAccess/ListAccess apps), and
+* **native methods are not tracked**; instead "a heuristic that
+  propagates the taint of input arguments to that of the return value"
+  is applied (and, here, conservatively to the receiver object of
+  mutating framework calls).
+
+Implemented as a VM step observer: it watches every bytecode before it
+executes and maintains its own taint maps, entirely independent of PIFT.
+Running both on one device gives the three-way comparison in
+``benchmarks/bench_ablation_taintdroid.py``: byte-exact full DIFT vs PIFT
+vs variable-granularity TaintDroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dalvik.bytecode import Category, Instr
+from repro.dalvik.vm import Activation, DalvikVM
+
+#: Framework sources whose return value is sensitive.
+SOURCE_METHODS = {
+    "TelephonyManager.getDeviceId",
+    "TelephonyManager.getLine1Number",
+    "TelephonyManager.getSimSerialNumber",
+    "LocationManager.getLastKnownLocation",
+}
+
+#: Sink methods mapped to the argument positions carrying the payload.
+SINK_METHODS: Dict[str, Sequence[int]] = {
+    "SmsManager.sendTextMessage": (2,),
+    "HttpURLConnection.connect": (0,),
+    "HttpClient.post": (0, 1),
+    "Log.i": (1,),
+    "Log.d": (1,),
+    "Log.e": (1,),
+}
+
+#: Intrinsics with no data flow from arguments to anything observable.
+_NEUTRAL_INTRINSICS = {
+    "Object.<init>",
+}
+
+
+@dataclass
+class TaintDroidSinkEvent:
+    """One sink invocation as judged by the variable-level tracker."""
+
+    sink_name: str
+    tainted: bool
+
+
+class TaintDroidTracker:
+    """Variable-granularity taint propagation over VM bytecode steps.
+
+    Attach with ``tracker.attach(vm)``; afterwards every executed bytecode
+    is interpreted for taint *before* it runs (operand values are still
+    the pre-state, which is what propagation needs).
+    """
+
+    def __init__(self) -> None:
+        self._vreg: Set[Tuple[int, int]] = set()  # (frame id, register)
+        self._fields: Set[Tuple[int, str]] = set()  # (instance addr, name)
+        self._statics: Set[str] = set()
+        self._objects: Set[int] = set()  # object-granular (strings, arrays)
+        self._known_frames: Set[int] = set()
+        self._pending_call: Optional[List[bool]] = None
+        self._pending_result = False
+        self._exception_taint = False
+        self.sink_events: List[TaintDroidSinkEvent] = []
+
+    # -- public surface ---------------------------------------------------------
+
+    def attach(self, vm: DalvikVM) -> "TaintDroidTracker":
+        vm.step_observers.append(self._before_step)
+        return self
+
+    @property
+    def leak_detected(self) -> bool:
+        return any(event.tainted for event in self.sink_events)
+
+    def object_tainted(self, address: int) -> bool:
+        return address in self._objects
+
+    # -- taint accessors ----------------------------------------------------------
+
+    def _reg_tainted(self, vm, frame, register: int) -> bool:
+        if (id(frame), register) in self._vreg:
+            return True
+        value = vm.get_vreg(register, frame)
+        return value in self._objects
+
+    def _set_reg(self, frame, register: int, tainted: bool) -> None:
+        key = (id(frame), register)
+        if tainted:
+            self._vreg.add(key)
+        else:
+            self._vreg.discard(key)
+
+    def _set_wide(self, frame, register: int, tainted: bool) -> None:
+        self._set_reg(frame, register, tainted)
+        self._set_reg(frame, register + 1, tainted)
+
+    def _wide_tainted(self, vm, frame, register: int) -> bool:
+        return self._reg_tainted(vm, frame, register) or self._reg_tainted(
+            vm, frame, register + 1
+        )
+
+    # -- the observer ------------------------------------------------------------
+
+    def _before_step(self, vm: DalvikVM, frame: Activation, instr: Instr) -> None:
+        fid = id(frame)
+        if fid not in self._known_frames:
+            self._known_frames.add(fid)
+            if self._pending_call is not None:
+                base = frame.method.registers - frame.method.ins
+                for offset, tainted in enumerate(self._pending_call):
+                    self._set_reg(frame, base + offset, tainted)
+                self._pending_call = None
+        handler = self._DISPATCH.get(instr.op.category)
+        if handler is not None:
+            handler(self, vm, frame, instr)
+
+    # -- per-category rules ----------------------------------------------------------
+
+    def _do_move(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, self._reg_tainted(vm, frame, instr.b))
+
+    def _do_move_wide(self, vm, frame, instr) -> None:
+        self._set_wide(frame, instr.a, self._wide_tainted(vm, frame, instr.b))
+
+    def _do_move_result(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, self._pending_result)
+        if self._pending_result:
+            # A tainted *object* result carries its tag on the object
+            # itself (TaintDroid stores array/string taint with the value).
+            reference = vm.retval
+            if reference and vm.heap.maybe_deref(reference) is not None:
+                self._objects.add(reference)
+
+    def _do_move_result_wide(self, vm, frame, instr) -> None:
+        self._set_wide(frame, instr.a, self._pending_result)
+
+    def _do_move_exception(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, self._exception_taint)
+
+    def _do_const(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, False)
+
+    def _do_const_wide(self, vm, frame, instr) -> None:
+        self._set_wide(frame, instr.a, False)
+
+    def _do_return(self, vm, frame, instr) -> None:
+        self._pending_result = self._reg_tainted(vm, frame, instr.a)
+
+    def _do_return_wide(self, vm, frame, instr) -> None:
+        self._pending_result = self._wide_tainted(vm, frame, instr.a)
+
+    def _do_return_void(self, vm, frame, instr) -> None:
+        self._pending_result = False
+
+    def _do_throw(self, vm, frame, instr) -> None:
+        self._exception_taint = self._reg_tainted(vm, frame, instr.a)
+
+    def _do_unop(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, self._reg_tainted(vm, frame, instr.b))
+
+    def _do_unop_wide(self, vm, frame, instr) -> None:
+        self._set_wide(frame, instr.a, self._wide_tainted(vm, frame, instr.b))
+
+    def _do_convert(self, vm, frame, instr) -> None:
+        name = instr.op.name
+        src_wide = name.startswith(("long-", "double-"))
+        dst_wide = name.endswith(("long", "double"))
+        tainted = (
+            self._wide_tainted(vm, frame, instr.b)
+            if src_wide
+            else self._reg_tainted(vm, frame, instr.b)
+        )
+        if dst_wide:
+            self._set_wide(frame, instr.a, tainted)
+        else:
+            self._set_reg(frame, instr.a, tainted)
+
+    def _do_binop(self, vm, frame, instr) -> None:
+        name = instr.op.name
+        if name.endswith("/2addr"):
+            tainted = self._reg_tainted(vm, frame, instr.a) or self._reg_tainted(
+                vm, frame, instr.b
+            )
+        elif name.endswith(("/lit8", "/lit16")) or name == "rsub-int":
+            tainted = self._reg_tainted(vm, frame, instr.b)
+        else:
+            tainted = self._reg_tainted(vm, frame, instr.b) or self._reg_tainted(
+                vm, frame, instr.c
+            )
+        self._set_reg(frame, instr.a, tainted)
+
+    def _do_binop_float(self, vm, frame, instr) -> None:
+        if "double" in instr.op.name:
+            self._do_binop_wide(vm, frame, instr)
+        else:
+            self._do_binop(vm, frame, instr)
+
+    def _do_binop_wide(self, vm, frame, instr) -> None:
+        if instr.op.name.endswith("/2addr"):
+            tainted = self._wide_tainted(vm, frame, instr.a) or self._wide_tainted(
+                vm, frame, instr.b
+            )
+        else:
+            tainted = self._wide_tainted(vm, frame, instr.b) or self._wide_tainted(
+                vm, frame, instr.c
+            )
+        self._set_wide(frame, instr.a, tainted)
+
+    def _do_cmp(self, vm, frame, instr) -> None:
+        self._set_reg(
+            frame,
+            instr.a,
+            self._wide_tainted(vm, frame, instr.b)
+            or self._wide_tainted(vm, frame, instr.c),
+        )
+
+    # Arrays: one taint tag per array object (TaintDroid's coarsening).
+
+    def _do_aget(self, vm, frame, instr) -> None:
+        array_ref = vm.get_vreg(instr.b, frame)
+        tainted = array_ref in self._objects
+        if instr.op.category is Category.AGET_WIDE:
+            self._set_wide(frame, instr.a, tainted)
+        else:
+            self._set_reg(frame, instr.a, tainted)
+
+    def _do_aput(self, vm, frame, instr) -> None:
+        array_ref = vm.get_vreg(instr.b, frame)
+        if instr.op.category is Category.APUT_WIDE:
+            tainted = self._wide_tainted(vm, frame, instr.a)
+        else:
+            tainted = self._reg_tainted(vm, frame, instr.a)
+        if tainted and array_ref:
+            self._objects.add(array_ref)
+
+    # Fields: per-(instance, field) precision, like TaintDroid.
+
+    def _field_key(self, vm, frame, instr) -> Optional[Tuple[int, str]]:
+        instance_ref = vm.get_vreg(instr.b, frame)
+        if not instance_ref or not instr.symbol:
+            return None
+        return (instance_ref, instr.symbol)
+
+    def _do_iget(self, vm, frame, instr) -> None:
+        key = self._field_key(vm, frame, instr)
+        tainted = key in self._fields if key else False
+        if instr.op.category is Category.IGET_WIDE:
+            self._set_wide(frame, instr.a, tainted)
+        else:
+            self._set_reg(frame, instr.a, tainted)
+
+    def _do_iput(self, vm, frame, instr) -> None:
+        key = self._field_key(vm, frame, instr)
+        if key is None:
+            return
+        if instr.op.category is Category.IPUT_WIDE:
+            tainted = self._wide_tainted(vm, frame, instr.a)
+        else:
+            tainted = self._reg_tainted(vm, frame, instr.a)
+        if tainted:
+            self._fields.add(key)
+        else:
+            self._fields.discard(key)
+
+    def _do_sget(self, vm, frame, instr) -> None:
+        tainted = (instr.symbol or "") in self._statics
+        if instr.op.category is Category.SGET_WIDE:
+            self._set_wide(frame, instr.a, tainted)
+        else:
+            self._set_reg(frame, instr.a, tainted)
+
+    def _do_sput(self, vm, frame, instr) -> None:
+        if instr.op.category is Category.SPUT_WIDE:
+            tainted = self._wide_tainted(vm, frame, instr.a)
+        else:
+            tainted = self._reg_tainted(vm, frame, instr.a)
+        if tainted:
+            self._statics.add(instr.symbol or "")
+        else:
+            self._statics.discard(instr.symbol or "")
+
+    def _do_array_length(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, False)
+
+    def _do_instance_of(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, False)
+
+    def _do_new(self, vm, frame, instr) -> None:
+        self._set_reg(frame, instr.a, False)
+
+    # -- invokes: the native-method heuristic ------------------------------------
+
+    def _do_invoke(self, vm, frame, instr) -> None:
+        name = instr.symbol or ""
+        arg_taints = [self._reg_tainted(vm, frame, r) for r in instr.args]
+        if name in vm.intrinsics:
+            self._apply_intrinsic_rule(vm, frame, instr, name, arg_taints)
+        else:
+            self._pending_call = arg_taints
+            self._pending_result = False
+
+    def _apply_intrinsic_rule(self, vm, frame, instr, name, arg_taints) -> None:
+        if name in SINK_METHODS:
+            payload_positions = SINK_METHODS[name]
+            tainted = any(
+                arg_taints[p] for p in payload_positions if p < len(arg_taints)
+            )
+            self.sink_events.append(TaintDroidSinkEvent(name, tainted))
+            self._pending_result = False
+            return
+        if name in SOURCE_METHODS or name in ("Location.getLatitude",
+                                               "Location.getLongitude"):
+            if name in SOURCE_METHODS:
+                self._pending_result = True
+                self._mark_result_object = True
+            else:
+                # getLatitude/Longitude: receiver-tainted -> result tainted.
+                self._pending_result = arg_taints[0] if arg_taints else True
+            # The returned object itself gets marked when move-result runs;
+            # approximate by tainting the retval object after the fact via
+            # the pending flag plus object marking below.
+            self._pending_source = name in SOURCE_METHODS
+            return
+        if name in _NEUTRAL_INTRINSICS:
+            self._pending_result = False
+            return
+        if name == "System.arraycopy":
+            # TaintDroid special-cases common natives with real data flow:
+            # arraycopy moves the source array's tag to the destination.
+            if len(instr.args) >= 3 and arg_taints[0]:
+                destination_ref = vm.get_vreg(instr.args[2], frame)
+                if destination_ref:
+                    self._objects.add(destination_ref)
+            self._pending_result = False
+            return
+        # TaintDroid's native heuristic: result taint = OR of argument
+        # taints; mutating framework calls also taint the receiver object.
+        any_tainted = any(arg_taints)
+        self._pending_result = any_tainted
+        if any_tainted and instr.args:
+            receiver_ref = vm.get_vreg(instr.args[0], frame)
+            if receiver_ref:
+                self._objects.add(receiver_ref)
+
+    _pending_source = False
+    _mark_result_object = False
+
+    def _do_move_result_object_hook(self, vm, frame, instr) -> None:
+        """move-result(-object) after a source: mark the returned object."""
+        self._do_move_result(vm, frame, instr)
+        if self._pending_source:
+            # The retval slot currently holds the source object's address.
+            reference = vm.retval
+            if reference:
+                self._objects.add(reference)
+            self._set_reg(frame, instr.a, True)
+            self._pending_source = False
+
+    _DISPATCH = {
+        Category.MOVE: _do_move,
+        Category.MOVE_WIDE: _do_move_wide,
+        Category.MOVE_RESULT: _do_move_result_object_hook,
+        Category.MOVE_RESULT_WIDE: _do_move_result_wide,
+        Category.MOVE_EXCEPTION: _do_move_exception,
+        Category.CONST: _do_const,
+        Category.CONST_WIDE: _do_const_wide,
+        Category.CONST_STRING: _do_const,
+        Category.CONST_CLASS: _do_const,
+        Category.RETURN: _do_return,
+        Category.RETURN_WIDE: _do_return_wide,
+        Category.RETURN_VOID: _do_return_void,
+        Category.THROW: _do_throw,
+        Category.UNARY_INT: _do_unop,
+        Category.UNARY_WIDE: _do_unop_wide,
+        Category.UNARY_FLOAT: _do_unop,
+        Category.CONVERT: _do_convert,
+        Category.BINOP_INT: _do_binop,
+        Category.BINOP_2ADDR_INT: _do_binop,
+        Category.BINOP_LIT: _do_binop,
+        Category.BINOP_WIDE: _do_binop_wide,
+        Category.BINOP_2ADDR_WIDE: _do_binop_wide,
+        Category.BINOP_FLOAT: _do_binop_float,
+        Category.BINOP_2ADDR_FLOAT: _do_binop_float,
+        Category.CMP: _do_cmp,
+        Category.AGET: _do_aget,
+        Category.AGET_WIDE: _do_aget,
+        Category.APUT: _do_aput,
+        Category.APUT_WIDE: _do_aput,
+        Category.APUT_OBJECT: _do_aput,
+        Category.IGET: _do_iget,
+        Category.IGET_WIDE: _do_iget,
+        Category.IPUT: _do_iput,
+        Category.IPUT_WIDE: _do_iput,
+        Category.SGET: _do_sget,
+        Category.SGET_WIDE: _do_sget,
+        Category.SPUT: _do_sput,
+        Category.SPUT_WIDE: _do_sput,
+        Category.ARRAY_LENGTH: _do_array_length,
+        Category.INSTANCE_OF: _do_instance_of,
+        Category.NEW_INSTANCE: _do_new,
+        Category.NEW_ARRAY: _do_new,
+        Category.INVOKE: _do_invoke,
+    }

@@ -1,0 +1,160 @@
+"""Off-critical-path tracking: buffered event processing (paper §1).
+
+    "…the reduction in the amount of data means it is possible to move
+    information-flow tracking off the critical path in the architecture,
+    such that the load–store stream is buffered for delayed processing at
+    a more convenient time (while trading prevention for detection, of
+    course)."
+
+``BufferedPIFT`` models that design point: the front end appends memory
+events to a bounded FIFO; the tracker drains it in batches (e.g. when the
+CPU stalls, on a timer, or when the buffer fills).  A sink check can be
+answered two ways:
+
+* ``check_blocking`` — drain first, then answer: *prevention* semantics
+  with a drain-latency cost (counted in ``stats``);
+* ``check_immediate`` — answer from the possibly-stale taint state and
+  reconcile when the buffer next drains: *detection* semantics; a leak
+  that was in flight is reported late rather than stopped.
+
+The model quantifies the trade the paper mentions: how often an immediate
+answer disagrees with the post-drain truth, versus how many events a
+blocking check had to wait for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.core.config import PIFTConfig
+from repro.core.events import MemoryAccess
+from repro.core.ranges import AddressRange
+from repro.core.tracker import PIFTTracker
+
+
+@dataclass
+class BufferStats:
+    """Accounting for the buffered design point."""
+
+    events_buffered: int = 0
+    drains: int = 0
+    events_drained: int = 0
+    forced_drops: int = 0  # buffer overflow with drop policy
+    max_queue_depth: int = 0
+    blocking_checks: int = 0
+    blocking_drain_events: int = 0  # events processed while a check waited
+    immediate_checks: int = 0
+    stale_negatives: int = 0  # immediate 'clean' that turned tainted
+
+
+@dataclass(frozen=True)
+class LateDetection:
+    """An in-flight leak that an immediate check missed, found at drain."""
+
+    sink_name: str
+    address_range: AddressRange
+    events_behind: int  # how many buffered events the answer was behind
+
+
+class BufferedPIFT:
+    """A PIFT tracker fed through a bounded event buffer.
+
+    Args:
+        config: the tainting-window parameters.
+        capacity: maximum buffered events.  When full, the buffer drains a
+            batch automatically (modelling a hardware FIFO watermark) —
+            taint state lags the CPU by at most ``capacity`` events.
+        drain_batch: events processed per drain step.
+    """
+
+    def __init__(
+        self,
+        config: PIFTConfig,
+        capacity: int = 1024,
+        drain_batch: int = 256,
+    ) -> None:
+        if capacity < 1 or drain_batch < 1:
+            raise ValueError("capacity and drain_batch must be >= 1")
+        self.tracker = PIFTTracker(config)
+        self.capacity = capacity
+        self.drain_batch = drain_batch
+        self.stats = BufferStats()
+        self.late_detections: List[LateDetection] = []
+        self._queue: Deque[MemoryAccess] = deque()
+        self._pending_immediate: List[tuple] = []
+
+    # -- front-end side ----------------------------------------------------------
+
+    def on_memory_event(self, event: MemoryAccess) -> None:
+        """Append one event; drain a batch when the FIFO hits capacity."""
+        self._queue.append(event)
+        self.stats.events_buffered += 1
+        if len(self._queue) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(self._queue)
+        if len(self._queue) >= self.capacity:
+            self.drain(self.drain_batch)
+
+    def taint_source(self, address_range: AddressRange, pid: int = 0) -> None:
+        """Source registration is synchronous (it is rare — paper §3.3)."""
+        self.drain_all()
+        self.tracker.taint_source(address_range, pid=pid)
+
+    # -- draining -------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def drain(self, batch: Optional[int] = None) -> int:
+        """Process up to ``batch`` queued events (all of them if None)."""
+        limit = len(self._queue) if batch is None else min(batch, len(self._queue))
+        for _ in range(limit):
+            self.tracker.observe(self._queue.popleft())
+        if limit:
+            self.stats.drains += 1
+            self.stats.events_drained += limit
+        self._reconcile_immediate_checks()
+        return limit
+
+    def drain_all(self) -> int:
+        return self.drain(None)
+
+    # -- sink side ----------------------------------------------------------------------
+
+    def check_blocking(self, address_range: AddressRange, pid: int = 0) -> bool:
+        """Prevention semantics: wait for the buffer, then answer."""
+        self.stats.blocking_checks += 1
+        self.stats.blocking_drain_events += len(self._queue)
+        self.drain_all()
+        return self.tracker.check(address_range, pid=pid)
+
+    def check_immediate(
+        self, address_range: AddressRange, pid: int = 0, sink_name: str = ""
+    ) -> bool:
+        """Detection semantics: answer now from possibly-stale state.
+
+        A 'clean' answer is provisional: if the drained events turn the
+        range tainted, a :class:`LateDetection` is recorded.
+        """
+        self.stats.immediate_checks += 1
+        answer = self.tracker.check(address_range, pid=pid)
+        if not answer:
+            self._pending_immediate.append(
+                (sink_name, address_range, pid, len(self._queue))
+            )
+        return answer
+
+    def _reconcile_immediate_checks(self) -> None:
+        if not self._pending_immediate or self._queue:
+            return  # reconcile only once fully drained
+        still_pending = []
+        for sink_name, address_range, pid, behind in self._pending_immediate:
+            if self.tracker.check(address_range, pid=pid):
+                self.stats.stale_negatives += 1
+                self.late_detections.append(
+                    LateDetection(sink_name, address_range, behind)
+                )
+            # Either way the provisional answer is now settled.
+        self._pending_immediate = still_pending

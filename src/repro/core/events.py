@@ -1,0 +1,104 @@
+"""Memory-event model — what the PIFT front-end hands to the tracker.
+
+The paper's §3.3 front-end logic watches the CPU instruction unit and, for
+each *memory access* instruction, sends to the PIFT hardware module:
+
+1. the process-specific ID (PID / TTBR),
+2. the process-specific instruction counter,
+3. the access type (load or store),
+4. the read or written address range.
+
+Non-memory instructions advance the instruction counter but generate no
+event.  ``MemoryAccess`` is that 4-tuple; the ISA simulator and the malware /
+DroidBench traces all speak this type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.core.ranges import AddressRange
+
+
+class AccessKind(enum.Enum):
+    """Whether a memory instruction reads or writes memory."""
+
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory access observed by the PIFT front-end.
+
+    ``instruction_index`` is the per-process instruction sequence number *k*
+    from Algorithm 1 — it counts every CPU instruction, not just memory
+    ones, because the tainting window NI is measured in instructions.
+    """
+
+    kind: AccessKind
+    address_range: AddressRange
+    instruction_index: int
+    pid: int = 0
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is AccessKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is AccessKind.STORE
+
+
+def load(start: int, end: int, instruction_index: int, pid: int = 0) -> MemoryAccess:
+    """Convenience constructor for a load event over ``[start, end]``."""
+    return MemoryAccess(AccessKind.LOAD, AddressRange(start, end), instruction_index, pid)
+
+
+def store(start: int, end: int, instruction_index: int, pid: int = 0) -> MemoryAccess:
+    """Convenience constructor for a store event over ``[start, end]``."""
+    return MemoryAccess(AccessKind.STORE, AddressRange(start, end), instruction_index, pid)
+
+
+class EventTrace:
+    """A materialised sequence of memory events plus the total instruction count.
+
+    The total count matters because metrics such as the paper's Figure 2c
+    (distance between consecutive loads) and the tainting window itself are
+    measured in *instructions*, of which memory events are a strict subset.
+    """
+
+    def __init__(self, events: Iterable[MemoryAccess] = (), instruction_count: int = 0) -> None:
+        self.events: List[MemoryAccess] = list(events)
+        if self.events:
+            highest = max(e.instruction_index for e in self.events) + 1
+        else:
+            highest = 0
+        self.instruction_count = max(instruction_count, highest)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.events)
+
+    def append(self, event: MemoryAccess) -> None:
+        self.events.append(event)
+        if event.instruction_index >= self.instruction_count:
+            self.instruction_count = event.instruction_index + 1
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for e in self.events if e.is_load)
+
+    @property
+    def store_count(self) -> int:
+        return sum(1 for e in self.events if e.is_store)
+
+    def loads(self) -> Iterator[MemoryAccess]:
+        return (e for e in self.events if e.is_load)
+
+    def stores(self) -> Iterator[MemoryAccess]:
+        return (e for e in self.events if e.is_store)

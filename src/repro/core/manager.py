@@ -1,0 +1,72 @@
+"""PIFT Manager — the Android-framework layer of the paper's Figure 3.
+
+The manager instruments each type of sensitive data *source* (such as
+``LocationManager``) so that data fetched by an application is registered
+with tracking, and each *sink* (such as ``SmsManager``) so that outgoing
+data is checked for taint.  Registration and checking follow the same
+framework-level placement as TaintDroid's instrumentation (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.module import LeakEvent, PIFTKernelModule
+from repro.core.native import PIFTNative
+
+
+@dataclass(frozen=True)
+class SourceRecord:
+    """One sensitive datum registered at a source instrumentation point."""
+
+    source_name: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class SinkReport:
+    """Outcome of a sink-side check."""
+
+    sink_name: str
+    pid: int
+    tainted: bool
+
+
+class PIFTManager:
+    """Framework-level source/sink instrumentation entry points."""
+
+    def __init__(self, native: PIFTNative) -> None:
+        self._native = native
+        self.sources_registered: List[SourceRecord] = []
+        self.sink_reports: List[SinkReport] = []
+
+    @property
+    def native(self) -> PIFTNative:
+        return self._native
+
+    @property
+    def module(self) -> PIFTKernelModule:
+        return self._native.module
+
+    def register_source(self, source_name: str, value: object, pid: int = 0) -> None:
+        """Instrumented source fetched ``value``; taint its backing memory."""
+        self._native.register_value(value, pid=pid)
+        self.sources_registered.append(SourceRecord(source_name, pid))
+
+    def check_sink(self, sink_name: str, value: object, pid: int = 0) -> bool:
+        """Instrumented sink is about to emit ``value``; query its taint."""
+        tainted = self._native.check_value(
+            value, pid=pid, sink_description=sink_name
+        )
+        self.sink_reports.append(SinkReport(sink_name, pid, tainted))
+        return tainted
+
+    @property
+    def detected_leaks(self) -> List[LeakEvent]:
+        """All leak events the kernel module raised during this run."""
+        return self.module.leak_events
+
+    @property
+    def leak_detected(self) -> bool:
+        return any(report.tainted for report in self.sink_reports)

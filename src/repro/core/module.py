@@ -1,0 +1,80 @@
+"""PIFT Module — the Linux-kernel layer of the paper's Figure 3.
+
+The kernel module brokers between the runtime (PIFT Native, which speaks
+*addresses*) and the PIFT hardware module (which speaks memory-mapped
+commands).  On a sink check that finds taint, it raises an event to the
+upper layer to report the potential leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.hw import Command, CommandRequest, PIFTHardwareModule
+from repro.core.ranges import AddressRange
+
+
+@dataclass(frozen=True)
+class LeakEvent:
+    """Raised to the upper layers when a checked sink range is tainted."""
+
+    pid: int
+    address_range: AddressRange
+    sink_description: str
+
+
+class PIFTKernelModule:
+    """Register sensitive address ranges and query taint via the HW module."""
+
+    def __init__(self, hardware: PIFTHardwareModule) -> None:
+        self._hardware = hardware
+        self._listeners: List[Callable[[LeakEvent], None]] = []
+        self.leak_events: List[LeakEvent] = []
+
+    @property
+    def hardware(self) -> PIFTHardwareModule:
+        return self._hardware
+
+    def subscribe(self, listener: Callable[[LeakEvent], None]) -> None:
+        """Upper layers subscribe to be informed of potential leakages."""
+        self._listeners.append(listener)
+
+    def register_range(self, address_range: AddressRange, pid: int = 0) -> None:
+        """Source path: taint a sensitive range in the HW taint storage."""
+        response = self._hardware.execute(
+            CommandRequest(Command.REGISTER, pid=pid, address_range=address_range)
+        )
+        if not response.ok:
+            raise RuntimeError(f"hardware rejected REGISTER for {address_range}")
+
+    def check_range(
+        self,
+        address_range: AddressRange,
+        pid: int = 0,
+        sink_description: str = "",
+    ) -> bool:
+        """Sink path: query taint; emit a :class:`LeakEvent` when positive."""
+        response = self._hardware.execute(
+            CommandRequest(Command.CHECK, pid=pid, address_range=address_range)
+        )
+        if not response.ok:
+            raise RuntimeError(f"hardware rejected CHECK for {address_range}")
+        if response.tainted:
+            event = LeakEvent(pid, address_range, sink_description)
+            self.leak_events.append(event)
+            for listener in self._listeners:
+                listener(event)
+        return bool(response.tainted)
+
+    def configure(self, window_size: int, max_propagations: int) -> None:
+        """Set the tainting-window parameters NI and NT."""
+        response = self._hardware.execute(
+            CommandRequest(
+                Command.CONFIGURE,
+                window_size=window_size,
+                max_propagations=max_propagations,
+            )
+        )
+        if not response.ok:
+            raise RuntimeError("hardware rejected CONFIGURE")

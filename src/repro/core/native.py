@@ -1,0 +1,80 @@
+"""PIFT Native — the Android-runtime layer of the paper's Figure 3.
+
+This layer translates *runtime values* into *memory addresses*.  For an
+object-type datum (e.g. the IMEI ``String``) it obtains the pointer to the
+backing storage, JNI-style; for a primitive field it resolves the byte
+offset of the field within its owning instance.  The resulting address
+ranges are handed down to the kernel module.
+
+The translation is type-directed and extensible: the Dalvik substrate
+registers translators for its heap value types, so this module stays free
+of VM-specific imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.module import PIFTKernelModule
+from repro.core.ranges import AddressRange
+
+#: A translator maps one runtime value to the memory ranges holding its data.
+Translator = Callable[[object], List[AddressRange]]
+
+
+class AddressTranslationError(TypeError):
+    """No registered translator can produce addresses for a value."""
+
+
+class PIFTNative:
+    """Value-to-address translation plus pass-through to the kernel module."""
+
+    def __init__(self, module: PIFTKernelModule) -> None:
+        self._module = module
+        self._translators: Dict[type, Translator] = {}
+
+    @property
+    def module(self) -> PIFTKernelModule:
+        return self._module
+
+    def register_translator(self, value_type: type, translator: Translator) -> None:
+        """Teach the layer how to find the backing memory of ``value_type``."""
+        self._translators[value_type] = translator
+
+    def translate(self, value: object) -> List[AddressRange]:
+        """Resolve ``value`` to the address ranges backing its data.
+
+        A value may occupy several disjoint ranges (e.g. an object plus the
+        character array it references).
+        """
+        for klass in type(value).__mro__:
+            translator = self._translators.get(klass)
+            if translator is not None:
+                ranges = translator(value)
+                if not ranges:
+                    raise AddressTranslationError(
+                        f"translator for {klass.__name__} produced no ranges"
+                    )
+                return ranges
+        raise AddressTranslationError(
+            f"no address translator registered for {type(value).__name__}"
+        )
+
+    def register_value(self, value: object, pid: int = 0) -> List[AddressRange]:
+        """Source path: taint every range backing ``value``."""
+        ranges = self.translate(value)
+        for address_range in ranges:
+            self._module.register_range(address_range, pid=pid)
+        return ranges
+
+    def check_value(
+        self, value: object, pid: int = 0, sink_description: str = ""
+    ) -> bool:
+        """Sink path: True when any range backing ``value`` is tainted."""
+        tainted = False
+        for address_range in self.translate(value):
+            if self._module.check_range(
+                address_range, pid=pid, sink_description=sink_description
+            ):
+                tainted = True
+        return tainted

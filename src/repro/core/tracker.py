@@ -1,0 +1,229 @@
+"""The PIFT taint-propagation heuristic — Algorithm 1 of the paper.
+
+Conceptually: a memory load that overlaps a tainted address range opens a
+*Tainting Window* (TW) of ``NI`` instructions, measured from the tainted
+load.  The target address ranges of up to ``NT`` store instructions inside
+the window are tainted.  A store outside every window (or past the NT cap)
+is optionally *untainted* — its target range is removed from the taint
+state, because it was likely overwritten with non-sensitive data.
+
+The tracker is process-aware: the PIFT front-end maintains a per-process
+instruction counter (indexed by PID / TTBR per §3.3), so window state and
+taint state are both kept per PID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import PIFTConfig
+from repro.core.events import MemoryAccess
+from repro.core.ranges import AddressRange, RangeSet
+
+
+#: Any object with the RangeSet mutation/query surface can back the tracker —
+#: the software-reference ``RangeSet`` or a hardware model from
+#: :mod:`repro.core.taint_storage`.
+StateFactory = Callable[[], "TaintStateLike"]
+
+
+class TaintStateLike:
+    """Structural interface the tracker requires of its taint state."""
+
+    def overlaps(self, query: AddressRange) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def add(self, item: AddressRange) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def remove(self, item: AddressRange) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def total_size(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def range_count(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class TimelinePoint:
+    """One sample of taint-state evolution, taken at each taint/untaint op."""
+
+    instruction_index: int
+    tainted_bytes: int
+    range_count: int
+    cumulative_operations: int
+
+
+@dataclass
+class TrackerStats:
+    """Counters and high-water marks accumulated while tracking.
+
+    ``taint_operations`` and ``untaint_operations`` together are the
+    operation count of the paper's Figure 16; ``max_tainted_bytes`` is
+    Figure 14/15/18's metric and ``max_range_count`` Figure 17/19's.
+    An untaint is only counted as an operation when it actually removed
+    tainted bytes (a store over never-tainted memory is a no-op).
+    """
+
+    instructions_observed: int = 0
+    loads_observed: int = 0
+    stores_observed: int = 0
+    tainted_loads: int = 0
+    taint_operations: int = 0
+    untaint_operations: int = 0
+    max_tainted_bytes: int = 0
+    max_range_count: int = 0
+    timeline: List[TimelinePoint] = field(default_factory=list)
+
+    @property
+    def total_operations(self) -> int:
+        return self.taint_operations + self.untaint_operations
+
+
+@dataclass
+class _WindowState:
+    """Per-process Algorithm-1 state: LTLT and the propagation counter."""
+
+    last_tainted_load: Optional[int] = None  # LTLT; None encodes -infinity
+    propagations: int = 0  # n_t
+
+
+class PIFTTracker:
+    """Predictive information-flow tracker over a load/store event stream.
+
+    Usage mirrors the paper's software stack: *register* a sensitive source
+    range with :meth:`taint_source`, feed the instruction stream's memory
+    events through :meth:`observe` (or :meth:`run`), then *check* a sink
+    argument's range with :meth:`check`.
+
+    Args:
+        config: the ``(NI, NT, untainting)`` parameters.
+        state_factory: builds the per-process taint state; defaults to the
+            unbounded software :class:`~repro.core.ranges.RangeSet`.  Pass a
+            bounded hardware model from :mod:`repro.core.taint_storage` to
+            study capacity effects.
+        record_timeline: when True, every taint/untaint operation appends a
+            :class:`TimelinePoint` (needed for the Figure 15/16 curves;
+            off by default to keep tracking cheap).
+    """
+
+    def __init__(
+        self,
+        config: PIFTConfig,
+        state_factory: StateFactory = RangeSet,
+        record_timeline: bool = False,
+    ) -> None:
+        self.config = config
+        self._state_factory = state_factory
+        self._states: Dict[int, TaintStateLike] = {}
+        self._windows: Dict[int, _WindowState] = {}
+        self.stats = TrackerStats()
+        self._record_timeline = record_timeline
+
+    # -- taint state access ------------------------------------------------
+
+    def state(self, pid: int = 0) -> TaintStateLike:
+        """The taint state for process ``pid``, created on first use."""
+        if pid not in self._states:
+            self._states[pid] = self._state_factory()
+            self._windows[pid] = _WindowState()
+        return self._states[pid]
+
+    def taint_source(self, address_range: AddressRange, pid: int = 0) -> None:
+        """Source registration: mark ``address_range`` sensitive (Figure 3)."""
+        self.state(pid).add(address_range)
+        self._after_mutation(pid, instruction_index=self.stats.instructions_observed)
+
+    def check(self, address_range: AddressRange, pid: int = 0) -> bool:
+        """Sink query: is any byte of ``address_range`` tainted?"""
+        return self.state(pid).overlaps(address_range)
+
+    @property
+    def tainted_bytes(self) -> int:
+        return sum(s.total_size for s in self._states.values())
+
+    @property
+    def range_count(self) -> int:
+        return sum(s.range_count for s in self._states.values())
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def observe(self, event: MemoryAccess) -> None:
+        """Process one memory event per Algorithm 1.
+
+        The event's ``instruction_index`` is the per-process instruction
+        sequence number *k*; it must be non-decreasing per PID.
+        """
+        state = self.state(event.pid)
+        window = self._windows[event.pid]
+        k = event.instruction_index
+        if k >= self.stats.instructions_observed:
+            self.stats.instructions_observed = k + 1
+
+        if event.is_load:
+            self.stats.loads_observed += 1
+            if state.overlaps(event.address_range):
+                # Tainted load: start (or restart) the tainting window.
+                window.last_tainted_load = k
+                window.propagations = 0
+                self.stats.tainted_loads += 1
+        else:
+            self.stats.stores_observed += 1
+            in_window = (
+                window.last_tainted_load is not None
+                and k <= window.last_tainted_load + self.config.window_size
+            )
+            if in_window and window.propagations < self.config.max_propagations:
+                state.add(event.address_range)
+                window.propagations += 1
+                self.stats.taint_operations += 1
+                self._after_mutation(event.pid, k)
+            elif self.config.untainting:
+                if state.overlaps(event.address_range):
+                    state.remove(event.address_range)
+                    self.stats.untaint_operations += 1
+                    self._after_mutation(event.pid, k)
+
+    def run(self, events: Iterable[MemoryAccess]) -> TrackerStats:
+        """Feed a whole event stream through :meth:`observe`."""
+        for event in events:
+            self.observe(event)
+        return self.stats
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _after_mutation(self, pid: int, instruction_index: int) -> None:
+        size = self.tainted_bytes
+        count = self.range_count
+        if size > self.stats.max_tainted_bytes:
+            self.stats.max_tainted_bytes = size
+        if count > self.stats.max_range_count:
+            self.stats.max_range_count = count
+        if self._record_timeline:
+            self.stats.timeline.append(
+                TimelinePoint(
+                    instruction_index=instruction_index,
+                    tainted_bytes=size,
+                    range_count=count,
+                    cumulative_operations=self.stats.total_operations,
+                )
+            )
+
+
+def track_trace(
+    events: Iterable[MemoryAccess],
+    sources: Iterable[Tuple[AddressRange, int]],
+    config: PIFTConfig,
+    record_timeline: bool = False,
+) -> PIFTTracker:
+    """One-shot helper: taint ``sources`` (range, pid pairs), run ``events``."""
+    tracker = PIFTTracker(config, record_timeline=record_timeline)
+    for address_range, pid in sources:
+        tracker.taint_source(address_range, pid=pid)
+    tracker.run(events)
+    return tracker

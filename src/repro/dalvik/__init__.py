@@ -1,0 +1,73 @@
+"""The Dalvik-style register VM — the Android runtime substrate.
+
+Virtual registers live in simulated memory; every bytecode executes as an
+mterp-translated native routine on the ISA CPU, so a PIFT observer attached
+to the CPU sees the load/store structure the paper measured (§4.1).
+"""
+
+from repro.dalvik.builder import MethodBuilder
+from repro.dalvik.bytecode import (
+    Category,
+    Format,
+    Instr,
+    OPCODES,
+    OpcodeInfo,
+    data_moving_opcodes,
+    known_distance_opcodes,
+    opcode,
+    unknown_distance_opcodes,
+)
+from repro.dalvik.objects import (
+    Heap,
+    HeapValue,
+    NullPointerError,
+    VMArray,
+    VMClass,
+    VMInstance,
+    VMString,
+    bits_to_double,
+    bits_to_float,
+    double_to_bits,
+    float_to_bits,
+)
+from repro.dalvik.translator import MterpTranslator, Routine
+from repro.dalvik.vm import (
+    Activation,
+    DalvikVM,
+    Method,
+    TryHandler,
+    UncaughtVMException,
+    VMError,
+)
+
+__all__ = [
+    "Activation",
+    "Category",
+    "DalvikVM",
+    "Format",
+    "Heap",
+    "HeapValue",
+    "Instr",
+    "Method",
+    "MethodBuilder",
+    "MterpTranslator",
+    "NullPointerError",
+    "OPCODES",
+    "OpcodeInfo",
+    "Routine",
+    "TryHandler",
+    "UncaughtVMException",
+    "VMArray",
+    "VMClass",
+    "VMError",
+    "VMInstance",
+    "VMString",
+    "bits_to_double",
+    "bits_to_float",
+    "data_moving_opcodes",
+    "double_to_bits",
+    "float_to_bits",
+    "known_distance_opcodes",
+    "opcode",
+    "unknown_distance_opcodes",
+]

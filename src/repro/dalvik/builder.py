@@ -1,0 +1,284 @@
+"""Fluent builder for authoring bytecode methods (the app-writing surface).
+
+DroidBench-style apps are written against this builder, which reads close
+to smali::
+
+    b = MethodBuilder("LeakApp.main", registers=8, ins=0)
+    b.const_string(0, "type=sms")
+    b.invoke("TelephonyManager.getDeviceId")
+    b.move_result_object(1)
+    b.invoke("String.concat", 0, 1)
+    b.move_result_object(2)
+    b.invoke("SmsManager.sendTextMessage", 3, 4, 2)
+    b.return_void()
+    method = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.dalvik.bytecode import Instr, opcode
+from repro.dalvik.vm import Method, TryHandler
+
+
+class MethodBuilder:
+    """Accumulates instructions and labels into a :class:`Method`."""
+
+    def __init__(self, name: str, registers: int, ins: int = 0) -> None:
+        self.name = name
+        self.registers = registers
+        self.ins = ins
+        self._code: List[Union[Instr, str]] = []
+        self._handlers: List[TryHandler] = []
+
+    # -- generic --------------------------------------------------------------
+
+    def raw(self, name: str, **fields) -> "MethodBuilder":
+        """Append any opcode by name with explicit operand fields."""
+        self._code.append(Instr(opcode(name), **fields))
+        return self
+
+    def label(self, name: str) -> "MethodBuilder":
+        self._code.append(name)
+        return self
+
+    def catch(
+        self,
+        start: str,
+        end: str,
+        handler: str,
+        catch_class: str = "java/lang/Throwable",
+    ) -> "MethodBuilder":
+        self._handlers.append(TryHandler(start, end, handler, catch_class))
+        return self
+
+    def build(self) -> Method:
+        return Method(self.name, self.registers, self.ins, self._code, self._handlers)
+
+    # -- moves ------------------------------------------------------------------
+
+    def move(self, dst: int, src: int) -> "MethodBuilder":
+        return self.raw("move", a=dst, b=src)
+
+    def move_from16(self, dst: int, src: int) -> "MethodBuilder":
+        return self.raw("move/from16", a=dst, b=src)
+
+    def move_object(self, dst: int, src: int) -> "MethodBuilder":
+        return self.raw("move-object", a=dst, b=src)
+
+    def move_wide(self, dst: int, src: int) -> "MethodBuilder":
+        return self.raw("move-wide", a=dst, b=src)
+
+    def move_result(self, dst: int) -> "MethodBuilder":
+        return self.raw("move-result", a=dst)
+
+    def move_result_object(self, dst: int) -> "MethodBuilder":
+        return self.raw("move-result-object", a=dst)
+
+    def move_result_wide(self, dst: int) -> "MethodBuilder":
+        return self.raw("move-result-wide", a=dst)
+
+    def move_exception(self, dst: int) -> "MethodBuilder":
+        return self.raw("move-exception", a=dst)
+
+    # -- constants -----------------------------------------------------------------
+
+    def const(self, dst: int, value: int) -> "MethodBuilder":
+        """Pick the narrowest const encoding for ``value``."""
+        if -8 <= value <= 7:
+            return self.raw("const/4", a=dst, literal=value)
+        if -(2**15) <= value < 2**15:
+            return self.raw("const/16", a=dst, literal=value)
+        return self.raw("const", a=dst, literal=value)
+
+    def const_wide(self, dst: int, value: int) -> "MethodBuilder":
+        if -(2**15) <= value < 2**15:
+            return self.raw("const-wide/16", a=dst, literal=value)
+        return self.raw("const-wide", a=dst, literal=value)
+
+    def const_string(self, dst: int, text: str) -> "MethodBuilder":
+        return self.raw("const-string", a=dst, symbol=text)
+
+    def const_class(self, dst: int, class_name: str) -> "MethodBuilder":
+        return self.raw("const-class", a=dst, symbol=class_name)
+
+    # -- objects ----------------------------------------------------------------------
+
+    def new_instance(self, dst: int, class_name: str) -> "MethodBuilder":
+        return self.raw("new-instance", a=dst, symbol=class_name)
+
+    def new_array(self, dst: int, size_reg: int, class_name: str = "[I") -> "MethodBuilder":
+        return self.raw("new-array", a=dst, b=size_reg, symbol=class_name)
+
+    def array_length(self, dst: int, array_reg: int) -> "MethodBuilder":
+        return self.raw("array-length", a=dst, b=array_reg)
+
+    def check_cast(self, reg: int, class_name: str) -> "MethodBuilder":
+        return self.raw("check-cast", a=reg, symbol=class_name)
+
+    def instance_of(self, dst: int, src: int, class_name: str) -> "MethodBuilder":
+        return self.raw("instance-of", a=dst, b=src, symbol=class_name)
+
+    def iget(self, dst: int, obj: int, field: str, wide: bool = False) -> "MethodBuilder":
+        return self.raw("iget-wide" if wide else "iget", a=dst, b=obj, symbol=field)
+
+    def iget_object(self, dst: int, obj: int, field: str) -> "MethodBuilder":
+        return self.raw("iget-object", a=dst, b=obj, symbol=field)
+
+    def iput(self, src: int, obj: int, field: str, wide: bool = False) -> "MethodBuilder":
+        return self.raw("iput-wide" if wide else "iput", a=src, b=obj, symbol=field)
+
+    def iput_object(self, src: int, obj: int, field: str) -> "MethodBuilder":
+        return self.raw("iput-object", a=src, b=obj, symbol=field)
+
+    def sget(self, dst: int, field: str) -> "MethodBuilder":
+        return self.raw("sget", a=dst, symbol=field)
+
+    def sget_object(self, dst: int, field: str) -> "MethodBuilder":
+        return self.raw("sget-object", a=dst, symbol=field)
+
+    def sput(self, src: int, field: str) -> "MethodBuilder":
+        return self.raw("sput", a=src, symbol=field)
+
+    def sput_object(self, src: int, field: str) -> "MethodBuilder":
+        return self.raw("sput-object", a=src, symbol=field)
+
+    # -- arrays ---------------------------------------------------------------------------
+
+    def aget(self, dst: int, array: int, index: int, kind: str = "") -> "MethodBuilder":
+        return self.raw(f"aget{kind}", a=dst, b=array, c=index)
+
+    def aput(self, src: int, array: int, index: int, kind: str = "") -> "MethodBuilder":
+        return self.raw(f"aput{kind}", a=src, b=array, c=index)
+
+    def aget_char(self, dst: int, array: int, index: int) -> "MethodBuilder":
+        return self.aget(dst, array, index, kind="-char")
+
+    def aput_char(self, src: int, array: int, index: int) -> "MethodBuilder":
+        return self.aput(src, array, index, kind="-char")
+
+    def aget_object(self, dst: int, array: int, index: int) -> "MethodBuilder":
+        return self.aget(dst, array, index, kind="-object")
+
+    def aput_object(self, src: int, array: int, index: int) -> "MethodBuilder":
+        return self.aput(src, array, index, kind="-object")
+
+    # -- control flow ---------------------------------------------------------------------
+
+    def goto(self, label: str) -> "MethodBuilder":
+        return self.raw("goto", symbol=label)
+
+    def if_eq(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-eq", a=a, b=b, symbol=label)
+
+    def if_ne(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-ne", a=a, b=b, symbol=label)
+
+    def if_lt(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-lt", a=a, b=b, symbol=label)
+
+    def if_ge(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-ge", a=a, b=b, symbol=label)
+
+    def if_gt(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-gt", a=a, b=b, symbol=label)
+
+    def if_le(self, a: int, b: int, label: str) -> "MethodBuilder":
+        return self.raw("if-le", a=a, b=b, symbol=label)
+
+    def if_eqz(self, a: int, label: str) -> "MethodBuilder":
+        return self.raw("if-eqz", a=a, symbol=label)
+
+    def if_nez(self, a: int, label: str) -> "MethodBuilder":
+        return self.raw("if-nez", a=a, symbol=label)
+
+    def if_ltz(self, a: int, label: str) -> "MethodBuilder":
+        return self.raw("if-ltz", a=a, symbol=label)
+
+    def if_gez(self, a: int, label: str) -> "MethodBuilder":
+        return self.raw("if-gez", a=a, symbol=label)
+
+    def packed_switch(
+        self, reg: int, first_key: int, targets: Sequence[str]
+    ) -> "MethodBuilder":
+        return self.raw(
+            "packed-switch", a=reg, keys=(first_key,), targets=tuple(targets)
+        )
+
+    def sparse_switch(
+        self, reg: int, cases: Sequence[Tuple[int, str]]
+    ) -> "MethodBuilder":
+        keys = tuple(key for key, _ in cases)
+        targets = tuple(target for _, target in cases)
+        return self.raw("sparse-switch", a=reg, keys=keys, targets=targets)
+
+    # -- arithmetic --------------------------------------------------------------------------
+
+    def binop(self, name: str, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.raw(name, a=dst, b=a, c=b)
+
+    def binop_2addr(self, name: str, dst: int, src: int) -> "MethodBuilder":
+        return self.raw(f"{name}/2addr", a=dst, b=src)
+
+    def add_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("add-int", dst, a, b)
+
+    def sub_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("sub-int", dst, a, b)
+
+    def mul_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("mul-int", dst, a, b)
+
+    def div_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("div-int", dst, a, b)
+
+    def rem_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("rem-int", dst, a, b)
+
+    def xor_int(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("xor-int", dst, a, b)
+
+    def add_int_lit8(self, dst: int, src: int, literal: int) -> "MethodBuilder":
+        return self.raw("add-int/lit8", a=dst, b=src, literal=literal)
+
+    def mul_int_lit8(self, dst: int, src: int, literal: int) -> "MethodBuilder":
+        return self.raw("mul-int/lit8", a=dst, b=src, literal=literal)
+
+    def int_to_char(self, dst: int, src: int) -> "MethodBuilder":
+        return self.raw("int-to-char", a=dst, b=src)
+
+    def add_double(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("add-double", dst, a, b)
+
+    def mul_double(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("mul-double", dst, a, b)
+
+    # -- calls and returns ----------------------------------------------------------------------
+
+    def invoke(self, method: str, *args: int, kind: str = "virtual") -> "MethodBuilder":
+        return self.raw(f"invoke-{kind}", symbol=method, args=tuple(args))
+
+    def invoke_static(self, method: str, *args: int) -> "MethodBuilder":
+        return self.invoke(method, *args, kind="static")
+
+    def invoke_direct(self, method: str, *args: int) -> "MethodBuilder":
+        return self.invoke(method, *args, kind="direct")
+
+    def return_void(self) -> "MethodBuilder":
+        return self.raw("return-void")
+
+    def return_value(self, reg: int) -> "MethodBuilder":
+        return self.raw("return", a=reg)
+
+    def return_object(self, reg: int) -> "MethodBuilder":
+        return self.raw("return-object", a=reg)
+
+    def return_wide(self, reg: int) -> "MethodBuilder":
+        return self.raw("return-wide", a=reg)
+
+    def throw(self, reg: int) -> "MethodBuilder":
+        return self.raw("throw", a=reg)
+
+    def nop(self) -> "MethodBuilder":
+        return self.raw("nop")

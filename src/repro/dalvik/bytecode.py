@@ -1,0 +1,655 @@
+"""Dalvik-style bytecode: opcode table, instruction objects, encoding.
+
+The VM is register-based: every bytecode names *virtual registers* that
+live in memory (at ``rFP + 4*v``), which is the property PIFT exploits —
+each data-moving bytecode turns into a native routine containing
+``GET_VREG`` loads and ``SET_VREG`` stores at fixed small distances
+(paper §4.1, Table 1).
+
+The opcode table records, for each opcode:
+
+* its encoding format (how many 16-bit code units, which operand fields),
+* whether it *moves data* between memory locations (the paper's
+  classification: data-movers vs. the 74 others),
+* the native load→store distance of its mterp routine, or ``None`` for the
+  47 bytecodes whose data path runs through ARM ABI helper calls
+  ("unknown" in Table 1).
+
+Instructions are encoded into real 16-bit code units placed in simulated
+code memory, so the mterp routines' instruction fetches (``ldrh rINST,
+[rPC, #2]!``) read genuine values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Format(enum.Enum):
+    """Dalvik instruction formats (the subset this VM uses).
+
+    The format name encodes units/registers/kind as in the Dalvik spec:
+    e.g. ``F22C`` is two units, two registers, plus a constant-pool index.
+    """
+
+    F10X = "10x"  # op
+    F10T = "10t"  # op +AA (branch)
+    F11N = "11n"  # op vA, #+B
+    F11X = "11x"  # op vAA
+    F12X = "12x"  # op vA, vB
+    F20T = "20t"  # op +AAAA
+    F21C = "21c"  # op vAA, thing@BBBB
+    F21H = "21h"  # op vAA, #+BBBB0000
+    F21S = "21s"  # op vAA, #+BBBB
+    F21T = "21t"  # op vAA, +BBBB
+    F22B = "22b"  # op vAA, vBB, #+CC
+    F22C = "22c"  # op vA, vB, thing@CCCC
+    F22S = "22s"  # op vA, vB, #+CCCC
+    F22T = "22t"  # op vA, vB, +CCCC
+    F22X = "22x"  # op vAA, vBBBB
+    F23X = "23x"  # op vAA, vBB, vCC
+    F30T = "30t"  # op +AAAAAAAA
+    F31C = "31c"  # op vAA, string@BBBBBBBB
+    F31I = "31i"  # op vAA, #+BBBBBBBB
+    F31T = "31t"  # op vAA, +BBBBBBBB (switch)
+    F32X = "32x"  # op vAAAA, vBBBB
+    F35C = "35c"  # op {vC..vG}, meth@BBBB
+    F3RC = "3rc"  # op {vCCCC..vNNNN}, meth@BBBB
+    F51L = "51l"  # op vAA, #+B (64-bit literal)
+
+
+FORMAT_UNITS: Dict[Format, int] = {
+    Format.F10X: 1,
+    Format.F10T: 1,
+    Format.F11N: 1,
+    Format.F11X: 1,
+    Format.F12X: 1,
+    Format.F20T: 2,
+    Format.F21C: 2,
+    Format.F21H: 2,
+    Format.F21S: 2,
+    Format.F21T: 2,
+    Format.F22B: 2,
+    Format.F22C: 2,
+    Format.F22S: 2,
+    Format.F22T: 2,
+    Format.F22X: 2,
+    Format.F23X: 2,
+    Format.F30T: 3,
+    Format.F31C: 3,
+    Format.F31I: 3,
+    Format.F31T: 3,
+    Format.F32X: 3,
+    Format.F35C: 3,
+    Format.F3RC: 3,
+    Format.F51L: 5,
+}
+
+
+class Category(enum.Enum):
+    """Semantic family — drives both interpretation and translation."""
+
+    NOP = "nop"
+    MOVE = "move"
+    MOVE_WIDE = "move-wide"
+    MOVE_RESULT = "move-result"
+    MOVE_RESULT_WIDE = "move-result-wide"
+    MOVE_EXCEPTION = "move-exception"
+    RETURN_VOID = "return-void"
+    RETURN = "return"
+    RETURN_WIDE = "return-wide"
+    CONST = "const"
+    CONST_WIDE = "const-wide"
+    CONST_STRING = "const-string"
+    CONST_CLASS = "const-class"
+    MONITOR = "monitor"
+    CHECK_CAST = "check-cast"
+    INSTANCE_OF = "instance-of"
+    ARRAY_LENGTH = "array-length"
+    NEW_INSTANCE = "new-instance"
+    NEW_ARRAY = "new-array"
+    THROW = "throw"
+    GOTO = "goto"
+    SWITCH = "switch"
+    CMP = "cmp"
+    IF_TEST = "if-test"
+    IF_TESTZ = "if-testz"
+    AGET = "aget"
+    AGET_WIDE = "aget-wide"
+    APUT = "aput"
+    APUT_WIDE = "aput-wide"
+    APUT_OBJECT = "aput-object"
+    IGET = "iget"
+    IGET_WIDE = "iget-wide"
+    IPUT = "iput"
+    IPUT_WIDE = "iput-wide"
+    SGET = "sget"
+    SGET_WIDE = "sget-wide"
+    SPUT = "sput"
+    SPUT_WIDE = "sput-wide"
+    INVOKE = "invoke"
+    UNARY_INT = "unary-int"
+    UNARY_WIDE = "unary-wide"
+    UNARY_FLOAT = "unary-float"
+    CONVERT = "convert"
+    BINOP_INT = "binop-int"
+    BINOP_WIDE = "binop-wide"
+    BINOP_FLOAT = "binop-float"
+    BINOP_2ADDR_INT = "binop2-int"
+    BINOP_2ADDR_WIDE = "binop2-wide"
+    BINOP_2ADDR_FLOAT = "binop2-float"
+    BINOP_LIT = "binop-lit"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one Dalvik opcode."""
+
+    value: int
+    name: str
+    fmt: Format
+    category: Category
+    moves_data: bool
+    #: Native load->store distance of the mterp routine (None = data path
+    #: through an ABI helper: "unknown" in Table 1).
+    load_store_distance: Optional[int]
+    #: ABI helper backing the computation, when any.
+    helper: Optional[str] = None
+
+    @property
+    def units(self) -> int:
+        return FORMAT_UNITS[self.fmt]
+
+
+_TABLE: List[OpcodeInfo] = []
+_BY_NAME: Dict[str, OpcodeInfo] = {}
+
+
+def _op(
+    value: int,
+    name: str,
+    fmt: Format,
+    category: Category,
+    moves_data: bool = False,
+    distance: Optional[int] = None,
+    helper: Optional[str] = None,
+) -> None:
+    info = OpcodeInfo(value, name, fmt, category, moves_data, distance, helper)
+    _TABLE.append(info)
+    _BY_NAME[name] = info
+
+
+# --------------------------------------------------------------------------
+# The opcode table.  Distances follow the paper's Table 1 / Figure 10:
+#   returns = 1; move-result/move16/aget/aput/sput/iput-quick = 2;
+#   move/move-object/sget = 3; iput/iget-quick/neg-double = 4;
+#   iget/int-to-long/add-int family = 5; int-to-char/sub-long/shl-lit8 = 6;
+#   mul-long & friends = 9-12; float & division ops = unknown (helpers).
+# --------------------------------------------------------------------------
+
+_op(0x00, "nop", Format.F10X, Category.NOP)
+_op(0x01, "move", Format.F12X, Category.MOVE, True, 3)
+_op(0x02, "move/from16", Format.F22X, Category.MOVE, True, 2)
+_op(0x03, "move/16", Format.F32X, Category.MOVE, True, 2)
+_op(0x04, "move-wide", Format.F12X, Category.MOVE_WIDE, True, 3)
+_op(0x05, "move-wide/from16", Format.F22X, Category.MOVE_WIDE, True, 2)
+_op(0x06, "move-wide/16", Format.F32X, Category.MOVE_WIDE, True, 2)
+_op(0x07, "move-object", Format.F12X, Category.MOVE, True, 3)
+_op(0x08, "move-object/from16", Format.F22X, Category.MOVE, True, 2)
+_op(0x09, "move-object/16", Format.F32X, Category.MOVE, True, 2)
+_op(0x0A, "move-result", Format.F11X, Category.MOVE_RESULT, True, 2)
+_op(0x0B, "move-result-wide", Format.F11X, Category.MOVE_RESULT_WIDE, True, 2)
+_op(0x0C, "move-result-object", Format.F11X, Category.MOVE_RESULT, True, 2)
+_op(0x0D, "move-exception", Format.F11X, Category.MOVE_EXCEPTION, True, 2)
+_op(0x0E, "return-void", Format.F10X, Category.RETURN_VOID)
+_op(0x0F, "return", Format.F11X, Category.RETURN, True, 1)
+_op(0x10, "return-wide", Format.F11X, Category.RETURN_WIDE, True, 1)
+_op(0x11, "return-object", Format.F11X, Category.RETURN, True, 1)
+_op(0x12, "const/4", Format.F11N, Category.CONST)
+_op(0x13, "const/16", Format.F21S, Category.CONST)
+_op(0x14, "const", Format.F31I, Category.CONST)
+_op(0x15, "const/high16", Format.F21H, Category.CONST)
+_op(0x16, "const-wide/16", Format.F21S, Category.CONST_WIDE)
+_op(0x17, "const-wide/32", Format.F31I, Category.CONST_WIDE)
+_op(0x18, "const-wide", Format.F51L, Category.CONST_WIDE)
+_op(0x19, "const-wide/high16", Format.F21H, Category.CONST_WIDE)
+_op(0x1A, "const-string", Format.F21C, Category.CONST_STRING)
+_op(0x1B, "const-string/jumbo", Format.F31C, Category.CONST_STRING)
+_op(0x1C, "const-class", Format.F21C, Category.CONST_CLASS)
+_op(0x1D, "monitor-enter", Format.F11X, Category.MONITOR)
+_op(0x1E, "monitor-exit", Format.F11X, Category.MONITOR)
+_op(0x1F, "check-cast", Format.F21C, Category.CHECK_CAST)
+_op(0x20, "instance-of", Format.F22C, Category.INSTANCE_OF)
+_op(0x21, "array-length", Format.F12X, Category.ARRAY_LENGTH, True, 4)
+_op(0x22, "new-instance", Format.F21C, Category.NEW_INSTANCE)
+_op(0x23, "new-array", Format.F22C, Category.NEW_ARRAY)
+_op(0x27, "throw", Format.F11X, Category.THROW)
+_op(0x28, "goto", Format.F10T, Category.GOTO)
+_op(0x29, "goto/16", Format.F20T, Category.GOTO)
+_op(0x2A, "goto/32", Format.F30T, Category.GOTO)
+_op(0x2B, "packed-switch", Format.F31T, Category.SWITCH)
+_op(0x2C, "sparse-switch", Format.F31T, Category.SWITCH)
+_op(0x2D, "cmpl-float", Format.F23X, Category.CMP, True, None, "fcmp")
+_op(0x2E, "cmpg-float", Format.F23X, Category.CMP, True, None, "fcmp")
+_op(0x2F, "cmpl-double", Format.F23X, Category.CMP, True, None, "dcmp")
+_op(0x30, "cmpg-double", Format.F23X, Category.CMP, True, None, "dcmp")
+_op(0x31, "cmp-long", Format.F23X, Category.CMP, True, 6)
+
+for _i, _cond in enumerate(["eq", "ne", "lt", "ge", "gt", "le"]):
+    _op(0x32 + _i, f"if-{_cond}", Format.F22T, Category.IF_TEST)
+for _i, _cond in enumerate(["eqz", "nez", "ltz", "gez", "gtz", "lez"]):
+    _op(0x38 + _i, f"if-{_cond}", Format.F21T, Category.IF_TESTZ)
+
+_op(0x44, "aget", Format.F23X, Category.AGET, True, 2)
+_op(0x45, "aget-wide", Format.F23X, Category.AGET_WIDE, True, 2)
+_op(0x46, "aget-object", Format.F23X, Category.AGET, True, 2)
+_op(0x47, "aget-boolean", Format.F23X, Category.AGET, True, 2)
+_op(0x48, "aget-byte", Format.F23X, Category.AGET, True, 2)
+_op(0x49, "aget-char", Format.F23X, Category.AGET, True, 2)
+_op(0x4A, "aget-short", Format.F23X, Category.AGET, True, 2)
+_op(0x4B, "aput", Format.F23X, Category.APUT, True, 2)
+_op(0x4C, "aput-wide", Format.F23X, Category.APUT_WIDE, True, 2)
+_op(0x4D, "aput-object", Format.F23X, Category.APUT_OBJECT, True, 10)
+_op(0x4E, "aput-boolean", Format.F23X, Category.APUT, True, 2)
+_op(0x4F, "aput-byte", Format.F23X, Category.APUT, True, 2)
+_op(0x50, "aput-char", Format.F23X, Category.APUT, True, 2)
+_op(0x51, "aput-short", Format.F23X, Category.APUT, True, 2)
+
+_op(0x52, "iget", Format.F22C, Category.IGET, True, 5)
+_op(0x53, "iget-wide", Format.F22C, Category.IGET_WIDE, True, 5)
+_op(0x54, "iget-object", Format.F22C, Category.IGET, True, 5)
+_op(0x55, "iget-boolean", Format.F22C, Category.IGET, True, 5)
+_op(0x56, "iget-byte", Format.F22C, Category.IGET, True, 5)
+_op(0x57, "iget-char", Format.F22C, Category.IGET, True, 5)
+_op(0x58, "iget-short", Format.F22C, Category.IGET, True, 5)
+_op(0x59, "iput", Format.F22C, Category.IPUT, True, 4)
+_op(0x5A, "iput-wide", Format.F22C, Category.IPUT_WIDE, True, 4)
+_op(0x5B, "iput-object", Format.F22C, Category.IPUT, True, 5)
+_op(0x5C, "iput-boolean", Format.F22C, Category.IPUT, True, 4)
+_op(0x5D, "iput-byte", Format.F22C, Category.IPUT, True, 4)
+_op(0x5E, "iput-char", Format.F22C, Category.IPUT, True, 4)
+_op(0x5F, "iput-short", Format.F22C, Category.IPUT, True, 4)
+
+_op(0x60, "sget", Format.F21C, Category.SGET, True, 3)
+_op(0x61, "sget-wide", Format.F21C, Category.SGET_WIDE, True, 3)
+_op(0x62, "sget-object", Format.F21C, Category.SGET, True, 3)
+_op(0x63, "sget-boolean", Format.F21C, Category.SGET, True, 3)
+_op(0x64, "sget-byte", Format.F21C, Category.SGET, True, 3)
+_op(0x65, "sget-char", Format.F21C, Category.SGET, True, 3)
+_op(0x66, "sget-short", Format.F21C, Category.SGET, True, 3)
+_op(0x67, "sput", Format.F21C, Category.SPUT, True, 2)
+_op(0x68, "sput-wide", Format.F21C, Category.SPUT_WIDE, True, 2)
+_op(0x69, "sput-object", Format.F21C, Category.SPUT, True, 2)
+_op(0x6A, "sput-boolean", Format.F21C, Category.SPUT, True, 2)
+_op(0x6B, "sput-byte", Format.F21C, Category.SPUT, True, 2)
+_op(0x6C, "sput-char", Format.F21C, Category.SPUT, True, 2)
+_op(0x6D, "sput-short", Format.F21C, Category.SPUT, True, 2)
+
+for _i, _kind in enumerate(["virtual", "super", "direct", "static", "interface"]):
+    _op(0x6E + _i, f"invoke-{_kind}", Format.F35C, Category.INVOKE)
+for _i, _kind in enumerate(["virtual", "super", "direct", "static", "interface"]):
+    _op(0x74 + _i, f"invoke-{_kind}/range", Format.F3RC, Category.INVOKE)
+
+_op(0x7B, "neg-int", Format.F12X, Category.UNARY_INT, True, 4)
+_op(0x7C, "not-int", Format.F12X, Category.UNARY_INT, True, 4)
+_op(0x7D, "neg-long", Format.F12X, Category.UNARY_WIDE, True, 5)
+_op(0x7E, "not-long", Format.F12X, Category.UNARY_WIDE, True, 5)
+_op(0x7F, "neg-float", Format.F12X, Category.UNARY_FLOAT, True, None, "fsub")
+_op(0x80, "neg-double", Format.F12X, Category.UNARY_WIDE, True, 4)
+_op(0x81, "int-to-long", Format.F12X, Category.CONVERT, True, 5)
+_op(0x82, "int-to-float", Format.F12X, Category.CONVERT, True, None, "i2f")
+_op(0x83, "int-to-double", Format.F12X, Category.CONVERT, True, None, "i2d")
+_op(0x84, "long-to-int", Format.F12X, Category.CONVERT, True, 3)
+_op(0x85, "long-to-float", Format.F12X, Category.CONVERT, True, None, "i2f")
+_op(0x86, "long-to-double", Format.F12X, Category.CONVERT, True, None, "i2d")
+_op(0x87, "float-to-int", Format.F12X, Category.CONVERT, True, None, "f2i")
+_op(0x88, "float-to-long", Format.F12X, Category.CONVERT, True, None, "f2i")
+_op(0x89, "float-to-double", Format.F12X, Category.CONVERT, True, None, "f2d")
+_op(0x8A, "double-to-int", Format.F12X, Category.CONVERT, True, None, "d2i")
+_op(0x8B, "double-to-long", Format.F12X, Category.CONVERT, True, None, "d2i")
+_op(0x8C, "double-to-float", Format.F12X, Category.CONVERT, True, None, "d2f")
+_op(0x8D, "int-to-byte", Format.F12X, Category.CONVERT, True, 6)
+_op(0x8E, "int-to-char", Format.F12X, Category.CONVERT, True, 6)
+_op(0x8F, "int-to-short", Format.F12X, Category.CONVERT, True, 6)
+
+_INT_BINOPS = [
+    ("add-int", 5, None),
+    ("sub-int", 5, None),
+    ("mul-int", 5, None),
+    ("div-int", None, "idiv"),
+    ("rem-int", None, "irem"),
+    ("and-int", 5, None),
+    ("or-int", 5, None),
+    ("xor-int", 5, None),
+    ("shl-int", 5, None),
+    ("shr-int", 5, None),
+    ("ushr-int", 5, None),
+]
+_WIDE_BINOPS = [
+    ("add-long", 6, None),
+    ("sub-long", 6, None),
+    ("mul-long", 9, "lmul"),
+    ("div-long", None, "ldiv"),
+    ("rem-long", None, "lrem"),
+    ("and-long", 6, None),
+    ("or-long", 6, None),
+    ("xor-long", 6, None),
+    ("shl-long", 9, None),
+    ("shr-long", 9, None),
+    ("ushr-long", 9, None),
+]
+_FLOAT_BINOPS = [
+    ("add-float", "fadd"),
+    ("sub-float", "fsub"),
+    ("mul-float", "fmul"),
+    ("div-float", "fdiv"),
+    ("rem-float", "fdiv"),
+    ("add-double", "dadd"),
+    ("sub-double", "dsub"),
+    ("mul-double", "dmul"),
+    ("div-double", "ddiv"),
+    ("rem-double", "ddiv"),
+]
+
+_value = 0x90
+for _name, _dist, _helper in _INT_BINOPS:
+    _op(_value, _name, Format.F23X, Category.BINOP_INT, True, _dist, _helper)
+    _value += 1
+for _name, _dist, _helper in _WIDE_BINOPS:
+    _op(_value, _name, Format.F23X, Category.BINOP_WIDE, True, _dist, _helper)
+    _value += 1
+for _name, _helper in _FLOAT_BINOPS:
+    _op(_value, _name, Format.F23X, Category.BINOP_FLOAT, True, None, _helper)
+    _value += 1
+
+_value = 0xB0
+for _name, _dist, _helper in _INT_BINOPS:
+    _op(
+        _value, f"{_name}/2addr", Format.F12X, Category.BINOP_2ADDR_INT, True,
+        _dist, _helper,
+    )
+    _value += 1
+for _name, _dist, _helper in _WIDE_BINOPS:
+    # mul-long/2addr lands in the paper's 9-12 bucket.
+    _dist2 = 12 if _name == "mul-long" else _dist
+    _op(
+        _value, f"{_name}/2addr", Format.F12X, Category.BINOP_2ADDR_WIDE, True,
+        _dist2, _helper,
+    )
+    _value += 1
+for _name, _helper in _FLOAT_BINOPS:
+    _op(
+        _value, f"{_name}/2addr", Format.F12X, Category.BINOP_2ADDR_FLOAT, True,
+        None, _helper,
+    )
+    _value += 1
+
+_LIT_BINOPS = [
+    ("add-int", 5, None),
+    ("rsub-int", 5, None),
+    ("mul-int", 5, None),
+    ("div-int", None, "idiv"),
+    ("rem-int", None, "irem"),
+    ("and-int", 5, None),
+    ("or-int", 5, None),
+    ("xor-int", 5, None),
+]
+_value = 0xD0
+for _name, _dist, _helper in _LIT_BINOPS:
+    suffix = "/lit16" if _name != "rsub-int" else ""
+    _op(
+        _value, f"{_name}{suffix}", Format.F22S, Category.BINOP_LIT, True,
+        _dist, _helper,
+    )
+    _value += 1
+for _name, _dist, _helper in _LIT_BINOPS + [
+    ("shl-int", 6, None),
+    ("shr-int", 6, None),
+    ("ushr-int", 6, None),
+]:
+    _op(
+        _value, f"{_name}/lit8", Format.F22B, Category.BINOP_LIT, True,
+        _dist, _helper,
+    )
+    _value += 1
+
+# Odexed quick accessors (the paper's Table 1 lists iget-quick at 4 and
+# iput-quick at 2) plus a volatile pair for the distance-6 bucket.
+_op(0xF2, "iget-quick", Format.F22C, Category.IGET, True, 4)
+_op(0xF3, "iget-wide-quick", Format.F22C, Category.IGET_WIDE, True, 5)
+_op(0xF4, "iget-object-quick", Format.F22C, Category.IGET, True, 4)
+_op(0xF5, "iput-quick", Format.F22C, Category.IPUT, True, 2)
+_op(0xF6, "iput-wide-quick", Format.F22C, Category.IPUT_WIDE, True, 2)
+_op(0xF7, "iput-object-quick", Format.F22C, Category.IPUT, True, 2)
+_op(0xF8, "iget-volatile", Format.F22C, Category.IGET, True, 6)
+_op(0xF9, "iput-volatile", Format.F22C, Category.IPUT, True, 6)
+_op(0xFA, "sget-volatile", Format.F21C, Category.SGET, True, 4)
+_op(0xFB, "sput-volatile", Format.F21C, Category.SPUT, True, 4)
+
+
+OPCODES: Tuple[OpcodeInfo, ...] = tuple(_TABLE)
+
+
+def opcode(name: str) -> OpcodeInfo:
+    """Look up an opcode by its Dalvik name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown opcode {name!r}") from None
+
+
+def data_moving_opcodes() -> List[OpcodeInfo]:
+    return [info for info in OPCODES if info.moves_data]
+
+
+def known_distance_opcodes() -> List[OpcodeInfo]:
+    return [
+        info
+        for info in OPCODES
+        if info.moves_data and info.load_store_distance is not None
+    ]
+
+
+def unknown_distance_opcodes() -> List[OpcodeInfo]:
+    return [
+        info
+        for info in OPCODES
+        if info.moves_data and info.load_store_distance is None
+    ]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One bytecode instruction: opcode plus operands.
+
+    Operand meaning by position follows the Dalvik convention for the
+    opcode's format (vA, vB, vC / literal / pool index).  ``symbol`` holds
+    a symbolic operand — a string literal, field name, method name, class
+    name, or branch label — resolved by the VM.
+    """
+
+    op: OpcodeInfo
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    literal: int = 0
+    symbol: Optional[str] = None
+    args: Tuple[int, ...] = ()  # argument registers of invoke-*
+    targets: Tuple[str, ...] = ()  # branch labels of packed/sparse-switch
+    keys: Tuple[int, ...] = ()  # case keys of sparse-switch (or first key)
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+    @property
+    def units(self) -> int:
+        return self.op.units
+
+    #: Register-field bit widths per format: (a_bits, b_bits, c_bits).
+    _REGISTER_BITS = {
+        Format.F10X: (0, 0, 0),
+        Format.F10T: (0, 0, 0),
+        Format.F11N: (4, 0, 0),
+        Format.F11X: (8, 0, 0),
+        Format.F12X: (4, 4, 0),
+        Format.F20T: (0, 0, 0),
+        Format.F21C: (8, 0, 0),
+        Format.F21H: (8, 0, 0),
+        Format.F21S: (8, 0, 0),
+        Format.F21T: (8, 0, 0),
+        Format.F22B: (8, 8, 0),
+        Format.F22C: (4, 4, 0),
+        Format.F22S: (4, 4, 0),
+        Format.F22T: (4, 4, 0),
+        Format.F22X: (8, 16, 0),
+        Format.F23X: (8, 8, 8),
+        Format.F30T: (0, 0, 0),
+        Format.F31C: (8, 0, 0),
+        Format.F31I: (8, 0, 0),
+        Format.F31T: (8, 0, 0),
+        Format.F32X: (16, 16, 0),
+        Format.F35C: (0, 0, 0),
+        Format.F3RC: (16, 0, 0),
+        Format.F51L: (8, 0, 0),
+    }
+
+    def validate(self, register_count: int) -> None:
+        """Reject operands that do not fit their encoding fields.
+
+        Silent masking during encoding would redirect a register access —
+        a miscompile — so builders must stay within the format's widths.
+        """
+        a_bits, b_bits, c_bits = self._REGISTER_BITS[self.op.fmt]
+        for field_name, value, bits in (
+            ("A", self.a, a_bits),
+            ("B", self.b, b_bits),
+            ("C", self.c, c_bits),
+        ):
+            if bits and value >= (1 << bits):
+                raise ValueError(
+                    f"{self.op.name}: operand {field_name}=v{value} does not "
+                    f"fit the {bits}-bit field of format {self.op.fmt.value}"
+                )
+            if bits and value >= register_count:
+                raise ValueError(
+                    f"{self.op.name}: v{value} out of range "
+                    f"(method has {register_count} registers)"
+                )
+        if self.op.fmt is Format.F35C:
+            if len(self.args) > 5:
+                raise ValueError(f"{self.op.name}: at most 5 argument registers")
+            for register in self.args:
+                if register >= 16:
+                    raise ValueError(
+                        f"{self.op.name}: argument v{register} does not fit "
+                        "the 4-bit fields of format 35c"
+                    )
+                if register >= register_count:
+                    raise ValueError(
+                        f"{self.op.name}: v{register} out of range "
+                        f"(method has {register_count} registers)"
+                    )
+
+    def encode(self) -> List[int]:
+        """Serialise to 16-bit code units (operand fields in spec positions)."""
+        fmt = self.op.fmt
+        first = self.op.value & 0xFF
+        if fmt in (Format.F10X,):
+            return [first]
+        if fmt in (Format.F10T,):
+            return [first | ((self.literal & 0xFF) << 8)]
+        if fmt in (Format.F11N,):
+            return [first | ((self.a & 0xF) << 8) | ((self.literal & 0xF) << 12)]
+        if fmt in (Format.F11X,):
+            return [first | ((self.a & 0xFF) << 8)]
+        if fmt in (Format.F12X,):
+            return [first | ((self.a & 0xF) << 8) | ((self.b & 0xF) << 12)]
+        if fmt in (Format.F20T,):
+            return [first, self.literal & 0xFFFF]
+        if fmt in (Format.F21C, Format.F21H, Format.F21S, Format.F21T):
+            return [first | ((self.a & 0xFF) << 8), self.literal & 0xFFFF]
+        if fmt in (Format.F22B,):
+            return [
+                first | ((self.a & 0xFF) << 8),
+                (self.b & 0xFF) | ((self.literal & 0xFF) << 8),
+            ]
+        if fmt in (Format.F22C, Format.F22S, Format.F22T):
+            return [
+                first | ((self.a & 0xF) << 8) | ((self.b & 0xF) << 12),
+                self.literal & 0xFFFF,
+            ]
+        if fmt in (Format.F22X,):
+            return [first | ((self.a & 0xFF) << 8), self.b & 0xFFFF]
+        if fmt in (Format.F23X,):
+            return [
+                first | ((self.a & 0xFF) << 8),
+                (self.b & 0xFF) | ((self.c & 0xFF) << 8),
+            ]
+        if fmt in (Format.F30T,):
+            value = self.literal & 0xFFFFFFFF
+            return [first, value & 0xFFFF, value >> 16]
+        if fmt in (Format.F31C, Format.F31I, Format.F31T):
+            value = self.literal & 0xFFFFFFFF
+            return [
+                first | ((self.a & 0xFF) << 8),
+                value & 0xFFFF,
+                value >> 16,
+            ]
+        if fmt in (Format.F32X,):
+            return [first, self.a & 0xFFFF, self.b & 0xFFFF]
+        if fmt in (Format.F35C,):
+            count = len(self.args)
+            unit0 = first | ((count & 0xF) << 12)
+            regs = list(self.args) + [0] * (5 - count)
+            unit2 = (
+                (regs[0] & 0xF)
+                | ((regs[1] & 0xF) << 4)
+                | ((regs[2] & 0xF) << 8)
+                | ((regs[3] & 0xF) << 12)
+            )
+            return [unit0, self.literal & 0xFFFF, unit2]
+        if fmt in (Format.F3RC,):
+            return [
+                first | ((len(self.args) & 0xFF) << 8),
+                self.literal & 0xFFFF,
+                (self.args[0] if self.args else 0) & 0xFFFF,
+            ]
+        if fmt in (Format.F51L,):
+            value = self.literal & 0xFFFFFFFFFFFFFFFF
+            return [
+                first | ((self.a & 0xFF) << 8),
+                value & 0xFFFF,
+                (value >> 16) & 0xFFFF,
+                (value >> 32) & 0xFFFF,
+                (value >> 48) & 0xFFFF,
+            ]
+        raise NotImplementedError(f"encoding for format {fmt}")
+
+    def __str__(self) -> str:
+        parts = [self.op.name]
+        if self.op.fmt is Format.F35C:
+            parts.append("{" + ", ".join(f"v{r}" for r in self.args) + "}")
+        else:
+            regs = []
+            if self.op.fmt not in (Format.F10X, Format.F10T, Format.F20T, Format.F30T):
+                regs.append(f"v{self.a}")
+            if self.op.fmt in (
+                Format.F12X,
+                Format.F22C,
+                Format.F22S,
+                Format.F22T,
+                Format.F22X,
+                Format.F22B,
+                Format.F23X,
+                Format.F32X,
+            ):
+                regs.append(f"v{self.b}")
+            if self.op.fmt is Format.F23X:
+                regs.append(f"v{self.c}")
+            parts.append(", ".join(regs))
+        if self.symbol is not None:
+            parts.append(self.symbol)
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,712 @@
+"""Core library intrinsics: the framework natives the apps call.
+
+Java string plumbing is where sensitive data physically moves on Android,
+and the paper's Figure 1 shows its native shape: a per-character
+``ldrh``/``strh`` copy loop with a load→store distance of 2.  Every
+intrinsic here *emits and executes* real native code on the CPU for its
+data movements, so PIFT observes the same instruction structure:
+
+* ``StringBuilder.append`` / ``String.concat`` — Figure 1 char-copy loops,
+* ``StringBuilder.appendDouble`` — per-digit ``__aeabi_`` soft-float
+  conversion whose first store lands 10 instructions after the (tainted)
+  value load: the reason GPS leaks need ``NI >= 10`` (paper §5.1),
+* ``StringBuilder.appendInt`` — shorter per-digit conversion (distance 7),
+* collections / exceptions — reference stores and loads.
+
+Calling convention: the invoke routine has copied the argument words into a
+fresh argument area whose base is in ``r10`` (and at ``[rSELF, #SELF_ARGS]``).
+Handlers read arguments with ``ldr rX, [r10, #4*slot]`` — if the argument
+slot was tainted by the copy, that load opens a tainting window exactly
+where the data is about to be used.  Return values are stored to the
+retval slot with real stores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa import asm
+from repro.isa.abihelpers import helper_body
+from repro.dalvik.objects import (
+    VMArray,
+    VMInstance,
+    VMString,
+    bits_to_double,
+    bits_to_float,
+)
+from repro.dalvik.translator import SELF_RETVAL
+
+STRING_BUILDER_CLASS = "java/lang/StringBuilder"
+THROWABLE_CLASS = "java/lang/Throwable"
+ARRAY_LIST_CLASS = "java/util/ArrayList"
+HASH_MAP_CLASS = "java/util/HashMap"
+
+BUILDER_CAPACITY = 512
+LIST_CAPACITY = 64
+
+
+class Emit:
+    """Tiny helper for composing intrinsic native code."""
+
+    def __init__(self, vm) -> None:
+        self.vm = vm
+
+    def __call__(self, *instructions) -> None:
+        self.vm.emit(list(instructions))
+
+    def load_arg(self, register: str, slot: int) -> None:
+        """ldr register, [r10, #4*slot] — read one argument word."""
+        self(asm.ldr(register, "r10", 4 * slot))
+
+    def load_arg_wide(self, low: str, high: str, slot: int) -> None:
+        """ldrd — read an argument double-word (tainted loads open windows)."""
+        self(asm.ldrd(low, high, "r10", 4 * slot))
+
+    def materialize(self, register: str, value: int, mnemonic: str = "mov") -> None:
+        self(asm.patch(register, value, mnemonic=mnemonic))
+
+    def return_reg(self, register: str) -> None:
+        self(asm.str_(register, "rSELF", SELF_RETVAL))
+
+    def return_reg_wide(self, low: str, high: str) -> None:
+        self(asm.strd(low, high, "rSELF", SELF_RETVAL))
+
+    def return_reference(self, address: int, via: str = "r0") -> None:
+        self.materialize(via, address, mnemonic="bl")
+        self.return_reg(via)
+
+    def char_copy(
+        self, src_base: int, dst_base: int, count: int, element_width: int = 2
+    ) -> None:
+        """The paper's Figure 1 loop: per element, ldrh/adds/strh/adds/cmp/b.
+
+        Load→store distance is 2, the canonical taint-carrying pattern.
+        """
+        if count <= 0:
+            return
+        self.materialize("r1", src_base, mnemonic="add")
+        self.materialize("r0", dst_base, mnemonic="add")
+        self(asm.mov("r2", 0), asm.mov("r3", 0))
+        self.materialize("r11", count, mnemonic="mov")
+        load = {1: asm.ldrb, 2: asm.ldrh, 4: asm.ldr}[element_width]
+        store = {1: asm.strb, 2: asm.strh, 4: asm.str_}[element_width]
+        # The paper's Figure 1 uses r6 as the character register; our mterp
+        # convention reserves r6 for rSELF, so the loop uses lr instead.
+        for _ in range(count):
+            self(
+                load("lr", "r1", asm.reg("r2")),
+                asm.adds("r3", "r3", 1),
+                store("lr", "r0", asm.reg("r2")),
+                asm.adds("r2", "r2", element_width),
+                asm.cmp("r3", asm.reg("r11")),
+                asm.b("0x4004c114"),
+            )
+
+
+def _string(vm, reference: int) -> VMString:
+    value = vm.heap.deref(reference)
+    if not isinstance(value, VMString):
+        raise TypeError(f"expected a String, got {value!r}")
+    return value
+
+
+def _instance(vm, reference: int) -> VMInstance:
+    value = vm.heap.deref(reference)
+    if not isinstance(value, VMInstance):
+        raise TypeError(f"expected an instance, got {value!r}")
+    return value
+
+
+def _array(vm, reference: int) -> VMArray:
+    value = vm.heap.deref(reference)
+    if not isinstance(value, VMArray):
+        raise TypeError(f"expected an array, got {value!r}")
+    return value
+
+
+# -- StringBuilder ------------------------------------------------------------
+
+
+def _builder_parts(vm, builder: VMInstance):
+    buffer = _string(vm, builder.get_field("buffer"))
+    count = builder.get_field("count")
+    return buffer, count
+
+
+def _emit_count_update(emit: Emit, builder: VMInstance, new_count: int) -> None:
+    """Load, bump, and store the builder's count field — real traffic."""
+    offset = builder.vm_class.field("count").offset
+    emit.materialize("r0", builder.address, mnemonic="mov")
+    emit(
+        asm.ldr("r2", "r0", offset),
+        asm.patch("r2", new_count, reads=("r2",), mnemonic="add"),
+        asm.str_("r2", "r0", offset),
+    )
+
+
+def sb_init(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    buffer = vm.heap.new_string_buffer(BUILDER_CAPACITY)
+    buffer.length = BUILDER_CAPACITY  # addressable capacity; count tracks use
+    emit.load_arg("r0", 0)
+    emit.materialize("r1", buffer.address, mnemonic="bl")
+    emit(
+        asm.str_("r1", "r0", builder.vm_class.field("buffer").offset),
+        asm.mov("r2", 0),
+        asm.str_("r2", "r0", builder.vm_class.field("count").offset),
+    )
+
+
+def sb_append_string(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    text = _string(vm, args[1])
+    buffer, count = _builder_parts(vm, builder)
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit(
+        asm.ldr("r2", "r0", builder.vm_class.field("count").offset),
+        asm.ldr("r3", "r1", 8),  # source length
+    )
+    emit.char_copy(
+        text.chars_base, buffer.chars_base + 2 * count, text.length
+    )
+    _emit_count_update(emit, builder, count + text.length)
+    emit.return_reference(builder.address)
+
+
+def sb_append_char(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    buffer, count = _builder_parts(vm, builder)
+    emit.load_arg("r1", 1)  # the char value (window opens here if tainted)
+    emit.materialize("r0", buffer.chars_base + 2 * count, mnemonic="add")
+    emit(asm.strh("r1", "r0"))
+    _emit_count_update(emit, builder, count + 1)
+    emit.return_reference(builder.address)
+
+
+def _append_formatted(
+    vm,
+    args: List[int],
+    text: str,
+    value_slot: int,
+    helper: str,
+    wide: bool,
+    scratch_stores: int = 0,
+) -> None:
+    """Per-character numeric formatting through an ABI conversion helper.
+
+    Each emitted character re-loads the source value from the argument
+    area (a tainted load when the number is sensitive), runs the helper
+    body, and stores one UTF-16 unit.
+
+    Soft-float conversions (``scratch_stores > 0``) additionally spill
+    intermediate state to a stack scratch buffer *between* the value load
+    and the digit store, the way ``__aeabi_`` double-to-ASCII routines
+    stage their digit pairs.  Consequence for PIFT: the digit store is the
+    ``scratch_stores + 1``-th store of the tainting window, so catching a
+    float-typed leak needs ``NT > scratch_stores`` as well as a window
+    reaching the digit store — the paper's finding that GPS leaks need
+    ``NI >= 10`` (with its evaluation run at ``NT = 3``).
+    """
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    buffer, count = _builder_parts(vm, builder)
+    scratch = vm.scratch_base if scratch_stores else 0
+    emit.load_arg("r0", 0)
+    for i, char in enumerate(text):
+        if wide:
+            emit.load_arg_wide("r0", "r1", value_slot)
+            body = helper_body(helper)
+        else:
+            emit.load_arg("r0", value_slot)
+            # Single-word source: keep the helper dataflow within r0 so no
+            # stale register taint leaks into the result.
+            body = helper_body(helper, rm="r0")
+        if scratch_stores:
+            # Interleave the digit-pair spills into the helper body so the
+            # digit store lands exactly 10 instructions after the value
+            # load (paper: GPS detection needs NI >= 10) and is the
+            # (scratch_stores + 1)-th store of the window.
+            prefix = 10 - 4 - scratch_stores
+            emit(*body[:prefix])
+            emit.materialize("r11", scratch, mnemonic="add")
+            for spill in range(scratch_stores):
+                emit(asm.strb("r3", "r11", spill))
+        else:
+            emit(*body)
+        emit(asm.patch("r0", ord(char), reads=("r0",), mnemonic="mov"))
+        emit.materialize("r9", buffer.chars_base + 2 * (count + i), mnemonic="add")
+        emit(asm.strh("r0", "r9"))
+    _emit_count_update(emit, builder, count + len(text))
+    emit.return_reference(builder.address)
+
+
+def _java_double_repr(value: float) -> str:
+    text = repr(value)
+    return text
+
+
+def sb_append_int(vm, args: List[int], args_area: int) -> None:
+    value = args[1] - 0x100000000 if args[1] & 0x80000000 else args[1]
+    _append_formatted(vm, args, str(value), 1, "i2s_digit", wide=False)
+
+
+def sb_append_long(vm, args: List[int], args_area: int) -> None:
+    raw = args[1] | (args[2] << 32)
+    value = raw - (1 << 64) if raw & (1 << 63) else raw
+    _append_formatted(vm, args, str(value), 1, "l2s_digit", wide=True)
+
+
+def sb_append_float(vm, args: List[int], args_area: int) -> None:
+    value = bits_to_float(args[1])
+    _append_formatted(
+        vm, args, _java_double_repr(value), 1, "f2s_digit", wide=False,
+        scratch_stores=2,
+    )
+
+
+def sb_append_double(vm, args: List[int], args_area: int) -> None:
+    value = bits_to_double(args[1] | (args[2] << 32))
+    _append_formatted(
+        vm, args, _java_double_repr(value), 1, "d2s_digit", wide=True,
+        scratch_stores=2,
+    )
+
+
+def sb_to_string(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    buffer, count = _builder_parts(vm, builder)
+    result = vm.heap.new_string_buffer(max(count, 1))
+    result.length = count
+    vm.space.memory.write_u32(result.address + 8, count)
+    emit.load_arg("r0", 0)
+    emit(asm.ldr("r2", "r0", builder.vm_class.field("count").offset))
+    emit.char_copy(buffer.chars_base, result.chars_base, count)
+    emit.return_reference(result.address)
+
+
+def sb_length(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    builder = _instance(vm, args[0])
+    emit.load_arg("r0", 0)
+    emit(asm.ldr("r1", "r0", builder.vm_class.field("count").offset))
+    emit.return_reg("r1")
+
+
+# -- String ---------------------------------------------------------------------
+
+
+def string_length(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    _string(vm, args[0])
+    emit.load_arg("r0", 0)
+    emit(asm.ldr("r1", "r0", 8))
+    emit.return_reg("r1")
+
+
+def string_char_at(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    text = _string(vm, args[0])
+    index = args[1]
+    if not 0 <= index < text.length:
+        raise IndexError(f"charAt({index}) on length-{text.length} string")
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit(
+        asm.add("r0", "r0", asm.reg("r1", lsl=1)),
+        asm.ldrh("r2", "r0", 12),  # tainted load when the char is sensitive
+        asm.str_("r2", "rSELF", SELF_RETVAL),
+    )
+
+
+def string_concat(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    left = _string(vm, args[0])
+    right = _string(vm, args[1])
+    result = vm.heap.new_string_buffer(max(left.length + right.length, 1))
+    result.length = left.length + right.length
+    vm.space.memory.write_u32(result.address + 8, result.length)
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit.char_copy(left.chars_base, result.chars_base, left.length)
+    emit.char_copy(
+        right.chars_base, result.chars_base + 2 * left.length, right.length
+    )
+    emit.return_reference(result.address)
+
+
+def string_substring(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    text = _string(vm, args[0])
+    begin, end = args[1], args[2]
+    if not 0 <= begin <= end <= text.length:
+        raise IndexError(f"substring({begin}, {end}) on length {text.length}")
+    length = end - begin
+    result = vm.heap.new_string_buffer(max(length, 1))
+    result.length = length
+    vm.space.memory.write_u32(result.address + 8, length)
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit.load_arg("r2", 2)
+    emit.char_copy(text.chars_base + 2 * begin, result.chars_base, length)
+    emit.return_reference(result.address)
+
+
+def string_to_char_array(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    text = _string(vm, args[0])
+    array = vm.heap.new_array(text.length, element_width=2, class_name="[C")
+    emit.load_arg("r0", 0)
+    emit.char_copy(text.chars_base, array.data_base, text.length)
+    emit.return_reference(array.address)
+
+
+def string_from_chars(vm, args: List[int], args_area: int) -> None:
+    """new String(char[]) — copies the array into a fresh string."""
+    emit = Emit(vm)
+    array = _array(vm, args[0])
+    result = vm.heap.new_string_buffer(max(array.length, 1))
+    result.length = array.length
+    vm.space.memory.write_u32(result.address + 8, array.length)
+    emit.load_arg("r0", 0)
+    emit.char_copy(array.data_base, result.chars_base, array.length)
+    emit.return_reference(result.address)
+
+
+def string_get_bytes(vm, args: List[int], args_area: int) -> None:
+    """getBytes(): narrow each UTF-16 unit to one byte (ldrh -> strb)."""
+    emit = Emit(vm)
+    text = _string(vm, args[0])
+    array = vm.heap.new_array(text.length, element_width=1, class_name="[B")
+    emit.load_arg("r1", 0)
+    emit.materialize("r0", array.data_base, mnemonic="add")
+    emit.materialize("r1", text.chars_base, mnemonic="add")
+    emit(asm.mov("r2", 0), asm.mov("r3", 0))
+    emit.materialize("r11", text.length, mnemonic="mov")
+    for _ in range(text.length):
+        emit(
+            asm.ldrh("lr", "r1", asm.reg("r2", lsl=1)),
+            asm.adds("r3", "r3", 1),
+            asm.strb("lr", "r0", asm.reg("r2")),
+            asm.adds("r2", "r2", 1),
+            asm.cmp("r3", asm.reg("r11")),
+            asm.b("0x4004c1f0"),
+        )
+    emit.return_reference(array.address)
+
+
+def string_equals(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    left = _string(vm, args[0])
+    right = vm.heap.maybe_deref(args[1])
+    equal = isinstance(right, VMString) and right.value() == left.value()
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    compared = min(left.length, right.length if isinstance(right, VMString) else 0)
+    for i in range(compared):
+        emit(
+            asm.ldrh("r2", "r0", 12 + 2 * i),
+            asm.ldrh("r3", "r1", 12 + 2 * i),
+            asm.cmp("r2", asm.reg("r3")),
+        )
+        if not isinstance(right, VMString) or left.value()[i] != right.value()[i]:
+            break
+    emit.materialize("r0", int(equal), mnemonic="mov")
+    emit.return_reg("r0")
+
+
+def integer_parse_int(vm, args: List[int], args_area: int) -> None:
+    """parseInt: per-digit load/accumulate; the accumulator carries taint."""
+    emit = Emit(vm)
+    text = _string(vm, args[0])
+    value = int(text.value())
+    emit.load_arg("r1", 0)
+    emit(asm.mov("r0", 0))
+    for i in range(text.length):
+        emit(
+            asm.ldrh("r2", "r1", 12 + 2 * i),
+            asm.sub("r2", "r2", ord("0")),
+            asm.patch("r0", 0, reads=("r0", "r2"), mnemonic="mla"),
+        )
+    emit(asm.patch("r0", value & 0xFFFFFFFF, reads=("r0",), mnemonic="mov"))
+    emit.return_reg("r0")
+
+
+def string_value_of_int(vm, args: List[int], args_area: int) -> None:
+    """String.valueOf(int): digits produced at distance 1 + i2s body."""
+    emit = Emit(vm)
+    raw = args[0]
+    value = raw - 0x100000000 if raw & 0x80000000 else raw
+    text = str(value)
+    result = vm.heap.new_string_buffer(max(len(text), 1))
+    result.length = len(text)
+    vm.space.memory.write_u32(result.address + 8, len(text))
+    for i, char in enumerate(text):
+        emit.load_arg("r0", 0)
+        emit(*helper_body("i2s_digit", rm="r0"))
+        emit(asm.patch("r0", ord(char), reads=("r0",), mnemonic="mov"))
+        emit.materialize("r9", result.chars_base + 2 * i, mnemonic="add")
+        emit(asm.strh("r0", "r9"))
+    emit.return_reference(result.address)
+
+
+# -- System / arrays ----------------------------------------------------------
+
+
+def arrays_fill(vm, args: List[int], args_area: int) -> None:
+    """Arrays.fill(array, from, to, value): memset-style burst.
+
+    The native shape is one value load followed by a run of stores every
+    other instruction — the pattern that makes the number of taintable
+    stores per window scale with both NI and NT when the fill value is
+    sensitive (paper Figure 14: 'NT outweighs NI').
+    """
+    emit = Emit(vm)
+    array = _array(vm, args[0])
+    begin, end = args[1], args[2]
+    if not 0 <= begin <= end <= array.length:
+        raise IndexError(f"fill({begin}, {end}) on length {array.length}")
+    emit.load_arg("r1", 0)
+    emit.load_arg("r2", 1)
+    emit.load_arg("r0", 3)  # the value: window opens here when tainted
+    base = array.element_address(begin) if begin < array.length else array.data_base
+    emit.materialize("r1", base, mnemonic="add")
+    store = {1: asm.strb, 2: asm.strh, 4: asm.str_, 8: asm.str_}[array.element_width]
+    for i in range(end - begin):
+        emit(
+            store("r0", "r1", i * array.element_width),
+            asm.adds("r3", "r3", 1),
+        )
+
+
+def system_arraycopy(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    src = _array(vm, args[0])
+    src_pos = args[1]
+    dst = _array(vm, args[2])
+    dst_pos = args[3]
+    length = args[4]
+    if src.element_width != dst.element_width:
+        raise TypeError("arraycopy between incompatible element widths")
+    if src_pos + length > src.length or dst_pos + length > dst.length:
+        raise IndexError("arraycopy out of bounds")
+    for slot in range(5):
+        emit.load_arg("r0" if slot == 0 else "r1", slot)
+    emit.char_copy(
+        src.element_address(src_pos) if length else src.data_base,
+        dst.element_address(dst_pos) if length else dst.data_base,
+        length,
+        element_width=src.element_width,
+    )
+
+
+# -- Throwable ------------------------------------------------------------------
+
+
+def throwable_init(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    throwable = _instance(vm, args[0])
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit(asm.str_("r1", "r0", throwable.vm_class.field("message").offset))
+
+
+def throwable_get_message(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    throwable = _instance(vm, args[0])
+    emit.load_arg("r0", 0)
+    emit(asm.ldr("r1", "r0", throwable.vm_class.field("message").offset))
+    emit.return_reg("r1")
+
+
+# -- Collections ------------------------------------------------------------------
+
+
+def list_init(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    lst = _instance(vm, args[0])
+    elements = vm.heap.new_array(LIST_CAPACITY, element_width=4, class_name="[L")
+    emit.load_arg("r0", 0)
+    emit.materialize("r1", elements.address, mnemonic="bl")
+    emit(
+        asm.str_("r1", "r0", lst.vm_class.field("elements").offset),
+        asm.mov("r2", 0),
+        asm.str_("r2", "r0", lst.vm_class.field("size").offset),
+    )
+
+
+def list_add(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    lst = _instance(vm, args[0])
+    elements = _array(vm, lst.get_field("elements"))
+    size = lst.get_field("size")
+    if size >= elements.length:
+        raise IndexError("ArrayList capacity exceeded")
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit(
+        asm.ldr("r2", "r0", lst.vm_class.field("elements").offset),
+        asm.ldr("r3", "r0", lst.vm_class.field("size").offset),
+        asm.add("r2", "r2", asm.reg("r3", lsl=2)),
+        asm.str_("r1", "r2", 12),
+        asm.add("r3", "r3", 1),
+        asm.str_("r3", "r0", lst.vm_class.field("size").offset),
+    )
+    emit.materialize("r0", 1, mnemonic="mov")
+    emit.return_reg("r0")
+
+
+def list_get(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    lst = _instance(vm, args[0])
+    elements = _array(vm, lst.get_field("elements"))
+    index = args[1]
+    if not 0 <= index < lst.get_field("size"):
+        raise IndexError(f"ArrayList.get({index}) with size {lst.get_field('size')}")
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit(
+        asm.ldr("r2", "r0", lst.vm_class.field("elements").offset),
+        asm.add("r2", "r2", asm.reg("r1", lsl=2)),
+        asm.ldr("r3", "r2", 12),
+        asm.str_("r3", "rSELF", SELF_RETVAL),
+    )
+
+
+def list_size(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    lst = _instance(vm, args[0])
+    emit.load_arg("r0", 0)
+    emit(asm.ldr("r1", "r0", lst.vm_class.field("size").offset))
+    emit.return_reg("r1")
+
+
+def map_init(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    mapping = _instance(vm, args[0])
+    keys = vm.heap.new_array(LIST_CAPACITY, element_width=4, class_name="[L")
+    values = vm.heap.new_array(LIST_CAPACITY, element_width=4, class_name="[L")
+    emit.load_arg("r0", 0)
+    emit.materialize("r1", keys.address, mnemonic="bl")
+    emit(asm.str_("r1", "r0", mapping.vm_class.field("keys").offset))
+    emit.materialize("r1", values.address, mnemonic="bl")
+    emit(
+        asm.str_("r1", "r0", mapping.vm_class.field("values").offset),
+        asm.mov("r2", 0),
+        asm.str_("r2", "r0", mapping.vm_class.field("size").offset),
+    )
+
+
+def _map_find(vm, mapping: VMInstance, key_ref: int) -> Optional[int]:
+    keys = _array(vm, mapping.get_field("keys"))
+    size = mapping.get_field("size")
+    key_obj = vm.heap.maybe_deref(key_ref)
+    for i in range(size):
+        stored_ref = keys.get(i)
+        if stored_ref == key_ref:
+            return i
+        stored = vm.heap.maybe_deref(stored_ref)
+        if (
+            isinstance(stored, VMString)
+            and isinstance(key_obj, VMString)
+            and stored.value() == key_obj.value()
+        ):
+            return i
+    return None
+
+
+def map_put(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    mapping = _instance(vm, args[0])
+    keys = _array(vm, mapping.get_field("keys"))
+    values = _array(vm, mapping.get_field("values"))
+    size = mapping.get_field("size")
+    index = _map_find(vm, mapping, args[1])
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    emit.load_arg("r2", 2)
+    if index is None:
+        if size >= keys.length:
+            raise IndexError("HashMap capacity exceeded")
+        index = size
+        emit(
+            asm.ldr("r3", "r0", mapping.vm_class.field("size").offset),
+            asm.add("r3", "r3", 1),
+            asm.str_("r3", "r0", mapping.vm_class.field("size").offset),
+        )
+    emit.materialize("r3", keys.element_address(index), mnemonic="add")
+    emit(asm.str_("r1", "r3"))
+    emit.materialize("r3", values.element_address(index), mnemonic="add")
+    emit(asm.str_("r2", "r3"))
+
+
+def map_get(vm, args: List[int], args_area: int) -> None:
+    emit = Emit(vm)
+    mapping = _instance(vm, args[0])
+    values = _array(vm, mapping.get_field("values"))
+    index = _map_find(vm, mapping, args[1])
+    emit.load_arg("r0", 0)
+    emit.load_arg("r1", 1)
+    if index is None:
+        emit.materialize("r2", 0, mnemonic="mov")
+        emit.return_reg("r2")
+        return
+    emit.materialize("r2", values.element_address(index), mnemonic="add")
+    emit(asm.ldr("r3", "r2"), asm.str_("r3", "rSELF", SELF_RETVAL))
+
+
+def object_init(vm, args: List[int], args_area: int) -> None:
+    Emit(vm).load_arg("r0", 0)
+
+
+def register_core_intrinsics(vm) -> None:
+    """Define the core classes and wire up the java.* intrinsics."""
+    heap = vm.heap
+    heap.define_class(STRING_BUILDER_CLASS, fields=[("buffer", 4), ("count", 4)])
+    heap.define_class(THROWABLE_CLASS, fields=[("message", 4)])
+    heap.define_class(
+        "java/lang/Exception", superclass=THROWABLE_CLASS
+    )
+    heap.define_class(
+        "java/lang/RuntimeException", superclass="java/lang/Exception"
+    )
+    heap.define_class(ARRAY_LIST_CLASS, fields=[("elements", 4), ("size", 4)])
+    heap.define_class(
+        HASH_MAP_CLASS, fields=[("keys", 4), ("values", 4), ("size", 4)]
+    )
+
+    vm.register_intrinsic("Object.<init>", object_init)
+    vm.register_intrinsic("StringBuilder.<init>", sb_init)
+    vm.register_intrinsic("StringBuilder.append", sb_append_string)
+    vm.register_intrinsic("StringBuilder.appendChar", sb_append_char)
+    vm.register_intrinsic("StringBuilder.appendInt", sb_append_int)
+    vm.register_intrinsic("StringBuilder.appendLong", sb_append_long)
+    vm.register_intrinsic("StringBuilder.appendFloat", sb_append_float)
+    vm.register_intrinsic("StringBuilder.appendDouble", sb_append_double)
+    vm.register_intrinsic("StringBuilder.toString", sb_to_string)
+    vm.register_intrinsic("StringBuilder.length", sb_length)
+    vm.register_intrinsic("String.length", string_length)
+    vm.register_intrinsic("String.charAt", string_char_at)
+    vm.register_intrinsic("String.concat", string_concat)
+    vm.register_intrinsic("String.substring", string_substring)
+    vm.register_intrinsic("String.toCharArray", string_to_char_array)
+    vm.register_intrinsic("String.fromChars", string_from_chars)
+    vm.register_intrinsic("String.getBytes", string_get_bytes)
+    vm.register_intrinsic("String.equals", string_equals)
+    vm.register_intrinsic("String.valueOfInt", string_value_of_int)
+    vm.register_intrinsic("Integer.parseInt", integer_parse_int)
+    vm.register_intrinsic("System.arraycopy", system_arraycopy)
+    vm.register_intrinsic("Arrays.fill", arrays_fill)
+    vm.register_intrinsic("Throwable.<init>", throwable_init)
+    vm.register_intrinsic("Throwable.getMessage", throwable_get_message)
+    vm.register_intrinsic("ArrayList.<init>", list_init)
+    vm.register_intrinsic("ArrayList.add", list_add)
+    vm.register_intrinsic("ArrayList.get", list_get)
+    vm.register_intrinsic("ArrayList.size", list_size)
+    vm.register_intrinsic("HashMap.<init>", map_init)
+    vm.register_intrinsic("HashMap.put", map_put)
+    vm.register_intrinsic("HashMap.get", map_get)

@@ -1,0 +1,375 @@
+"""VM heap objects: strings, arrays, instances — all backed by simulated memory.
+
+Layouts (loosely modelled on Dalvik's):
+
+* every object starts with an 8-byte header (class pointer + monitor word),
+* ``VMString`` — header, 4-byte length, then UTF-16 data (2 bytes per
+  character; the paper's footnote 1: "in Java, each character consumes two
+  bytes"),
+* ``VMArray`` — header, 4-byte length, then elements of the declared width,
+* ``VMInstance`` — header, then declared fields at fixed offsets.
+
+Sensitive data lives in these layouts, so the PIFT Native layer's address
+translation (paper §3.1 item 2) is implemented here: an object-typed datum
+resolves to its backing data range JNI-style; a primitive field resolves to
+its byte offset inside the owning instance.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ranges import AddressRange
+from repro.isa.memory import AddressSpace
+
+OBJECT_HEADER_BYTES = 8
+_CLASS_POINTER_OFFSET = 0
+_LENGTH_OFFSET = 8
+_STRING_DATA_OFFSET = 12
+_ARRAY_DATA_OFFSET = 12
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared instance field: name, byte width (4 or 8), offset."""
+
+    name: str
+    width: int
+    offset: int
+
+
+class VMClass:
+    """A class descriptor: field layout plus a static-field area in memory."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: Sequence[Tuple[str, int]] = (),
+        statics: Sequence[Tuple[str, int]] = (),
+        superclass: Optional["VMClass"] = None,
+    ) -> None:
+        self.name = name
+        self.superclass = superclass
+        self.fields: Dict[str, FieldSpec] = {}
+        offset = OBJECT_HEADER_BYTES
+        if superclass is not None:
+            self.fields.update(superclass.fields)
+            offset = superclass.instance_size
+        for field_name, width in fields:
+            if width not in (4, 8):
+                raise ValueError(f"field width must be 4 or 8, got {width}")
+            offset = (offset + width - 1) & ~(width - 1)
+            self.fields[field_name] = FieldSpec(field_name, width, offset)
+            offset += width
+        self.instance_size = offset
+        self.static_specs: Dict[str, FieldSpec] = {}
+        static_offset = 0
+        for field_name, width in statics:
+            if width not in (4, 8):
+                raise ValueError(f"field width must be 4 or 8, got {width}")
+            static_offset = (static_offset + width - 1) & ~(width - 1)
+            self.static_specs[field_name] = FieldSpec(field_name, width, static_offset)
+            static_offset += width
+        self.static_size = static_offset
+        self.static_base: Optional[int] = None  # assigned by the heap
+        self.address: Optional[int] = None  # class object address
+
+    def field(self, name: str) -> FieldSpec:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no field {name!r}") from None
+
+    def static_field(self, name: str) -> FieldSpec:
+        try:
+            return self.static_specs[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no static field {name!r}") from None
+
+    def is_subclass_of(self, other: "VMClass") -> bool:
+        klass: Optional[VMClass] = self
+        while klass is not None:
+            if klass is other:
+                return True
+            klass = klass.superclass
+        return False
+
+    def __repr__(self) -> str:
+        return f"<VMClass {self.name}>"
+
+
+class HeapValue:
+    """Base of all heap-allocated values; knows its backing memory."""
+
+    def __init__(self, heap: "Heap", address: int, vm_class: VMClass) -> None:
+        self.heap = heap
+        self.address = address
+        self.vm_class = vm_class
+
+    @property
+    def memory(self):
+        return self.heap.space.memory
+
+    def data_range(self) -> AddressRange:
+        """The range PIFT Native registers/checks for this value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} @{self.address:#x}>"
+
+
+class VMString(HeapValue):
+    """An immutable UTF-16 string (2 bytes per character)."""
+
+    def __init__(self, heap: "Heap", address: int, vm_class: VMClass, length: int) -> None:
+        super().__init__(heap, address, vm_class)
+        self.length = length
+
+    @property
+    def chars_base(self) -> int:
+        return self.address + _STRING_DATA_OFFSET
+
+    def char_address(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"char index {index} out of range [0, {self.length})")
+        return self.chars_base + 2 * index
+
+    def char_range(self, index: int) -> AddressRange:
+        return AddressRange.from_base_size(self.char_address(index), 2)
+
+    def data_range(self) -> AddressRange:
+        if self.length == 0:
+            # An empty string still has an addressable (empty) payload slot.
+            return AddressRange.from_base_size(self.chars_base, 2)
+        return AddressRange.from_base_size(self.chars_base, 2 * self.length)
+
+    def value(self) -> str:
+        """Decode the current in-memory contents (for assertions/sinks)."""
+        raw = self.memory.read_bytes(self.chars_base, 2 * self.length)
+        return raw.decode("utf-16-le")
+
+
+class VMArray(HeapValue):
+    """A fixed-length array of elements of uniform byte width."""
+
+    def __init__(
+        self,
+        heap: "Heap",
+        address: int,
+        vm_class: VMClass,
+        length: int,
+        element_width: int,
+    ) -> None:
+        super().__init__(heap, address, vm_class)
+        if element_width not in (1, 2, 4, 8):
+            raise ValueError(f"bad element width {element_width}")
+        self.length = length
+        self.element_width = element_width
+
+    @property
+    def data_base(self) -> int:
+        return self.address + _ARRAY_DATA_OFFSET
+
+    def element_address(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"array index {index} out of range [0, {self.length})")
+        return self.data_base + index * self.element_width
+
+    def element_range(self, index: int) -> AddressRange:
+        return AddressRange.from_base_size(
+            self.element_address(index), self.element_width
+        )
+
+    def data_range(self) -> AddressRange:
+        size = max(self.length * self.element_width, 1)
+        return AddressRange.from_base_size(self.data_base, size)
+
+    def get(self, index: int) -> int:
+        raw = self.memory.read_bytes(self.element_address(index), self.element_width)
+        return int.from_bytes(raw, "little")
+
+    def put(self, index: int, value: int) -> None:
+        mask = (1 << (8 * self.element_width)) - 1
+        self.memory.write_bytes(
+            self.element_address(index),
+            (value & mask).to_bytes(self.element_width, "little"),
+        )
+
+
+class VMInstance(HeapValue):
+    """An object instance with its class's declared fields."""
+
+    def field_address(self, name: str) -> int:
+        return self.address + self.vm_class.field(name).offset
+
+    def field_range(self, name: str) -> AddressRange:
+        spec = self.vm_class.field(name)
+        return AddressRange.from_base_size(self.address + spec.offset, spec.width)
+
+    def get_field(self, name: str) -> int:
+        spec = self.vm_class.field(name)
+        raw = self.memory.read_bytes(self.address + spec.offset, spec.width)
+        return int.from_bytes(raw, "little")
+
+    def set_field(self, name: str, value: int) -> None:
+        spec = self.vm_class.field(name)
+        mask = (1 << (8 * spec.width)) - 1
+        self.memory.write_bytes(
+            self.address + spec.offset,
+            (value & mask).to_bytes(spec.width, "little"),
+        )
+
+    def data_range(self) -> AddressRange:
+        return AddressRange.from_base_size(
+            self.address + OBJECT_HEADER_BYTES,
+            max(self.vm_class.instance_size - OBJECT_HEADER_BYTES, 1),
+        )
+
+
+def double_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def float_to_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+class Heap:
+    """Allocates and registers VM heap values in one address space.
+
+    The heap keeps an address → value map so that a 32-bit reference read
+    out of a virtual register can be turned back into its Python-side
+    object (the VM's equivalent of dereferencing).
+    """
+
+    STRING_CLASS = "java/lang/String"
+    OBJECT_CLASS = "java/lang/Object"
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self.classes: Dict[str, VMClass] = {}
+        self.objects: Dict[int, HeapValue] = {}
+        self._interned: Dict[str, VMString] = {}
+        self.define_class(self.OBJECT_CLASS)
+        self.define_class(self.STRING_CLASS)
+
+    # -- classes -------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        fields: Sequence[Tuple[str, int]] = (),
+        statics: Sequence[Tuple[str, int]] = (),
+        superclass: Optional[str] = None,
+    ) -> VMClass:
+        if name in self.classes:
+            raise ValueError(f"class {name!r} already defined")
+        parent = self.classes[superclass] if superclass else None
+        vm_class = VMClass(name, fields, statics, parent)
+        vm_class.address = self.space.heap.alloc(16, align=8)
+        if vm_class.static_size:
+            vm_class.static_base = self.space.heap.alloc(
+                vm_class.static_size, align=8
+            )
+        self.classes[name] = vm_class
+        return vm_class
+
+    def lookup_class(self, name: str) -> VMClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"class {name!r} is not defined") from None
+
+    def class_of(self, name: str) -> VMClass:
+        if name not in self.classes:
+            return self.define_class(name)
+        return self.classes[name]
+
+    # -- allocation ------------------------------------------------------------
+
+    def _write_header(self, address: int, vm_class: VMClass) -> None:
+        self.space.memory.write_u32(address, vm_class.address or 0)
+        self.space.memory.write_u32(address + 4, 0)
+
+    def new_string(self, text: str) -> VMString:
+        """Allocate a string and silently write its characters.
+
+        The silent write models data materialised outside the traced
+        application code (constant pools, framework buffers); the traced
+        copies *of* this data are what PIFT observes.
+        """
+        vm_class = self.lookup_class(self.STRING_CLASS)
+        size = _STRING_DATA_OFFSET + max(2 * len(text), 2)
+        address = self.space.heap.alloc(size, align=8)
+        self._write_header(address, vm_class)
+        self.space.memory.write_u32(address + _LENGTH_OFFSET, len(text))
+        if text:
+            self.space.memory.write_bytes(
+                address + _STRING_DATA_OFFSET, text.encode("utf-16-le")
+            )
+        string = VMString(self, address, vm_class, len(text))
+        self.objects[address] = string
+        return string
+
+    def new_string_buffer(self, capacity: int) -> VMString:
+        """An uninitialised string-shaped buffer (StringBuilder storage)."""
+        vm_class = self.lookup_class(self.STRING_CLASS)
+        size = _STRING_DATA_OFFSET + max(2 * capacity, 2)
+        address = self.space.heap.alloc(size, align=8)
+        self._write_header(address, vm_class)
+        self.space.memory.write_u32(address + _LENGTH_OFFSET, 0)
+        string = VMString(self, address, vm_class, 0)
+        self.objects[address] = string
+        return string
+
+    def intern_string(self, text: str) -> VMString:
+        if text not in self._interned:
+            self._interned[text] = self.new_string(text)
+        return self._interned[text]
+
+    def new_array(self, length: int, element_width: int = 4, class_name: str = "[I") -> VMArray:
+        vm_class = self.class_of(class_name)
+        size = _ARRAY_DATA_OFFSET + max(length * element_width, 1)
+        address = self.space.heap.alloc(size, align=8)
+        self._write_header(address, vm_class)
+        self.space.memory.write_u32(address + _LENGTH_OFFSET, length)
+        array = VMArray(self, address, vm_class, length, element_width)
+        self.objects[address] = array
+        return array
+
+    def new_instance(self, class_name: str) -> VMInstance:
+        vm_class = self.lookup_class(class_name)
+        address = self.space.heap.alloc(max(vm_class.instance_size, 16), align=8)
+        self._write_header(address, vm_class)
+        instance = VMInstance(self, address, vm_class)
+        self.objects[address] = instance
+        return instance
+
+    # -- dereferencing -----------------------------------------------------
+
+    def deref(self, reference: int) -> HeapValue:
+        if reference == 0:
+            raise NullPointerError("null reference")
+        try:
+            return self.objects[reference]
+        except KeyError:
+            raise ValueError(f"{reference:#x} is not a live object") from None
+
+    def maybe_deref(self, reference: int) -> Optional[HeapValue]:
+        if reference == 0:
+            return None
+        return self.objects.get(reference)
+
+
+class NullPointerError(RuntimeError):
+    """The VM-level NullPointerException."""

@@ -1,0 +1,1135 @@
+"""The Dalvik-style virtual machine.
+
+The VM *interprets* bytecode for semantics (control flow, allocation,
+method dispatch) but every bytecode's data movement is *executed natively*
+on the ISA CPU through the mterp routines of
+:class:`~repro.dalvik.translator.MterpTranslator` — virtual registers live
+in simulated memory at ``rFP + 4*v``, instruction fetches really read the
+encoded code units, and argument passing really copies words between
+frames.  PIFT, attached as a CPU observer, therefore sees the same
+load/store structure the paper measured on gem5.
+
+Oracle-assisted pieces: results the simplified ALU cannot compute
+(division, floats, 64-bit multiply highs, shifts by register) are computed
+here from the in-memory operand values and passed to the translator as
+``RegisterPatch`` values with faithful register dataflow.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa import asm
+from repro.isa.cpu import CPU
+from repro.dalvik.bytecode import Category, Format, Instr, OpcodeInfo, opcode
+from repro.dalvik.objects import (
+    Heap,
+    HeapValue,
+    NullPointerError,
+    VMArray,
+    VMInstance,
+    VMString,
+    bits_to_double,
+    bits_to_float,
+    double_to_bits,
+    float_to_bits,
+)
+from repro.dalvik.translator import (
+    FRAME_SAVE_BYTES,
+    MterpTranslator,
+    Routine,
+    SELF_ARGS,
+    SELF_EXCEPTION,
+    SELF_POOL,
+    SELF_RETVAL,
+    SELF_SIZE,
+    SELF_STATICS,
+)
+
+MASK_32 = 0xFFFFFFFF
+MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _signed32(value: int) -> int:
+    value &= MASK_32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _signed64(value: int) -> int:
+    value &= MASK_64
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+class VMError(RuntimeError):
+    """A malformed program or unsupported construct."""
+
+
+class UncaughtVMException(RuntimeError):
+    """A VM-level throw propagated out of the outermost frame."""
+
+    def __init__(self, exception: HeapValue) -> None:
+        super().__init__(f"uncaught VM exception: {exception}")
+        self.exception = exception
+
+
+@dataclass(frozen=True)
+class TryHandler:
+    """One try/catch range: [start_label, end_label) -> handler_label."""
+
+    start_label: str
+    end_label: str
+    handler_label: str
+    catch_class: str = "java/lang/Throwable"
+
+
+class Method:
+    """A bytecode method: register file size, argument count, code.
+
+    ``code`` may interleave ``str`` labels with :class:`Instr` objects; the
+    labels resolve to the following instruction's index.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registers: int,
+        ins: int,
+        code: Sequence[Union[Instr, str]],
+        handlers: Sequence[TryHandler] = (),
+    ) -> None:
+        if ins > registers:
+            raise VMError(f"{name}: ins={ins} exceeds registers={registers}")
+        self.name = name
+        self.registers = registers
+        self.ins = ins
+        self.handlers = list(handlers)
+        self.labels: Dict[str, int] = {}
+        self.code: List[Instr] = []
+        for item in code:
+            if isinstance(item, str):
+                self.labels[item] = len(self.code)
+            else:
+                self.code.append(item)
+        if not self.code:
+            raise VMError(f"{name}: empty method body")
+        # Assigned at registration time:
+        self.code_base: Optional[int] = None
+        self.instruction_offsets: List[int] = []
+        self.record_address: Optional[int] = None
+        self.pool_index: Optional[int] = None
+
+    def label_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise VMError(f"{self.name}: unknown label {label!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<Method {self.name} regs={self.registers} ins={self.ins}>"
+
+
+#: Intrinsic signature: (vm, argument values, argument-area base address).
+#: The handler may emit native code through vm.emit and must leave any
+#: return value in the retval slot via an emitted store.
+Intrinsic = Callable[["DalvikVM", List[int], int], None]
+
+
+@dataclass
+class Activation:
+    """One frame on the VM call stack."""
+
+    method: Method
+    frame_base: int  # address of vregs[0]
+    pc: int = 0  # index into method.code
+    args_area: int = 0
+    stack_bytes: int = 0  # bytes to release when this frame pops
+
+
+class DalvikVM:
+    """Executes methods, emitting mterp-translated native code on the CPU."""
+
+    IBASE = 0x40F00000  # fictitious handler-table base for GOTO_OPCODE
+    POOL_CAPACITY = 4096
+    STATICS_BYTES = 64 * 1024
+
+    def __init__(self, cpu: CPU, fused_dispatch: bool = False) -> None:
+        """``fused_dispatch=True`` models Dalvik's trace JIT: translated
+        bytecodes chain directly, dropping the GET_INST_OPCODE /
+        GOTO_OPCODE pair from every routine (paper §4.1's JIT discussion).
+        """
+        self.cpu = cpu
+        self.space = cpu.address_space
+        self.heap = Heap(self.space)
+        self.translator = MterpTranslator()
+        self.fused_dispatch = fused_dispatch
+        #: Callables invoked as (vm, frame, instr) before each bytecode
+        #: executes — used by VM-level trackers (e.g. the TaintDroid-style
+        #: baseline) that propagate taint at variable granularity.
+        self.step_observers: List[Callable[["DalvikVM", Activation, Instr], None]] = []
+        self.methods: Dict[str, Method] = {}
+        self.intrinsics: Dict[str, Intrinsic] = {}
+        self._frames: List[Activation] = []
+        self.call_depth_limit = 200
+
+        # Interpreter thread state (rSELF).
+        self.self_base = self.space.heap.alloc(SELF_SIZE, align=8)
+        # Constant pool: strings, classes, method records.
+        self.pool_base = self.space.heap.alloc(4 * self.POOL_CAPACITY, align=8)
+        self._pool_next = 0
+        self._pool_index: Dict[Tuple[str, str], int] = {}
+        # Static fields area.
+        self.statics_base = self.space.heap.alloc(self.STATICS_BYTES, align=8)
+        self._statics_next = 0
+        self._static_offsets: Dict[str, int] = {}
+        # Call-stack discipline for frames: LIFO reuse of a fixed window,
+        # like a real thread stack.  Reuse is what produces the
+        # mistaint/untaint/retaint churn the paper's Figures 14-19 measure.
+        self._stack_base = self.space.frames.alloc(512 * 1024, align=8)
+        self._stack_limit = self._stack_base + 512 * 1024
+        self._frame_sp = self._stack_base
+        # Fixed scratch for intrinsic spill stores (reused every call).
+        self.scratch_base = self.space.heap.alloc(64, align=8)
+        memory = self.space.memory
+        memory.write_u32(self.self_base + SELF_POOL, self.pool_base)
+        memory.write_u32(self.self_base + SELF_STATICS, self.statics_base)
+        self.cpu.registers["rSELF"] = self.self_base
+        self.cpu.registers["rIBASE"] = self.IBASE
+
+        from repro.dalvik import intrinsics as _core_intrinsics
+
+        _core_intrinsics.register_core_intrinsics(self)
+
+    # -- registration -----------------------------------------------------------
+
+    def register_method(self, method: Method) -> Method:
+        """Assemble a method's code units into code memory and pool it.
+
+        Symbolic operands (field names, string constants, method names)
+        resolve to their encoded literals here, so the mterp routines'
+        code-unit fetches read real offsets and pool indices.
+        """
+        if method.name in self.methods or method.name in self.intrinsics:
+            raise VMError(f"method {method.name!r} already registered")
+        for instr in method.code:
+            instr.validate(method.registers)
+            self._resolve_literal(method, instr)
+        units: List[int] = []
+        method.instruction_offsets = []
+        for instr in method.code:
+            method.instruction_offsets.append(2 * len(units))
+            units.extend(instr.encode())
+        method.code_base = self.space.code.alloc(max(2 * len(units), 2), align=4)
+        method.instruction_offsets = [
+            method.code_base + offset for offset in method.instruction_offsets
+        ]
+        memory = self.space.memory
+        for i, unit in enumerate(units):
+            memory.write_u16(method.code_base + 2 * i, unit)
+        # Switch tables live next to the code, like real dex payloads.
+        for index, instr in enumerate(method.code):
+            if instr.op.category is Category.SWITCH:
+                self._assemble_switch_table(method, instr)
+        method.record_address = self._new_method_record(
+            method.registers, method.ins, method.code_base
+        )
+        method.pool_index = self._pool_entry("method", method.name, method.record_address)
+        self.methods[method.name] = method
+        return method
+
+    def register_intrinsic(self, name: str, handler: Intrinsic) -> None:
+        if name in self.methods or name in self.intrinsics:
+            raise VMError(f"method {name!r} already registered")
+        record = self._new_method_record(0, 0, 0)
+        self._pool_entry("method", name, record)
+        self.intrinsics[name] = handler
+
+    _FIELD_CATEGORIES = (
+        Category.IGET,
+        Category.IGET_WIDE,
+        Category.IPUT,
+        Category.IPUT_WIDE,
+    )
+    _STATIC_CATEGORIES = (
+        Category.SGET,
+        Category.SGET_WIDE,
+        Category.SPUT,
+        Category.SPUT_WIDE,
+    )
+    _CLASS_CATEGORIES = (
+        Category.CONST_CLASS,
+        Category.CHECK_CAST,
+        Category.INSTANCE_OF,
+        Category.NEW_INSTANCE,
+        Category.NEW_ARRAY,
+    )
+
+    def _resolve_literal(self, method: Method, instr: Instr) -> None:
+        """Encode an instruction's symbol into its literal code unit."""
+        category = instr.op.category
+        if category in self._FIELD_CATEGORIES:
+            class_name, field_name = self._resolve_field(instr.symbol)
+            spec = self.heap.lookup_class(class_name).field(field_name)
+            object.__setattr__(instr, "literal", spec.offset)
+        elif category in self._STATIC_CATEGORIES:
+            wide = category in (Category.SGET_WIDE, Category.SPUT_WIDE)
+            offset = self.static_offset(
+                instr.symbol or f"{method.name}.?", 8 if wide else 4
+            )
+            object.__setattr__(instr, "literal", offset)
+        elif category is Category.CONST_STRING:
+            if instr.symbol is None:
+                raise VMError(f"{method.name}: const-string needs a symbol")
+            object.__setattr__(
+                instr, "literal", self.string_pool_index(instr.symbol)
+            )
+        elif category in self._CLASS_CATEGORIES:
+            if instr.symbol:
+                object.__setattr__(
+                    instr, "literal", self.class_pool_index(instr.symbol)
+                )
+        elif category is Category.INVOKE:
+            if instr.symbol is None:
+                raise VMError(f"{method.name}: invoke needs a method symbol")
+            object.__setattr__(
+                instr, "literal", self._pool_reserve("method", instr.symbol)
+            )
+
+    def _pool_reserve(self, kind: str, symbol: str) -> int:
+        """Get-or-create a pool slot without clobbering a resolved value."""
+        key = (kind, symbol)
+        if key in self._pool_index:
+            return self._pool_index[key]
+        return self._pool_entry(kind, symbol, 0)
+
+    def _new_method_record(self, registers: int, ins: int, code_base: int) -> int:
+        record = self.space.heap.alloc(8, align=4)
+        self.space.memory.write_u32(record, (ins << 16) | registers)
+        self.space.memory.write_u32(record + 4, code_base)
+        return record
+
+    def _pool_entry(self, kind: str, symbol: str, value: int) -> int:
+        key = (kind, symbol)
+        if key in self._pool_index:
+            index = self._pool_index[key]
+            self.space.memory.write_u32(self.pool_base + 4 * index, value)
+            return index
+        if self._pool_next >= self.POOL_CAPACITY:
+            raise VMError("constant pool exhausted")
+        index = self._pool_next
+        self._pool_next += 1
+        self._pool_index[key] = index
+        self.space.memory.write_u32(self.pool_base + 4 * index, value)
+        return index
+
+    def string_pool_index(self, text: str) -> int:
+        string = self.heap.intern_string(text)
+        return self._pool_entry("string", text, string.address)
+
+    def class_pool_index(self, name: str) -> int:
+        vm_class = self.heap.class_of(name)
+        return self._pool_entry("class", name, vm_class.address or 0)
+
+    def method_pool_index(self, name: str) -> int:
+        try:
+            return self._pool_index[("method", name)]
+        except KeyError:
+            raise VMError(f"method {name!r} is not registered") from None
+
+    def static_offset(self, qualified_name: str, width: int = 4) -> int:
+        """Byte offset of ``Class.field`` in the statics area."""
+        if qualified_name not in self._static_offsets:
+            offset = (self._statics_next + width - 1) & ~(width - 1)
+            if offset + width > self.STATICS_BYTES:
+                raise VMError("statics area exhausted")
+            self._static_offsets[qualified_name] = offset
+            self._statics_next = offset + width
+        return self._static_offsets[qualified_name]
+
+    def _assemble_switch_table(self, method: Method, instr: Instr) -> None:
+        """Allocate and fill the in-memory table a switch routine reads."""
+        if instr.op.name == "packed-switch":
+            count = len(instr.targets)
+            base = self.space.code.alloc(max(4 * count, 4), align=4)
+        else:
+            count = len(instr.keys)
+            base = self.space.code.alloc(max(4 * count, 4), align=4)
+            for i, key in enumerate(instr.keys):
+                self.space.memory.write_u32(base + 4 * i, key & MASK_32)
+        object.__setattr__(instr, "_table_base", base)
+
+    # -- frame and vreg access ----------------------------------------------------
+
+    @property
+    def current_frame(self) -> Activation:
+        if not self._frames:
+            raise VMError("no active frame")
+        return self._frames[-1]
+
+    def vreg_address(self, frame: Activation, register: int) -> int:
+        if not 0 <= register < frame.method.registers:
+            raise VMError(
+                f"{frame.method.name}: v{register} out of range "
+                f"(registers={frame.method.registers})"
+            )
+        return frame.frame_base + 4 * register
+
+    def get_vreg(self, register: int, frame: Optional[Activation] = None) -> int:
+        frame = frame or self.current_frame
+        return self.space.memory.read_u32(self.vreg_address(frame, register))
+
+    def get_vreg_wide(self, register: int, frame: Optional[Activation] = None) -> int:
+        frame = frame or self.current_frame
+        return self.space.memory.read_u64(self.vreg_address(frame, register))
+
+    def set_vreg(self, register: int, value: int, frame: Optional[Activation] = None) -> None:
+        """Silent (untraced) vreg write — used only for entry-point arguments."""
+        frame = frame or self.current_frame
+        self.space.memory.write_u32(self.vreg_address(frame, register), value & MASK_32)
+
+    def set_vreg_wide(self, register: int, value: int, frame: Optional[Activation] = None) -> None:
+        frame = frame or self.current_frame
+        self.space.memory.write_u64(self.vreg_address(frame, register), value & MASK_64)
+
+    def deref_vreg(self, register: int, frame: Optional[Activation] = None) -> HeapValue:
+        return self.heap.deref(self.get_vreg(register, frame))
+
+    @property
+    def retval(self) -> int:
+        return self.space.memory.read_u32(self.self_base + SELF_RETVAL)
+
+    @property
+    def retval_wide(self) -> int:
+        return self.space.memory.read_u64(self.self_base + SELF_RETVAL)
+
+    # -- execution ----------------------------------------------------------------
+
+    def emit(self, routine_or_instructions) -> None:
+        """Run a routine (or raw instruction list) on the CPU."""
+        if isinstance(routine_or_instructions, Routine):
+            routine = routine_or_instructions
+            if self.fused_dispatch:
+                from repro.dalvik.translator import fuse_dispatch
+
+                routine = fuse_dispatch(routine)
+            instructions = routine.instructions
+        else:
+            instructions = routine_or_instructions
+        self.cpu.run(instructions)
+
+    def call(self, method_name: str, args: Sequence[int] = ()) -> int:
+        """Invoke a registered method from outside (an app entry point).
+
+        ``args`` are placed in the method's last ``ins`` vregs, per the
+        Dalvik calling convention.  Returns the 32-bit retval.
+        """
+        method = self.methods.get(method_name)
+        if method is None:
+            raise VMError(f"method {method_name!r} is not registered")
+        if len(args) != method.ins:
+            raise VMError(
+                f"{method_name} expects {method.ins} argument words, got {len(args)}"
+            )
+        frame = self._push_activation(method)
+        for i, value in enumerate(args):
+            self.set_vreg(method.registers - method.ins + i, value, frame)
+        self.cpu.registers["rFP"] = frame.frame_base
+        self.cpu.registers["rPC"] = method.instruction_offsets[0]
+        self.emit(self.translator.refetch())
+        base_depth = len(self._frames) - 1
+        self._run_until(base_depth)
+        return self.retval
+
+    def _push_activation(self, method: Method) -> Activation:
+        if len(self._frames) >= self.call_depth_limit:
+            raise VMError("call depth limit exceeded")
+        size = FRAME_SAVE_BYTES + 4 * max(method.registers, 1)
+        size = (size + 7) & ~7
+        if self._frame_sp + size > self._stack_limit:
+            raise VMError("thread stack exhausted")
+        base = self._frame_sp
+        self._frame_sp += size
+        frame = Activation(
+            method, frame_base=base + FRAME_SAVE_BYTES, stack_bytes=size
+        )
+        self._frames.append(frame)
+        return frame
+
+    def _pop_activation(self) -> Activation:
+        frame = self._frames.pop()
+        self._frame_sp -= frame.stack_bytes
+        return frame
+
+    def _run_until(self, base_depth: int) -> None:
+        """Interpret until the frame stack returns to ``base_depth``."""
+        while len(self._frames) > base_depth:
+            frame = self._frames[-1]
+            if frame.pc >= len(frame.method.code):
+                raise VMError(f"{frame.method.name}: fell off the end of the code")
+            instr = frame.method.code[frame.pc]
+            self._step(frame, instr, base_depth)
+
+    # -- per-instruction dispatch --------------------------------------------------
+
+    def _step(self, frame: Activation, instr: Instr, base_depth: int) -> None:
+        for observer in self.step_observers:
+            observer(self, frame, instr)
+        category = instr.op.category
+        handler = self._DISPATCH.get(category)
+        if handler is None:
+            raise VMError(f"unhandled category {category} for {instr.name}")
+        handler(self, frame, instr, base_depth)
+
+    def _advance(self, frame: Activation) -> None:
+        frame.pc += 1
+
+    def _branch_to(self, frame: Activation, label: str) -> None:
+        frame.pc = frame.method.label_index(label)
+        self.cpu.registers["rPC"] = frame.method.instruction_offsets[frame.pc]
+        self.emit(self.translator.refetch())
+
+    # .. simple categories ..........................................................
+
+    def _do_nop(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.nop(instr))
+        self._advance(frame)
+
+    def _do_move(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.move(instr))
+        self._advance(frame)
+
+    def _do_move_wide(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.move_wide(instr))
+        self._advance(frame)
+
+    def _do_move_result(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.MOVE_RESULT_WIDE
+        self.emit(self.translator.move_result(instr, wide=wide))
+        self._advance(frame)
+
+    def _do_move_exception(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.move_exception(instr))
+        self._advance(frame)
+
+    def _do_const(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.const(instr))
+        self._advance(frame)
+
+    def _do_const_wide(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.const_wide(instr))
+        self._advance(frame)
+
+    def _do_const_string(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("const-string needs a symbol")
+        index = self.string_pool_index(instr.symbol)
+        self.emit(self.translator.const_pool(instr, index))
+        self._advance(frame)
+
+    def _do_const_class(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("const-class needs a symbol")
+        index = self.class_pool_index(instr.symbol)
+        self.emit(self.translator.const_pool(instr, index))
+        self._advance(frame)
+
+    def _do_monitor(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.monitor(instr))
+        self._advance(frame)
+
+    def _do_check_cast(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("check-cast needs a class symbol")
+        self.class_pool_index(instr.symbol)
+        self.emit(self.translator.check_cast(instr))
+        reference = self.get_vreg(instr.a, frame)
+        if reference:
+            value = self.heap.deref(reference)
+            target = self.heap.class_of(instr.symbol)
+            if not value.vm_class.is_subclass_of(target):
+                self._throw_by_name(frame, "java/lang/ClassCastException", base_depth)
+                return
+        self._advance(frame)
+
+    def _do_instance_of(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("instance-of needs a class symbol")
+        self.class_pool_index(instr.symbol)
+        reference = self.get_vreg(instr.b, frame)
+        target = self.heap.class_of(instr.symbol)
+        result = 0
+        if reference:
+            result = int(self.heap.deref(reference).vm_class.is_subclass_of(target))
+        self.emit(self.translator.instance_of(instr, result))
+        self._advance(frame)
+
+    def _do_array_length(self, frame, instr, base_depth) -> None:
+        reference = self.get_vreg(instr.b, frame)
+        if not reference:
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        self.emit(self.translator.array_length(instr))
+        self._advance(frame)
+
+    def _do_new_instance(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("new-instance needs a class symbol")
+        self.class_pool_index(instr.symbol)
+        self.heap.class_of(instr.symbol)
+        instance = self.heap.new_instance(instr.symbol)
+        self.emit(self.translator.new_instance(instr, instance.address))
+        self._advance(frame)
+
+    def _do_new_array(self, frame, instr, base_depth) -> None:
+        length = _signed32(self.get_vreg(instr.b, frame))
+        if length < 0:
+            self._throw_by_name(
+                frame, "java/lang/NegativeArraySizeException", base_depth
+            )
+            return
+        element_width = _element_width(instr.symbol or "[I")
+        array = self.heap.new_array(length, element_width, instr.symbol or "[I")
+        self.emit(self.translator.new_array(instr, array.address))
+        self._advance(frame)
+
+    # .. control flow ...............................................................
+
+    def _do_goto(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("goto needs a target label")
+        self.emit(self.translator.goto(instr))
+        self._branch_to(frame, instr.symbol)
+
+    _IF_CONDITIONS = {
+        "eq": lambda a, b: a == b,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "ge": lambda a, b: a >= b,
+        "gt": lambda a, b: a > b,
+        "le": lambda a, b: a <= b,
+    }
+
+    def _do_if_test(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("if needs a target label")
+        self.emit(self.translator.if_test(instr))
+        a = _signed32(self.get_vreg(instr.a, frame))
+        b = _signed32(self.get_vreg(instr.b, frame))
+        condition = instr.op.name.split("-")[1]
+        if self._IF_CONDITIONS[condition](a, b):
+            self._branch_to(frame, instr.symbol)
+        else:
+            self._fall_through_branch(frame)
+
+    def _do_if_testz(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("if needs a target label")
+        self.emit(self.translator.if_testz(instr))
+        a = _signed32(self.get_vreg(instr.a, frame))
+        condition = instr.op.name.split("-")[1].rstrip("z")
+        # eqz/nez/ltz/gez/gtz/lez compare against zero.
+        cond_map = {"eq": a == 0, "ne": a != 0, "lt": a < 0, "ge": a >= 0,
+                    "gt": a > 0, "le": a <= 0}
+        if cond_map[condition]:
+            self._branch_to(frame, instr.symbol)
+        else:
+            self._fall_through_branch(frame)
+
+    def _fall_through_branch(self, frame: Activation) -> None:
+        """Branch not taken: advance rPC past this instruction and refetch."""
+        frame.pc += 1
+        if frame.pc < len(frame.method.code):
+            self.cpu.registers["rPC"] = frame.method.instruction_offsets[frame.pc]
+        self.emit(self.translator.refetch())
+
+    def _do_switch(self, frame, instr, base_depth) -> None:
+        value = _signed32(self.get_vreg(instr.a, frame))
+        table_base = getattr(instr, "_table_base", 0)
+        if instr.op.name == "packed-switch":
+            first_key = instr.keys[0] if instr.keys else 0
+            self.emit(self.translator.packed_switch(instr, table_base, first_key))
+            offset = value - first_key
+            if 0 <= offset < len(instr.targets):
+                self._branch_to(frame, instr.targets[offset])
+            else:
+                self._fall_through_branch(frame)
+        else:
+            comparisons = 1
+            target: Optional[str] = None
+            for i, key in enumerate(instr.keys):
+                comparisons = i + 1
+                if _signed32(key) == value:
+                    target = instr.targets[i]
+                    break
+            self.emit(self.translator.sparse_switch(instr, table_base, comparisons))
+            if target is not None:
+                self._branch_to(frame, target)
+            else:
+                self._fall_through_branch(frame)
+
+    # .. comparisons ...................................................................
+
+    def _do_cmp(self, frame, instr, base_depth) -> None:
+        name = instr.op.name
+        if name == "cmp-long":
+            a = _signed64(self.get_vreg_wide(instr.b, frame))
+            b = _signed64(self.get_vreg_wide(instr.c, frame))
+            result = (a > b) - (a < b)
+            self.emit(self.translator.cmp_long(instr, result & MASK_32))
+        else:
+            wide = "double" in name
+            if wide:
+                a = bits_to_double(self.get_vreg_wide(instr.b, frame))
+                b = bits_to_double(self.get_vreg_wide(instr.c, frame))
+            else:
+                a = bits_to_float(self.get_vreg(instr.b, frame))
+                b = bits_to_float(self.get_vreg(instr.c, frame))
+            if a != a or b != b:  # NaN bias
+                result = -1 if name.startswith("cmpl") else 1
+            else:
+                result = (a > b) - (a < b)
+            assert instr.op.helper is not None
+            self.emit(
+                self.translator.cmp_float(instr, result & MASK_32, instr.op.helper, wide)
+            )
+        self._advance(frame)
+
+    # .. arrays ..........................................................................
+
+    def _array_for(self, frame, register: int) -> VMArray:
+        value = self.heap.deref(self.get_vreg(register, frame))
+        if not isinstance(value, VMArray):
+            raise VMError(f"v{register} does not hold an array")
+        return value
+
+    def _do_aget(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.AGET_WIDE
+        try:
+            array = self._array_for(frame, instr.b)
+        except NullPointerError:
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        index = _signed32(self.get_vreg(instr.c, frame))
+        if not 0 <= index < array.length:
+            self._throw_by_name(
+                frame, "java/lang/ArrayIndexOutOfBoundsException", base_depth
+            )
+            return
+        if wide:
+            self.emit(self.translator.aget(instr, width=8, wide=True))
+        else:
+            self.emit(self.translator.aget(instr, width=array.element_width))
+        self._advance(frame)
+
+    def _do_aput(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.APUT_WIDE
+        is_object = instr.op.category is Category.APUT_OBJECT
+        try:
+            array = self._array_for(frame, instr.b)
+        except NullPointerError:
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        index = _signed32(self.get_vreg(instr.c, frame))
+        if not 0 <= index < array.length:
+            self._throw_by_name(
+                frame, "java/lang/ArrayIndexOutOfBoundsException", base_depth
+            )
+            return
+        if is_object:
+            self.emit(self.translator.aput_object(instr))
+        elif wide:
+            self.emit(self.translator.aput(instr, width=8, wide=True))
+        else:
+            self.emit(self.translator.aput(instr, width=array.element_width))
+        self._advance(frame)
+
+    # .. fields ..........................................................................
+
+    def _resolve_field(self, symbol: Optional[str]) -> Tuple[str, str]:
+        if not symbol or "." not in symbol:
+            raise VMError(f"field symbol must be 'Class.field', got {symbol!r}")
+        class_name, field_name = symbol.rsplit(".", 1)
+        return class_name, field_name
+
+    def _do_iget(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.IGET_WIDE
+        if not self.get_vreg(instr.b, frame):
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        self.emit(self.translator.iget(instr, wide=wide))
+        self._advance(frame)
+
+    def _do_iput(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.IPUT_WIDE
+        if not self.get_vreg(instr.b, frame):
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        self.emit(self.translator.iput(instr, wide=wide))
+        self._advance(frame)
+
+    def _do_sget(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.SGET_WIDE
+        self.emit(self.translator.sget(instr, wide=wide))
+        self._advance(frame)
+
+    def _do_sput(self, frame, instr, base_depth) -> None:
+        wide = instr.op.category is Category.SPUT_WIDE
+        self.emit(self.translator.sput(instr, wide=wide))
+        self._advance(frame)
+
+    # .. arithmetic .......................................................................
+
+    def _do_unary_int(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.unary_int(instr))
+        self._advance(frame)
+
+    def _do_unary_wide(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.unary_wide(instr))
+        self._advance(frame)
+
+    def _do_unary_float(self, frame, instr, base_depth) -> None:
+        value = bits_to_float(self.get_vreg(instr.b, frame))
+        result = float_to_bits(-value)
+        self.emit(self.translator.unary_float(instr, result))
+        self._advance(frame)
+
+    def _do_convert(self, frame, instr, base_depth) -> None:
+        name = instr.op.name
+        if instr.op.helper is None:
+            self.emit(self.translator.convert(instr))
+            self._advance(frame)
+            return
+        src_wide = name.startswith(("long-", "double-"))
+        dst_wide = name.endswith(("long", "double"))
+        raw = (
+            self.get_vreg_wide(instr.b, frame)
+            if src_wide
+            else self.get_vreg(instr.b, frame)
+        )
+        source_kind = name.split("-")[0]
+        if source_kind == "int":
+            value = _signed32(raw)
+        elif source_kind == "long":
+            value = _signed64(raw)
+        elif source_kind == "float":
+            value = bits_to_float(raw)
+        else:
+            value = bits_to_double(raw)
+        target_kind = name.split("-to-")[1]
+        bits = _convert_value(value, target_kind)
+        result = (bits & MASK_32, (bits >> 32) & MASK_32)
+        self.emit(self.translator.convert_helper(instr, result, src_wide, dst_wide))
+        self._advance(frame)
+
+    def _binop_operands(self, frame, instr, wide: bool) -> Tuple[int, int]:
+        """Fetch the two raw operand values respecting the encoding variant."""
+        name = instr.op.name
+        getter = self.get_vreg_wide if wide else self.get_vreg
+        if name.endswith("/2addr"):
+            return getter(instr.a, frame), getter(instr.b, frame)
+        if name.endswith("/lit16") or name.endswith("/lit8") or name == "rsub-int":
+            literal = instr.literal
+            bits = 8 if name.endswith("/lit8") else 16
+            if literal & (1 << (bits - 1)):
+                literal -= 1 << bits
+            return self.get_vreg(instr.b, frame), literal & MASK_32
+        return getter(instr.b, frame), getter(instr.c, frame)
+
+    def _do_binop_int(self, frame, instr, base_depth) -> None:
+        raw_a, raw_b = self._binop_operands(frame, instr, wide=False)
+        base = self.translator._base_name(instr.op.name)
+        result: Optional[int] = None
+        if instr.op.helper or base in ("shl-int", "shr-int", "ushr-int"):
+            a, b = _signed32(raw_a), _signed32(raw_b)
+            if base in ("div-int", "rem-int"):
+                if b == 0:
+                    self._throw_by_name(
+                        frame, "java/lang/ArithmeticException", base_depth
+                    )
+                    return
+                quotient = int(a / b)  # Java truncates toward zero
+                result = (quotient if base == "div-int" else a - quotient * b) & MASK_32
+            elif base == "shl-int":
+                result = (raw_a << (raw_b & 31)) & MASK_32
+            elif base == "shr-int":
+                result = (a >> (raw_b & 31)) & MASK_32
+            else:  # ushr-int
+                result = (raw_a & MASK_32) >> (raw_b & 31)
+        name = instr.op.name
+        if name.endswith("/2addr"):
+            self.emit(self.translator.binop_2addr_int(instr, result))
+        elif name.endswith("/lit16") or name.endswith("/lit8") or name == "rsub-int":
+            self.emit(self.translator.binop_lit(instr, result))
+        else:
+            self.emit(self.translator.binop_int(instr, result))
+        self._advance(frame)
+
+    def _do_binop_wide(self, frame, instr, base_depth) -> None:
+        raw_a, raw_b = self._binop_operands(frame, instr, wide=True)
+        base = self.translator._base_name(instr.op.name)
+        result: Optional[Tuple[int, int]] = None
+        a, b = _signed64(raw_a), _signed64(raw_b)
+        if base in ("div-long", "rem-long"):
+            if b == 0:
+                self._throw_by_name(frame, "java/lang/ArithmeticException", base_depth)
+                return
+            quotient = int(a / b)
+            value = quotient if base == "div-long" else a - quotient * b
+            result = (value & MASK_32, (value >> 32) & MASK_32)
+        elif base == "mul-long":
+            value = (a * b) & MASK_64
+            result = (value & MASK_32, (value >> 32) & MASK_32)
+        elif base in ("shl-long", "shr-long", "ushr-long"):
+            shift = raw_b & 63
+            if base == "shl-long":
+                value = (raw_a << shift) & MASK_64
+            elif base == "shr-long":
+                value = (a >> shift) & MASK_64
+            else:
+                value = (raw_a & MASK_64) >> shift
+            result = (value & MASK_32, (value >> 32) & MASK_32)
+        self.emit(self.translator.binop_wide(instr, result))
+        self._advance(frame)
+
+    _FLOAT_OPS = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "div": lambda a, b: a / b if b else float("nan") * (1 if a == a else 1),
+        "rem": lambda a, b: _java_fmod(a, b),
+    }
+
+    def _do_binop_float(self, frame, instr, base_depth) -> None:
+        wide = "double" in instr.op.name
+        raw_a, raw_b = self._binop_operands(frame, instr, wide=wide)
+        to_value = bits_to_double if wide else bits_to_float
+        from_value = double_to_bits if wide else float_to_bits
+        op = self.translator._base_name(instr.op.name).split("-")[0]
+        try:
+            value = self._FLOAT_OPS[op](to_value(raw_a), to_value(raw_b))
+        except ZeroDivisionError:
+            value = float("inf")
+        bits = from_value(value)
+        result = (bits & MASK_32, (bits >> 32) & MASK_32)
+        self.emit(self.translator.binop_float(instr, result, wide=wide))
+        self._advance(frame)
+
+    # .. calls, returns, exceptions ..........................................................
+
+    def _do_invoke(self, frame, instr, base_depth) -> None:
+        if instr.symbol is None:
+            raise VMError("invoke needs a method symbol")
+        name = instr.symbol
+        self.emit(self.translator.invoke_prologue(instr))
+        argument_registers = list(instr.args)
+        if name in self.intrinsics:
+            self._invoke_intrinsic(frame, instr, name, argument_registers)
+            return
+        callee = self.methods.get(name)
+        if callee is None:
+            raise VMError(f"method {name!r} is not registered")
+        if len(argument_registers) != callee.ins:
+            raise VMError(
+                f"{name} expects {callee.ins} argument words, "
+                f"got {len(argument_registers)}"
+            )
+        new_frame = self._push_activation(callee)
+        # Save caller state into the callee frame's save area, then copy
+        # arguments into the callee's last `ins` vregs — all real stores.
+        self.emit(self.translator.frame_push(new_frame.frame_base))
+        args_base = new_frame.frame_base + 4 * (callee.registers - callee.ins)
+        self.emit([asm.add("r10", "r10", args_base - new_frame.frame_base)])
+        self.emit(self.translator.invoke_arg_copies(argument_registers))
+        self.emit(
+            [
+                asm.sub("rFP", "r10", args_base - new_frame.frame_base),
+                asm.mov("rPC", asm.reg("r3")),  # r3 = code ptr from prologue
+            ]
+        )
+        # The caller's pc stays AT the invoke while the callee runs, so an
+        # exception unwinding through this frame matches try ranges that
+        # cover the call site; the return path advances it.
+        self.emit(self.translator.refetch())
+
+    def _invoke_intrinsic(
+        self, frame, instr, name: str, argument_registers: List[int]
+    ) -> None:
+        arg_values = [self.get_vreg(r, frame) for r in argument_registers]
+        # AAPCS-style outgoing-argument area just above the stack pointer,
+        # reused by every native call (real overwrite/untaint dynamics).
+        args_area = self._frame_sp
+        if args_area + 4 * max(len(argument_registers), 1) > self._stack_limit:
+            raise VMError("thread stack exhausted")
+        self.space.memory.write_u32(self.self_base + SELF_ARGS, args_area)
+        self.emit([asm.patch("r10", args_area, mnemonic="ldr")])
+        self.emit(self.translator.invoke_arg_copies(argument_registers))
+        handler = self.intrinsics[name]
+        handler(self, arg_values, args_area)
+        frame.pc += 1
+        self.cpu.registers["rPC"] = (
+            frame.method.instruction_offsets[frame.pc]
+            if frame.pc < len(frame.method.code)
+            else frame.method.instruction_offsets[-1]
+        )
+        self.emit(self.translator.refetch())
+
+    def _do_return(self, frame, instr, base_depth) -> None:
+        category = instr.op.category
+        if category is Category.RETURN_VOID:
+            self.emit(self.translator.return_void(instr))
+        else:
+            self.emit(
+                self.translator.return_value(
+                    instr, wide=category is Category.RETURN_WIDE
+                )
+            )
+        self._pop_activation()
+        if len(self._frames) > base_depth:
+            self.emit(self.translator.frame_pop())
+            caller = self._frames[-1]
+            caller.pc += 1  # resume after the invoke
+            if caller.pc < len(caller.method.code):
+                self.cpu.registers["rPC"] = caller.method.instruction_offsets[
+                    caller.pc
+                ]
+            self.emit(self.translator.refetch())
+
+    def _do_throw(self, frame, instr, base_depth) -> None:
+        self.emit(self.translator.throw(instr))
+        reference = self.get_vreg(instr.a, frame)
+        if not reference:
+            self._throw_by_name(frame, "java/lang/NullPointerException", base_depth)
+            return
+        self._dispatch_exception(self.heap.deref(reference), base_depth)
+
+    def _throw_by_name(self, frame, class_name: str, base_depth: int) -> None:
+        """Raise a runtime VM exception (NPE, bounds, arithmetic...)."""
+        if class_name not in self.heap.classes:
+            self.heap.define_class(class_name, superclass="java/lang/RuntimeException")
+        exception = self.heap.new_instance(class_name)
+        self.space.memory.write_u32(
+            self.self_base + SELF_EXCEPTION, exception.address
+        )
+        self._dispatch_exception(exception, base_depth)
+
+    def _dispatch_exception(self, exception: HeapValue, base_depth: int) -> None:
+        while len(self._frames) > base_depth:
+            frame = self._frames[-1]
+            handler = self._find_handler(frame, exception)
+            if handler is not None:
+                self._branch_to(frame, handler.handler_label)
+                return
+            self._pop_activation()
+            if len(self._frames) > base_depth:
+                self.emit(self.translator.frame_pop())
+        raise UncaughtVMException(exception)
+
+    def _find_handler(self, frame: Activation, exception: HeapValue):
+        for handler in frame.method.handlers:
+            start = frame.method.label_index(handler.start_label)
+            end = frame.method.label_index(handler.end_label)
+            if not start <= frame.pc < end:
+                continue
+            catch_class = self.heap.class_of(handler.catch_class)
+            throwable = self.heap.class_of("java/lang/Throwable")
+            if exception.vm_class.is_subclass_of(catch_class) or (
+                handler.catch_class == "java/lang/Throwable"
+                and exception.vm_class.is_subclass_of(throwable)
+            ):
+                return handler
+            # Untyped catch-all: accept anything.
+            if handler.catch_class == "*":
+                return handler
+        return None
+
+    _DISPATCH = {
+        Category.NOP: _do_nop,
+        Category.MOVE: _do_move,
+        Category.MOVE_WIDE: _do_move_wide,
+        Category.MOVE_RESULT: _do_move_result,
+        Category.MOVE_RESULT_WIDE: _do_move_result,
+        Category.MOVE_EXCEPTION: _do_move_exception,
+        Category.RETURN_VOID: _do_return,
+        Category.RETURN: _do_return,
+        Category.RETURN_WIDE: _do_return,
+        Category.CONST: _do_const,
+        Category.CONST_WIDE: _do_const_wide,
+        Category.CONST_STRING: _do_const_string,
+        Category.CONST_CLASS: _do_const_class,
+        Category.MONITOR: _do_monitor,
+        Category.CHECK_CAST: _do_check_cast,
+        Category.INSTANCE_OF: _do_instance_of,
+        Category.ARRAY_LENGTH: _do_array_length,
+        Category.NEW_INSTANCE: _do_new_instance,
+        Category.NEW_ARRAY: _do_new_array,
+        Category.THROW: _do_throw,
+        Category.GOTO: _do_goto,
+        Category.SWITCH: _do_switch,
+        Category.CMP: _do_cmp,
+        Category.IF_TEST: _do_if_test,
+        Category.IF_TESTZ: _do_if_testz,
+        Category.AGET: _do_aget,
+        Category.AGET_WIDE: _do_aget,
+        Category.APUT: _do_aput,
+        Category.APUT_WIDE: _do_aput,
+        Category.APUT_OBJECT: _do_aput,
+        Category.IGET: _do_iget,
+        Category.IGET_WIDE: _do_iget,
+        Category.IPUT: _do_iput,
+        Category.IPUT_WIDE: _do_iput,
+        Category.SGET: _do_sget,
+        Category.SGET_WIDE: _do_sget,
+        Category.SPUT: _do_sput,
+        Category.SPUT_WIDE: _do_sput,
+        Category.INVOKE: _do_invoke,
+        Category.UNARY_INT: _do_unary_int,
+        Category.UNARY_WIDE: _do_unary_wide,
+        Category.UNARY_FLOAT: _do_unary_float,
+        Category.CONVERT: _do_convert,
+        Category.BINOP_INT: _do_binop_int,
+        Category.BINOP_WIDE: _do_binop_wide,
+        Category.BINOP_FLOAT: _do_binop_float,
+        Category.BINOP_2ADDR_INT: _do_binop_int,
+        Category.BINOP_2ADDR_WIDE: _do_binop_wide,
+        Category.BINOP_2ADDR_FLOAT: _do_binop_float,
+        Category.BINOP_LIT: _do_binop_int,
+    }
+
+
+def _java_fmod(a: float, b: float) -> float:
+    if b == 0:
+        return float("nan")
+    import math
+
+    return math.fmod(a, b)
+
+
+def _convert_value(value, target_kind: str) -> int:
+    """Java primitive conversion semantics, returned as raw bits."""
+    if target_kind == "int":
+        clamped = max(min(int(value), 2**31 - 1), -(2**31)) if value == value else 0
+        return clamped & MASK_32
+    if target_kind == "long":
+        clamped = max(min(int(value), 2**63 - 1), -(2**63)) if value == value else 0
+        return clamped & MASK_64
+    if target_kind == "float":
+        return float_to_bits(float(value))
+    if target_kind == "double":
+        return double_to_bits(float(value))
+    raise VMError(f"unknown conversion target {target_kind!r}")
+
+
+def _element_width(class_name: str) -> int:
+    """Array element width from a descriptor-like class name."""
+    widths = {
+        "[B": 1,
+        "[Z": 1,
+        "[C": 2,
+        "[S": 2,
+        "[I": 4,
+        "[F": 4,
+        "[J": 8,
+        "[D": 8,
+    }
+    return widths.get(class_name, 4)  # object arrays hold 4-byte references

@@ -1,0 +1,93 @@
+"""ARM-flavoured load/store CPU simulator — the gem5 stand-in.
+
+The paper instruments gem5 to obtain instruction-level execution traces of
+Android apps on an ARM processor; this package provides the equivalent
+substrate: a byte-addressable :class:`~repro.isa.memory.AddressSpace`, a
+16-register :class:`~repro.isa.registers.RegisterFile`, the load/store
+instruction set PIFT watches, and a tracing
+:class:`~repro.isa.cpu.CPU` whose observers receive every retired
+instruction.
+"""
+
+from repro.isa.cpu import CPU, FullTraceRecorder, Observer, TraceRecorder
+from repro.isa.disasm import DisassemblyRecorder
+from repro.isa.scheduler import (
+    load_store_distances,
+    tighten_load_store,
+)
+from repro.isa.instructions import (
+    Address,
+    Alu,
+    AluOp,
+    Branch,
+    Cmp,
+    ExecutionRecord,
+    Imm,
+    Instruction,
+    Load,
+    LoadMultiple,
+    Mov,
+    Mul,
+    Nop,
+    Reg,
+    RegisterPatch,
+    ShiftKind,
+    Store,
+    StoreMultiple,
+    Ubfx,
+)
+from repro.isa.memory import (
+    AddressSpace,
+    BumpAllocator,
+    Memory,
+    MemoryFault,
+    Region,
+)
+from repro.isa.registers import (
+    MASK_32,
+    REGISTER_ALIASES,
+    REGISTER_COUNT,
+    ConditionFlags,
+    RegisterFile,
+    register_number,
+)
+
+__all__ = [
+    "Address",
+    "AddressSpace",
+    "Alu",
+    "AluOp",
+    "Branch",
+    "BumpAllocator",
+    "CPU",
+    "Cmp",
+    "DisassemblyRecorder",
+    "ConditionFlags",
+    "ExecutionRecord",
+    "FullTraceRecorder",
+    "Imm",
+    "Instruction",
+    "Load",
+    "LoadMultiple",
+    "MASK_32",
+    "Memory",
+    "MemoryFault",
+    "Mov",
+    "Mul",
+    "Nop",
+    "Observer",
+    "REGISTER_ALIASES",
+    "REGISTER_COUNT",
+    "Reg",
+    "RegisterPatch",
+    "Region",
+    "RegisterFile",
+    "ShiftKind",
+    "Store",
+    "StoreMultiple",
+    "TraceRecorder",
+    "Ubfx",
+    "load_store_distances",
+    "register_number",
+    "tighten_load_store",
+]

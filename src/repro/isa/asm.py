@@ -1,0 +1,213 @@
+"""Assembler-style constructors so emitted routines read like ARM listings.
+
+The Dalvik translator's routines are written with these helpers, matching
+the paper's Figure 8/9 listings nearly token-for-token::
+
+    asm.mov("r3", asm.reg("rINST", lsr=12))          # mov r3, rINST, lsr #12
+    asm.ubfx("r9", "rINST", 8, 4)                    # ubfx r9, rINST, #8, #4
+    asm.ldr("r1", "rFP", asm.reg("r3", lsl=2))       # ldr r1, [r5, r3 LSL #2]
+    asm.mul("r0", "r1", "r0")                        # mul r0, r1, r0
+    asm.str_("r0", "rFP", asm.reg("r9", lsl=2))      # str r0, [r5, r9 LSL #2]
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.isa.instructions import (
+    Address,
+    Alu,
+    AluOp,
+    Branch,
+    Cmp,
+    Imm,
+    Instruction,
+    Load,
+    LoadMultiple,
+    Mov,
+    Mul,
+    Nop,
+    Operand,
+    Reg,
+    RegisterPatch,
+    ShiftKind,
+    Store,
+    StoreMultiple,
+    Ubfx,
+)
+
+OperandLike = Union[int, str, Operand]
+OffsetLike = Union[None, int, Operand]
+
+
+def imm(value: int) -> Imm:
+    return Imm(value)
+
+
+def reg(register, lsl: int = 0, lsr: int = 0, asr: int = 0) -> Reg:
+    """A register operand with at most one of lsl/lsr/asr applied."""
+    shifts = [(ShiftKind.LSL, lsl), (ShiftKind.LSR, lsr), (ShiftKind.ASR, asr)]
+    active = [(kind, amount) for kind, amount in shifts if amount]
+    if len(active) > 1:
+        raise ValueError("at most one shift may be given")
+    if active:
+        kind, amount = active[0]
+        return Reg(register, kind, amount)
+    return Reg(register)
+
+
+def _operand(value: OperandLike) -> Operand:
+    if isinstance(value, (Imm, Reg)):
+        return value
+    if isinstance(value, int):
+        return Imm(value)
+    return Reg(value)
+
+
+def _offset(value: OffsetLike) -> Optional[Operand]:
+    if value is None:
+        return None
+    return _operand(value)
+
+
+def _address(base, offset: OffsetLike, writeback: bool, post: bool) -> Address:
+    return Address(base, _offset(offset), pre=not post, writeback=writeback)
+
+
+# -- data processing ------------------------------------------------------
+
+
+def nop(comment: str = "") -> Nop:
+    return Nop(comment)
+
+
+def b(target: str = "") -> Branch:
+    return Branch(target)
+
+
+def mov(rd, src: OperandLike, s: bool = False) -> Mov:
+    return Mov(rd, _operand(src), set_flags=s)
+
+
+def mvn(rd, src: OperandLike, s: bool = False) -> Mov:
+    return Mov(rd, _operand(src), invert=True, set_flags=s)
+
+
+def _alu(op: AluOp, rd, rn, src: OperandLike, s: bool) -> Alu:
+    return Alu(op, rd, rn, _operand(src), set_flags=s)
+
+
+def add(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.ADD, rd, rn, src, s)
+
+
+def adds(rd, rn, src: OperandLike) -> Alu:
+    return add(rd, rn, src, s=True)
+
+
+def sub(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.SUB, rd, rn, src, s)
+
+
+def subs(rd, rn, src: OperandLike) -> Alu:
+    return sub(rd, rn, src, s=True)
+
+
+def rsb(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.RSB, rd, rn, src, s)
+
+
+def and_(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.AND, rd, rn, src, s)
+
+
+def orr(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.ORR, rd, rn, src, s)
+
+
+def eor(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.EOR, rd, rn, src, s)
+
+
+def bic(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.BIC, rd, rn, src, s)
+
+
+def mul(rd, rn, rm) -> Mul:
+    return Mul(rd, rn, rm)
+
+
+def adc(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.ADC, rd, rn, src, s)
+
+
+def sbc(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.SBC, rd, rn, src, s)
+
+
+def rsc(rd, rn, src: OperandLike, s: bool = False) -> Alu:
+    return _alu(AluOp.RSC, rd, rn, src, s)
+
+
+def patch(rd, value: int, reads: Sequence = (), mnemonic: str = "mov") -> RegisterPatch:
+    """A VM-computed result write with faithful register dataflow."""
+    return RegisterPatch(rd, value, tuple(reads), mnemonic)
+
+
+def ubfx(rd, rn, lsb: int, width: int) -> Ubfx:
+    return Ubfx(rd, rn, lsb, width)
+
+
+def cmp(rn, src: OperandLike) -> Cmp:
+    return Cmp(rn, _operand(src))
+
+
+# -- memory ----------------------------------------------------------------
+
+
+def ldr(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Load:
+    return Load(rd, _address(base, offset, wb, post), width=4)
+
+
+def ldrh(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Load:
+    return Load(rd, _address(base, offset, wb, post), width=2)
+
+
+def ldrb(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Load:
+    return Load(rd, _address(base, offset, wb, post), width=1)
+
+
+def ldrsh(rd, base, offset: OffsetLike = None) -> Load:
+    return Load(rd, _address(base, offset, False, False), width=2, signed=True)
+
+
+def ldrsb(rd, base, offset: OffsetLike = None) -> Load:
+    return Load(rd, _address(base, offset, False, False), width=1, signed=True)
+
+
+def ldrd(rd, rd2, base, offset: OffsetLike = None) -> Load:
+    return Load(rd, _address(base, offset, False, False), width=4, rd2=rd2)
+
+
+def str_(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Store:
+    return Store(rd, _address(base, offset, wb, post), width=4)
+
+
+def strh(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Store:
+    return Store(rd, _address(base, offset, wb, post), width=2)
+
+
+def strb(rd, base, offset: OffsetLike = None, wb: bool = False, post: bool = False) -> Store:
+    return Store(rd, _address(base, offset, wb, post), width=1)
+
+
+def strd(rd, rd2, base, offset: OffsetLike = None) -> Store:
+    return Store(rd, _address(base, offset, False, False), width=4, rd2=rd2)
+
+
+def ldmia(base, registers: Sequence, wb: bool = True) -> LoadMultiple:
+    return LoadMultiple(base, tuple(registers), writeback=wb)
+
+
+def stmdb(base, registers: Sequence, wb: bool = True) -> StoreMultiple:
+    return StoreMultiple(base, tuple(registers), writeback=wb)

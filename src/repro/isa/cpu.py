@@ -1,0 +1,114 @@
+"""The tracing CPU: executes instruction sequences and notifies observers.
+
+This plays gem5's role in the paper's methodology — it produces the
+instruction-level execution stream that PIFT's front end (and the full-DIFT
+baseline) consume.  Observers receive every retired instruction's
+:class:`~repro.isa.instructions.ExecutionRecord` together with the
+per-process instruction index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.events import EventTrace, MemoryAccess
+from repro.isa.instructions import ExecutionRecord, Instruction
+from repro.isa.memory import AddressSpace
+from repro.isa.registers import RegisterFile
+
+#: Observer signature: (record, per-process instruction index, pid).
+Observer = Callable[[ExecutionRecord, int, int], None]
+
+
+class CPU:
+    """A single-core, in-order CPU over one address space.
+
+    The hosting VM feeds instruction sequences through :meth:`run`; there is
+    no fetch/decode from memory — programs in this reproduction are
+    generated (mterp-style) rather than stored, which leaves the memory
+    *data* traffic identical to the paper's while keeping the simulator
+    small.
+    """
+
+    def __init__(
+        self,
+        address_space: Optional[AddressSpace] = None,
+        render_text: bool = False,
+    ) -> None:
+        self.address_space = address_space or AddressSpace()
+        self.registers = RegisterFile()
+        self._observers: List[Observer] = []
+        self._counters: Dict[int, int] = {}
+        self._pid = 0
+        #: When True, every ExecutionRecord carries the instruction's full
+        #: assembly text (for disassembly listings; costs a str() each).
+        self.render_text = render_text
+
+    # -- process context -----------------------------------------------------
+
+    @property
+    def current_pid(self) -> int:
+        return self._pid
+
+    def context_switch(self, pid: int) -> None:
+        self._pid = pid
+
+    def instruction_count(self, pid: Optional[int] = None) -> int:
+        key = self._pid if pid is None else pid
+        return self._counters.get(key, 0)
+
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, instruction: Instruction) -> ExecutionRecord:
+        """Retire one instruction and fan its record out to observers."""
+        record = instruction.execute(self)
+        if self.render_text:
+            record = dataclasses.replace(record, text=str(instruction))
+        index = self._counters.get(self._pid, 0)
+        self._counters[self._pid] = index + 1
+        for observer in self._observers:
+            observer(record, index, self._pid)
+        return record
+
+    def run(self, instructions: Iterable[Instruction]) -> int:
+        """Execute a sequence; returns the number of instructions retired."""
+        count = 0
+        for instruction in instructions:
+            self.execute(instruction)
+            count += 1
+        return count
+
+
+class TraceRecorder:
+    """Observer that materialises the memory-event trace PIFT consumes."""
+
+    def __init__(self) -> None:
+        self.trace = EventTrace()
+
+    def __call__(self, record: ExecutionRecord, index: int, pid: int) -> None:
+        if record.is_memory:
+            assert record.kind is not None and record.address_range is not None
+            self.trace.append(
+                MemoryAccess(record.kind, record.address_range, index, pid)
+            )
+        elif index >= self.trace.instruction_count:
+            self.trace.instruction_count = index + 1
+
+
+class FullTraceRecorder:
+    """Observer that keeps every execution record (for the DIFT baseline)."""
+
+    def __init__(self) -> None:
+        self.records: List[ExecutionRecord] = []
+
+    def __call__(self, record: ExecutionRecord, index: int, pid: int) -> None:
+        self.records.append(record)

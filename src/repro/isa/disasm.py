@@ -1,0 +1,73 @@
+"""Annotated trace listings — the paper's Figure 1/9 presentation format.
+
+``DisassemblyRecorder`` is a CPU observer that renders every retired
+instruction as an address-annotated line, optionally marking the events a
+PIFT tracker acted on, e.g.::
+
+    0x40000010: ldrh lr, [r1, r2]        ; load [0x600152a4,0x600152a5] TAINTED-LOAD
+    0x40000011: adds r3, r3, #1
+    0x40000012: strh lr, [r0, r2]        ; store [0x600152d4,0x600152d5] TAINT
+
+Useful for debugging apps and for producing the paper-style listings in
+documentation; see ``examples/trace_anatomy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.events import AccessKind
+from repro.core.tracker import PIFTTracker
+from repro.isa.instructions import ExecutionRecord
+
+#: Fictitious text-segment base for rendered addresses (one slot per
+#: retired instruction, like a trace dump's program counter column).
+LISTING_BASE = 0x40000000
+
+
+class DisassemblyRecorder:
+    """CPU observer producing an annotated, bounded trace listing."""
+
+    def __init__(
+        self,
+        tracker: Optional[PIFTTracker] = None,
+        max_lines: int = 10_000,
+    ) -> None:
+        self.tracker = tracker
+        self.max_lines = max_lines
+        self.lines: List[str] = []
+        self.truncated = False
+
+    def __call__(self, record: ExecutionRecord, index: int, pid: int) -> None:
+        if len(self.lines) >= self.max_lines:
+            self.truncated = True
+            return
+        self.lines.append(self._render(record, index))
+
+    def _render(self, record: ExecutionRecord, index: int) -> str:
+        text = f"{LISTING_BASE + index:#010x}: {self._mnemonic_text(record)}"
+        if not record.is_memory:
+            return text
+        assert record.address_range is not None
+        kind = "load" if record.kind is AccessKind.LOAD else "store"
+        annotation = (
+            f"{kind} [{record.address_range.start:#x},"
+            f"{record.address_range.end:#x}]"
+        )
+        if self.tracker is not None:
+            tainted = self.tracker.check(record.address_range)
+            if record.kind is AccessKind.LOAD and tainted:
+                annotation += " TAINTED-LOAD"
+            elif record.kind is AccessKind.STORE and tainted:
+                annotation += " TAINT"
+        return f"{text:<48s}; {annotation}"
+
+    @staticmethod
+    def _mnemonic_text(record: ExecutionRecord) -> str:
+        return record.text or record.mnemonic
+
+    def text(self, first: int = 0, count: Optional[int] = None) -> str:
+        """Render a slice of the listing (all of it by default)."""
+        selected = self.lines[first : None if count is None else first + count]
+        tail = ["... (truncated)"] if self.truncated else []
+        return "\n".join(selected + tail)

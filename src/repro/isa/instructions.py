@@ -1,0 +1,614 @@
+"""The ARM-flavoured instruction set executed by the simulator.
+
+The set mirrors what the paper's traces contain: data-processing ops
+(``mov``, ``add``, ``mul``, ``ubfx``, ...), compares/branches, and the
+memory instructions PIFT watches (``ldr``/``ldrh``/``ldrb``/``ldrd``/
+``ldmia`` and the matching stores, per §3.2's examples).
+
+Control flow is decided by the hosting VM (which emits the instruction
+stream), so branch instructions here are *stream markers*: they occupy one
+slot in the instruction sequence — which is what the tainting window is
+measured in — but do not themselves transfer control.
+
+Every instruction's :meth:`execute` returns an :class:`ExecutionRecord`
+carrying what the two consumers need: the PIFT front end reads the access
+kind and address range; the full-DIFT baseline additionally reads which
+registers sourced and received data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.events import AccessKind
+from repro.core.ranges import AddressRange
+from repro.isa.registers import MASK_32, register_number
+
+
+class ShiftKind(enum.Enum):
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand, e.g. ``#255``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand with an optional immediate shift, e.g. ``r3, LSL #2``."""
+
+    register: int
+    shift: Optional[ShiftKind] = None
+    shift_amount: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "register", register_number(self.register))
+        if self.shift is not None and not 0 <= self.shift_amount <= 31:
+            raise ValueError(f"shift amount out of range: {self.shift_amount}")
+
+    def __str__(self) -> str:
+        if self.shift is None:
+            return f"r{self.register}"
+        return f"r{self.register}, {self.shift.name} #{self.shift_amount}"
+
+
+Operand = Union[Imm, Reg]
+
+
+def _apply_shift(value: int, operand: Reg) -> int:
+    if operand.shift is None or operand.shift_amount == 0:
+        return value & MASK_32
+    amount = operand.shift_amount
+    if operand.shift is ShiftKind.LSL:
+        return (value << amount) & MASK_32
+    if operand.shift is ShiftKind.LSR:
+        return (value & MASK_32) >> amount
+    # ASR: arithmetic shift of the signed interpretation.
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    return (signed >> amount) & MASK_32
+
+
+@dataclass(frozen=True)
+class Address:
+    """An ARM addressing mode: base register plus immediate/register offset.
+
+    ``pre=True`` applies the offset before the access (``[rn, #off]``);
+    ``writeback`` updates the base register (the ``!`` suffix, or
+    post-indexing when ``pre=False``).
+    """
+
+    base: int
+    offset: Optional[Operand] = None
+    pre: bool = True
+    writeback: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", register_number(self.base))
+
+    def __str__(self) -> str:
+        if self.offset is None:
+            return f"[r{self.base}]"
+        if self.pre:
+            suffix = "!" if self.writeback else ""
+            return f"[r{self.base}, {self.offset}]{suffix}"
+        return f"[r{self.base}], {self.offset}"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Everything observable about one executed instruction.
+
+    ``data_registers`` are the registers whose *contents* crossed the
+    memory boundary (load destinations / store sources) — the registers a
+    full register-level tracker propagates taint through.  Address-forming
+    registers are listed in ``reads`` but not in ``data_registers``.
+    """
+
+    mnemonic: str
+    kind: Optional[AccessKind] = None
+    address_range: Optional[AddressRange] = None
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    data_registers: Tuple[int, ...] = ()
+    #: Full assembly text; populated only when the CPU runs with
+    #: ``render_text=True`` (it costs a str() per retired instruction).
+    text: str = ""
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is not None
+
+
+class Instruction:
+    """Base class; subclasses implement :meth:`execute`."""
+
+    mnemonic: str = "?"
+
+    def execute(self, cpu) -> ExecutionRecord:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+def _operand_value(cpu, operand: Operand) -> int:
+    if isinstance(operand, Imm):
+        return operand.value & MASK_32
+    return _apply_shift(cpu.registers.read(operand.register), operand)
+
+
+def _operand_reads(operand: Operand) -> Tuple[int, ...]:
+    if isinstance(operand, Reg):
+        return (operand.register,)
+    return ()
+
+
+def _resolve_address(cpu, address: Address, size: int) -> Tuple[int, AddressRange]:
+    base_value = cpu.registers.read(address.base)
+    offset = _operand_value(cpu, address.offset) if address.offset else 0
+    effective = (base_value + offset) & MASK_32 if address.pre else base_value
+    if address.writeback or not address.pre:
+        cpu.registers.write(address.base, base_value + offset)
+    return effective, AddressRange.from_base_size(effective, size)
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """A non-memory filler instruction (pipeline/dispatch work)."""
+
+    comment: str = ""
+    mnemonic: str = field(default="nop", init=False)
+
+    def execute(self, cpu) -> ExecutionRecord:
+        return ExecutionRecord(self.mnemonic)
+
+    def __str__(self) -> str:
+        return f"nop{'  @ ' + self.comment if self.comment else ''}"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """A branch marker: occupies one instruction slot; the VM already chose
+    the successor, so no control transfer happens here."""
+
+    target: str = ""
+    mnemonic: str = field(default="b", init=False)
+
+    def execute(self, cpu) -> ExecutionRecord:
+        return ExecutionRecord(self.mnemonic)
+
+    def __str__(self) -> str:
+        return f"b {self.target}".strip()
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    rd: int
+    src: Operand
+    invert: bool = False  # mvn
+    set_flags: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+
+    @property
+    def mnemonic(self) -> str:
+        return "mvn" if self.invert else "mov"
+
+    def execute(self, cpu) -> ExecutionRecord:
+        value = _operand_value(cpu, self.src)
+        if self.invert:
+            value = ~value & MASK_32
+        cpu.registers.write(self.rd, value)
+        if self.set_flags:
+            cpu.registers.flags.set_nz(value)
+        return ExecutionRecord(
+            self.mnemonic, reads=_operand_reads(self.src), writes=(self.rd,)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic} r{self.rd}, {self.src}"
+
+
+class AluOp(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    RSB = "rsb"
+    ADC = "adc"
+    SBC = "sbc"
+    RSC = "rsc"
+    AND = "and"
+    ORR = "orr"
+    EOR = "eor"
+    BIC = "bic"
+
+
+_ALU_FUNCS = {
+    AluOp.ADD: lambda a, b, c: a + b,
+    AluOp.SUB: lambda a, b, c: a - b,
+    AluOp.RSB: lambda a, b, c: b - a,
+    AluOp.ADC: lambda a, b, c: a + b + c,
+    AluOp.SBC: lambda a, b, c: a - b - (1 - c),
+    AluOp.RSC: lambda a, b, c: b - a - (1 - c),
+    AluOp.AND: lambda a, b, c: a & b,
+    AluOp.ORR: lambda a, b, c: a | b,
+    AluOp.EOR: lambda a, b, c: a ^ b,
+    AluOp.BIC: lambda a, b, c: a & ~b,
+}
+
+#: Ops whose S-suffixed form must also update the carry flag.
+_CARRY_OPS = {
+    AluOp.ADD: lambda a, b, c: a + b > MASK_32,
+    AluOp.SUB: lambda a, b, c: a >= b,
+    AluOp.RSB: lambda a, b, c: b >= a,
+    AluOp.ADC: lambda a, b, c: a + b + c > MASK_32,
+    AluOp.SBC: lambda a, b, c: a >= b + (1 - c),
+    AluOp.RSC: lambda a, b, c: b >= a + (1 - c),
+}
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """Two-source data-processing instruction: ``op rd, rn, <operand>``."""
+
+    op: AluOp
+    rd: int
+    rn: int
+    src: Operand
+    set_flags: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        object.__setattr__(self, "rn", register_number(self.rn))
+
+    @property
+    def mnemonic(self) -> str:
+        return self.op.value + ("s" if self.set_flags else "")
+
+    def execute(self, cpu) -> ExecutionRecord:
+        a = cpu.registers.read(self.rn)
+        b = _operand_value(cpu, self.src)
+        carry = int(cpu.registers.flags.carry)
+        value = _ALU_FUNCS[self.op](a, b, carry) & MASK_32
+        cpu.registers.write(self.rd, value)
+        if self.set_flags:
+            cpu.registers.flags.set_nz(value)
+            carry_func = _CARRY_OPS.get(self.op)
+            if carry_func is not None:
+                cpu.registers.flags.carry = carry_func(a, b, carry)
+        return ExecutionRecord(
+            self.mnemonic,
+            reads=(self.rn,) + _operand_reads(self.src),
+            writes=(self.rd,),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic} r{self.rd}, r{self.rn}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Mul(Instruction):
+    rd: int
+    rn: int
+    rm: int
+    mnemonic: str = field(default="mul", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        object.__setattr__(self, "rn", register_number(self.rn))
+        object.__setattr__(self, "rm", register_number(self.rm))
+
+    def execute(self, cpu) -> ExecutionRecord:
+        value = (cpu.registers.read(self.rn) * cpu.registers.read(self.rm)) & MASK_32
+        cpu.registers.write(self.rd, value)
+        return ExecutionRecord(
+            self.mnemonic, reads=(self.rn, self.rm), writes=(self.rd,)
+        )
+
+    def __str__(self) -> str:
+        return f"mul r{self.rd}, r{self.rn}, r{self.rm}"
+
+
+@dataclass(frozen=True)
+class Ubfx(Instruction):
+    """Unsigned bit-field extract (mterp uses it to crack bytecode words)."""
+
+    rd: int
+    rn: int
+    lsb: int
+    width: int
+    mnemonic: str = field(default="ubfx", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        object.__setattr__(self, "rn", register_number(self.rn))
+        if not 0 <= self.lsb <= 31 or not 1 <= self.width <= 32 - self.lsb:
+            raise ValueError(f"invalid bit-field lsb={self.lsb} width={self.width}")
+
+    def execute(self, cpu) -> ExecutionRecord:
+        value = (cpu.registers.read(self.rn) >> self.lsb) & ((1 << self.width) - 1)
+        cpu.registers.write(self.rd, value)
+        return ExecutionRecord(self.mnemonic, reads=(self.rn,), writes=(self.rd,))
+
+    def __str__(self) -> str:
+        return f"ubfx r{self.rd}, r{self.rn}, #{self.lsb}, #{self.width}"
+
+
+@dataclass(frozen=True)
+class Cmp(Instruction):
+    """Compare (subtract and set flags; ``cmps`` in the paper's trace)."""
+
+    rn: int
+    src: Operand
+    mnemonic: str = field(default="cmp", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rn", register_number(self.rn))
+
+    def execute(self, cpu) -> ExecutionRecord:
+        a = cpu.registers.read(self.rn)
+        b = _operand_value(cpu, self.src)
+        result = (a - b) & MASK_32
+        cpu.registers.flags.set_nz(result)
+        cpu.registers.flags.carry = a >= b
+        return ExecutionRecord(self.mnemonic, reads=(self.rn,) + _operand_reads(self.src))
+
+    def __str__(self) -> str:
+        return f"cmp r{self.rn}, {self.src}"
+
+
+_WIDTH_MNEMONICS = {1: "b", 2: "h", 4: ""}
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``ldr``/``ldrh``/``ldrb``/``ldrsh``/``ldrsb``/``ldrd`` family."""
+
+    rd: int
+    address: Address
+    width: int = 4
+    signed: bool = False
+    rd2: Optional[int] = None  # second destination for ldrd
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        if self.rd2 is not None:
+            object.__setattr__(self, "rd2", register_number(self.rd2))
+            if self.width != 4:
+                raise ValueError("ldrd is a pair of 32-bit words")
+        if self.width not in (1, 2, 4):
+            raise ValueError(f"unsupported load width {self.width}")
+        if self.signed and self.width == 4:
+            raise ValueError("ldrs* applies to sub-word widths only")
+
+    @property
+    def mnemonic(self) -> str:
+        if self.rd2 is not None:
+            return "ldrd"
+        sign = "s" if self.signed else ""
+        return f"ldr{sign}{_WIDTH_MNEMONICS[self.width]}"
+
+    def execute(self, cpu) -> ExecutionRecord:
+        total = self.width if self.rd2 is None else 8
+        effective, access_range = _resolve_address(cpu, self.address, total)
+        value = int.from_bytes(
+            cpu.address_space.memory.read_bytes(effective, self.width), "little"
+        )
+        if self.signed and value & (1 << (8 * self.width - 1)):
+            value -= 1 << (8 * self.width)
+        cpu.registers.write(self.rd, value)
+        writes = [self.rd]
+        data_registers = [self.rd]
+        if self.rd2 is not None:
+            high = cpu.address_space.memory.read_u32(effective + 4)
+            cpu.registers.write(self.rd2, high)
+            writes.append(self.rd2)
+            data_registers.append(self.rd2)
+        reads = (self.address.base,) + (
+            _operand_reads(self.address.offset) if self.address.offset else ()
+        )
+        if self.address.writeback or not self.address.pre:
+            writes.append(self.address.base)
+        return ExecutionRecord(
+            self.mnemonic,
+            kind=AccessKind.LOAD,
+            address_range=access_range,
+            reads=reads,
+            writes=tuple(writes),
+            data_registers=tuple(data_registers),
+        )
+
+    def __str__(self) -> str:
+        if self.rd2 is not None:
+            return f"ldrd r{self.rd}, r{self.rd2}, {self.address}"
+        return f"{self.mnemonic} r{self.rd}, {self.address}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``str``/``strh``/``strb``/``strd`` family."""
+
+    rd: int
+    address: Address
+    width: int = 4
+    rd2: Optional[int] = None  # second source for strd
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        if self.rd2 is not None:
+            object.__setattr__(self, "rd2", register_number(self.rd2))
+            if self.width != 4:
+                raise ValueError("strd is a pair of 32-bit words")
+        if self.width not in (1, 2, 4):
+            raise ValueError(f"unsupported store width {self.width}")
+
+    @property
+    def mnemonic(self) -> str:
+        if self.rd2 is not None:
+            return "strd"
+        return f"str{_WIDTH_MNEMONICS[self.width]}"
+
+    def execute(self, cpu) -> ExecutionRecord:
+        total = self.width if self.rd2 is None else 8
+        effective, access_range = _resolve_address(cpu, self.address, total)
+        value = cpu.registers.read(self.rd)
+        cpu.address_space.memory.write_bytes(
+            effective, (value & ((1 << (8 * self.width)) - 1)).to_bytes(self.width, "little")
+        )
+        data_registers = [self.rd]
+        if self.rd2 is not None:
+            cpu.address_space.memory.write_u32(
+                effective + 4, cpu.registers.read(self.rd2)
+            )
+            data_registers.append(self.rd2)
+        reads = (
+            tuple(data_registers)
+            + (self.address.base,)
+            + (_operand_reads(self.address.offset) if self.address.offset else ())
+        )
+        writes = (
+            (self.address.base,)
+            if (self.address.writeback or not self.address.pre)
+            else ()
+        )
+        return ExecutionRecord(
+            self.mnemonic,
+            kind=AccessKind.STORE,
+            address_range=access_range,
+            reads=reads,
+            writes=writes,
+            data_registers=tuple(data_registers),
+        )
+
+    def __str__(self) -> str:
+        if self.rd2 is not None:
+            return f"strd r{self.rd}, r{self.rd2}, {self.address}"
+        return f"{self.mnemonic} r{self.rd}, {self.address}"
+
+
+@dataclass(frozen=True)
+class LoadMultiple(Instruction):
+    """``ldmia rn(!), {registers}`` — one event spanning all loaded words."""
+
+    base: int
+    registers: Tuple[int, ...]
+    writeback: bool = True
+    mnemonic: str = field(default="ldmia", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", register_number(self.base))
+        object.__setattr__(
+            self, "registers", tuple(register_number(r) for r in self.registers)
+        )
+        if not self.registers:
+            raise ValueError("register list must not be empty")
+
+    def execute(self, cpu) -> ExecutionRecord:
+        base_value = cpu.registers.read(self.base)
+        size = 4 * len(self.registers)
+        for i, register in enumerate(self.registers):
+            cpu.registers.write(
+                register, cpu.address_space.memory.read_u32(base_value + 4 * i)
+            )
+        writes = list(self.registers)
+        if self.writeback:
+            cpu.registers.write(self.base, base_value + size)
+            writes.append(self.base)
+        return ExecutionRecord(
+            self.mnemonic,
+            kind=AccessKind.LOAD,
+            address_range=AddressRange.from_base_size(base_value, size),
+            reads=(self.base,),
+            writes=tuple(writes),
+            data_registers=self.registers,
+        )
+
+    def __str__(self) -> str:
+        regs = ", ".join(f"r{r}" for r in self.registers)
+        bang = "!" if self.writeback else ""
+        return f"ldmia r{self.base}{bang}, {{{regs}}}"
+
+
+@dataclass(frozen=True)
+class StoreMultiple(Instruction):
+    """``stmdb rn(!), {registers}`` — decrement-before store multiple."""
+
+    base: int
+    registers: Tuple[int, ...]
+    writeback: bool = True
+    mnemonic: str = field(default="stmdb", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", register_number(self.base))
+        object.__setattr__(
+            self, "registers", tuple(register_number(r) for r in self.registers)
+        )
+        if not self.registers:
+            raise ValueError("register list must not be empty")
+
+    def execute(self, cpu) -> ExecutionRecord:
+        size = 4 * len(self.registers)
+        start = (cpu.registers.read(self.base) - size) & MASK_32
+        for i, register in enumerate(self.registers):
+            cpu.address_space.memory.write_u32(
+                start + 4 * i, cpu.registers.read(register)
+            )
+        writes: Tuple[int, ...] = ()
+        if self.writeback:
+            cpu.registers.write(self.base, start)
+            writes = (self.base,)
+        return ExecutionRecord(
+            self.mnemonic,
+            kind=AccessKind.STORE,
+            address_range=AddressRange.from_base_size(start, size),
+            reads=self.registers + (self.base,),
+            writes=writes,
+            data_registers=self.registers,
+        )
+
+    def __str__(self) -> str:
+        regs = ", ".join(f"r{r}" for r in self.registers)
+        bang = "!" if self.writeback else ""
+        return f"stmdb r{self.base}{bang}, {{{regs}}}"
+
+
+@dataclass(frozen=True)
+class RegisterPatch(Instruction):
+    """A result-bearing instruction whose value the VM computed in Python.
+
+    Stands in for one native instruction the simplified ALU cannot evaluate
+    bit-exactly (``umull`` high halves, register-specified shifts, the final
+    quotient write of a division helper, condition-select moves).  It writes
+    ``value`` into ``rd`` while reporting the *real* instruction's register
+    dataflow (``reads`` → ``rd``), so the full-DIFT baseline's taint
+    propagation stays faithful even though the arithmetic ran in Python.
+    It is a plain non-memory instruction to PIFT — one slot in the stream.
+    """
+
+    rd: int
+    value: int
+    reads: Tuple[int, ...] = ()
+    mnemonic: str = "mov"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", register_number(self.rd))
+        object.__setattr__(
+            self, "reads", tuple(register_number(r) for r in self.reads)
+        )
+
+    def execute(self, cpu) -> ExecutionRecord:
+        cpu.registers.write(self.rd, self.value)
+        return ExecutionRecord(self.mnemonic, reads=self.reads, writes=(self.rd,))
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic} r{self.rd}, #{self.value & MASK_32:#x}"

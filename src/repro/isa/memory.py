@@ -1,0 +1,183 @@
+"""Byte-addressable simulated memory with a region allocator.
+
+The memory is sparse (4KB pages allocated on first touch) and little-endian,
+like the ARM/Android configuration the paper traces.  A bump allocator
+carves out the regions the Dalvik substrate needs: per-thread frames (where
+the memory-resident virtual registers live — the property PIFT exploits)
+and a heap for strings, arrays, and object instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.core.ranges import AddressRange
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+ADDRESS_MASK = 0xFFFFFFFF
+
+
+class MemoryFault(RuntimeError):
+    """Raised on out-of-bounds or misaligned accesses we choose to reject."""
+
+
+class Memory:
+    """Sparse little-endian byte memory over a 32-bit address space."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- byte-level primitives --------------------------------------------
+
+    def _page_for(self, address: int) -> bytearray:
+        page_index = address >> PAGE_BITS
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        if size < 0:
+            raise MemoryFault(f"negative read size {size}")
+        self._check(address, size)
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            addr = address + offset
+            page = self._page_for(addr)
+            in_page = addr & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - in_page)
+            out[offset : offset + chunk] = page[in_page : in_page + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        offset = 0
+        size = len(data)
+        while offset < size:
+            addr = address + offset
+            page = self._page_for(addr)
+            in_page = addr & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - in_page)
+            page[in_page : in_page + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    @staticmethod
+    def _check(address: int, size: int) -> None:
+        if address < 0 or address + size - 1 > ADDRESS_MASK:
+            raise MemoryFault(
+                f"access [{address:#x}, {address + size - 1:#x}] outside the "
+                "32-bit address space"
+            )
+
+    # -- sized accessors (little-endian) ------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        return self.read_bytes(address, 1)[0]
+
+    def read_u16(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 2), "little")
+
+    def read_u32(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 4), "little")
+
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 8), "little")
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write_bytes(address, bytes([value & 0xFF]))
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write_bytes(address, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write_bytes(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write_bytes(
+            address, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        )
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, allocated address region."""
+
+    name: str
+    range: AddressRange
+
+    @property
+    def base(self) -> int:
+        return self.range.start
+
+    @property
+    def size(self) -> int:
+        return self.range.size
+
+
+class BumpAllocator:
+    """Never-freeing allocator over a fixed address window.
+
+    Matching real allocator behaviour is unnecessary: the taint mechanics
+    only care that distinct live objects occupy distinct addresses, and a
+    bump allocator guarantees it.
+    """
+
+    def __init__(self, base: int, limit: int, name: str = "heap") -> None:
+        if limit <= base:
+            raise ValueError("allocator window is empty")
+        self.name = name
+        self._base = base
+        self._limit = limit
+        self._next = base
+
+    def alloc(self, size: int, align: int = 4) -> int:
+        if size < 1:
+            raise ValueError(f"allocation size must be >= 1, got {size}")
+        if align < 1 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        address = (self._next + align - 1) & ~(align - 1)
+        if address + size > self._limit:
+            raise MemoryFault(
+                f"{self.name} exhausted: need {size}B at {address:#x}, "
+                f"limit {self._limit:#x}"
+            )
+        self._next = address + size
+        return address
+
+    def alloc_region(self, name: str, size: int, align: int = 4) -> Region:
+        base = self.alloc(size, align)
+        return Region(name, AddressRange.from_base_size(base, size))
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next - self._base
+
+
+class AddressSpace:
+    """A process address space: memory plus the standard region layout.
+
+    Layout (loosely modelled on a 32-bit Android process):
+
+    * ``0x4000_0000`` — interpreter/code region (addresses only; our
+      simulator stores instructions out-of-band),
+    * ``0x4100_0000`` — thread stacks / Dalvik frames (virtual registers),
+    * ``0x6000_0000`` — managed heap (strings, arrays, instances).
+    """
+
+    CODE_BASE = 0x40000000
+    CODE_LIMIT = 0x41000000
+    FRAME_BASE = 0x41000000
+    FRAME_LIMIT = 0x48000000
+    HEAP_BASE = 0x60000000
+    HEAP_LIMIT = 0x70000000
+
+    def __init__(self) -> None:
+        self.memory = Memory()
+        self.code = BumpAllocator(self.CODE_BASE, self.CODE_LIMIT, "code")
+        self.frames = BumpAllocator(self.FRAME_BASE, self.FRAME_LIMIT, "frames")
+        self.heap = BumpAllocator(self.HEAP_BASE, self.HEAP_LIMIT, "heap")

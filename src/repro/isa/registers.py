@@ -1,0 +1,97 @@
+"""CPU register file for the ARM-flavoured load/store simulator.
+
+Sixteen 32-bit general-purpose registers plus NZCV condition flags.  The
+Dalvik mterp routines (paper Figures 8/9) use the conventional mterp
+register assignments, exposed here as named aliases:
+
+* ``rPC``   (r4) — bytecode program counter,
+* ``rFP``   (r5) — frame pointer to the virtual-register array in memory,
+* ``rINST`` (r7) — current bytecode instruction word,
+* ``rIBASE``(r8) — interpreter handler table base,
+* ``sp/lr/pc``  — the usual ARM roles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+MASK_32 = 0xFFFFFFFF
+
+REGISTER_COUNT = 16
+
+#: ARM register aliases, including the mterp conventions used by the paper.
+REGISTER_ALIASES: Dict[str, int] = {
+    **{f"r{i}": i for i in range(REGISTER_COUNT)},
+    "rPC": 4,
+    "rFP": 5,
+    "rSELF": 6,
+    "rINST": 7,
+    "rIBASE": 8,
+    "ip": 12,
+    "sp": 13,
+    "lr": 14,
+    "pc": 15,
+}
+
+
+def register_number(name_or_number) -> int:
+    """Normalise ``'r5'`` / ``'rFP'`` / ``5`` to a register index."""
+    if isinstance(name_or_number, int):
+        number = name_or_number
+    else:
+        try:
+            number = REGISTER_ALIASES[name_or_number]
+        except KeyError:
+            raise ValueError(f"unknown register {name_or_number!r}") from None
+    if not 0 <= number < REGISTER_COUNT:
+        raise ValueError(f"register index out of range: {number}")
+    return number
+
+
+@dataclass
+class ConditionFlags:
+    """The NZCV flags written by compare/flag-setting instructions."""
+
+    negative: bool = False
+    zero: bool = False
+    carry: bool = False
+    overflow: bool = False
+
+    def set_nz(self, value: int) -> None:
+        value &= MASK_32
+        self.negative = bool(value & 0x80000000)
+        self.zero = value == 0
+
+
+class RegisterFile:
+    """Sixteen 32-bit registers with wrap-around arithmetic semantics."""
+
+    def __init__(self) -> None:
+        self._values: List[int] = [0] * REGISTER_COUNT
+        self.flags = ConditionFlags()
+
+    def read(self, register) -> int:
+        return self._values[register_number(register)]
+
+    def write(self, register, value: int) -> None:
+        self._values[register_number(register)] = value & MASK_32
+
+    def read_signed(self, register) -> int:
+        value = self.read(register)
+        return value - 0x100000000 if value & 0x80000000 else value
+
+    def snapshot(self) -> List[int]:
+        return list(self._values)
+
+    def __getitem__(self, register) -> int:
+        return self.read(register)
+
+    def __setitem__(self, register, value: int) -> None:
+        self.write(register, value)
+
+    def __repr__(self) -> str:
+        cells = ", ".join(
+            f"r{i}={value:#x}" for i, value in enumerate(self._values) if value
+        )
+        return f"RegisterFile({cells})"

@@ -1,0 +1,247 @@
+"""PIFT-aware instruction scheduling — the paper's §7 future work.
+
+    "A compiler support for PIFT could address such attacks.  For example,
+    the compiler could eliminate dummy code inserted between related
+    load/store instructions and could relocate such instructions to be
+    closer to each other."
+
+This module implements that pass over straight-line native code: within a
+basic block, instructions that do not participate in the dataflow between
+a load and the stores that consume its value are hoisted out of the gap,
+shrinking the effective load→store distance back under the tainting
+window.  The §4.2 evasion (a long block of dummy computation wedged
+between the sensitive load and its store) is thereby neutralised — see
+``tests/unit/test_scheduler.py`` and the full-stack evasion test.
+
+The pass is conservative:
+
+* only *basic blocks* are reordered (a branch or a ``RegisterPatch``
+  ends the block — patches carry VM-resolved values whose position must
+  not change);
+* memory operations never move relative to each other (no alias
+  analysis is attempted);
+* register dependencies (read-after-write, write-after-read,
+  write-after-write, and flag dependencies) are preserved exactly, so the
+  scheduled code computes the same architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instructions import (
+    Alu,
+    Branch,
+    Cmp,
+    Imm,
+    Instruction,
+    Load,
+    LoadMultiple,
+    Mov,
+    Mul,
+    Nop,
+    Reg,
+    RegisterPatch,
+    Store,
+    StoreMultiple,
+    Ubfx,
+)
+
+
+@dataclass(frozen=True)
+class _Effects:
+    """Registers an instruction reads/writes, plus flag and memory use."""
+
+    reads: frozenset
+    writes: frozenset
+    reads_flags: bool
+    writes_flags: bool
+    is_memory: bool
+
+
+def _operand_regs(operand) -> Tuple[int, ...]:
+    if isinstance(operand, Reg):
+        return (operand.register,)
+    return ()
+
+
+def _address_effects(address) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    reads = (address.base,) + (
+        _operand_regs(address.offset) if address.offset else ()
+    )
+    writes = (
+        (address.base,) if (address.writeback or not address.pre) else ()
+    )
+    return reads, writes
+
+
+def effects_of(instruction: Instruction) -> _Effects:
+    """Static register/flag/memory effects of one instruction."""
+    if isinstance(instruction, (Nop, Branch)):
+        return _Effects(frozenset(), frozenset(), False, False, False)
+    if isinstance(instruction, Mov):
+        return _Effects(
+            frozenset(_operand_regs(instruction.src)),
+            frozenset((instruction.rd,)),
+            False,
+            instruction.set_flags,
+            False,
+        )
+    if isinstance(instruction, Alu):
+        from repro.isa.instructions import AluOp
+
+        uses_carry = instruction.op in (AluOp.ADC, AluOp.SBC, AluOp.RSC)
+        return _Effects(
+            frozenset((instruction.rn,) + _operand_regs(instruction.src)),
+            frozenset((instruction.rd,)),
+            uses_carry,
+            instruction.set_flags,
+            False,
+        )
+    if isinstance(instruction, Mul):
+        return _Effects(
+            frozenset((instruction.rn, instruction.rm)),
+            frozenset((instruction.rd,)),
+            False, False, False,
+        )
+    if isinstance(instruction, Ubfx):
+        return _Effects(
+            frozenset((instruction.rn,)),
+            frozenset((instruction.rd,)),
+            False, False, False,
+        )
+    if isinstance(instruction, Cmp):
+        return _Effects(
+            frozenset((instruction.rn,) + _operand_regs(instruction.src)),
+            frozenset(),
+            False, True, False,
+        )
+    if isinstance(instruction, RegisterPatch):
+        return _Effects(
+            frozenset(instruction.reads),
+            frozenset((instruction.rd,)),
+            False, False, False,
+        )
+    if isinstance(instruction, Load):
+        addr_reads, addr_writes = _address_effects(instruction.address)
+        writes = {instruction.rd, *addr_writes}
+        if instruction.rd2 is not None:
+            writes.add(instruction.rd2)
+        return _Effects(
+            frozenset(addr_reads), frozenset(writes), False, False, True
+        )
+    if isinstance(instruction, Store):
+        addr_reads, addr_writes = _address_effects(instruction.address)
+        reads = {instruction.rd, *addr_reads}
+        if instruction.rd2 is not None:
+            reads.add(instruction.rd2)
+        return _Effects(
+            frozenset(reads), frozenset(addr_writes), False, False, True
+        )
+    if isinstance(instruction, LoadMultiple):
+        writes = set(instruction.registers)
+        if instruction.writeback:
+            writes.add(instruction.base)
+        return _Effects(
+            frozenset((instruction.base,)), frozenset(writes),
+            False, False, True,
+        )
+    if isinstance(instruction, StoreMultiple):
+        writes = {instruction.base} if instruction.writeback else set()
+        return _Effects(
+            frozenset(set(instruction.registers) | {instruction.base}),
+            frozenset(writes),
+            False, False, True,
+        )
+    raise TypeError(f"unknown instruction type {type(instruction).__name__}")
+
+
+def _depends(later: _Effects, earlier: _Effects) -> bool:
+    """Must ``later`` stay after ``earlier``?"""
+    if later.reads & earlier.writes:  # RAW
+        return True
+    if later.writes & earlier.reads:  # WAR
+        return True
+    if later.writes & earlier.writes:  # WAW
+        return True
+    if later.reads_flags and earlier.writes_flags:
+        return True
+    if later.writes_flags and (earlier.reads_flags or earlier.writes_flags):
+        return True
+    if later.is_memory and earlier.is_memory:  # no alias analysis
+        return True
+    return False
+
+
+def _schedule_block(block: Sequence[Instruction]) -> List[Instruction]:
+    """Reorder one basic block: dependency-chain instructions of each
+    memory operation float up right behind their producers; independent
+    filler sinks to the end of the block."""
+    effects = [effects_of(instruction) for instruction in block]
+    n = len(block)
+    predecessors: List[Set[int]] = [set() for _ in range(n)]
+    for j in range(n):
+        for i in range(j):
+            if _depends(effects[j], effects[i]):
+                predecessors[j].add(i)
+
+    # Mark everything a memory operation transitively depends on.
+    needed: Set[int] = set()
+    stack = [i for i in range(n) if effects[i].is_memory]
+    while stack:
+        j = stack.pop()
+        if j in needed:
+            continue
+        needed.add(j)
+        stack.extend(predecessors[j])
+
+    # List scheduling: at each step prefer ready 'needed' instructions,
+    # in original order; fillers only run once nothing needed is ready.
+    emitted: List[int] = []
+    placed: Set[int] = set()
+    remaining = set(range(n))
+    while remaining:
+        ready = [
+            i for i in sorted(remaining) if predecessors[i] <= placed
+        ]
+        ready_needed = [i for i in ready if i in needed]
+        choice = ready_needed[0] if ready_needed else ready[0]
+        emitted.append(choice)
+        placed.add(choice)
+        remaining.discard(choice)
+    return [block[i] for i in emitted]
+
+
+def tighten_load_store(instructions: Sequence[Instruction]) -> List[Instruction]:
+    """The PIFT compiler pass: minimise load→store distances per block.
+
+    Returns a new instruction list computing the same architectural state
+    (same final registers, same memory), with unrelated computation moved
+    out of the gaps between loads and the stores that depend on them.
+    """
+    output: List[Instruction] = []
+    block: List[Instruction] = []
+    for instruction in instructions:
+        if isinstance(instruction, (Branch,)):
+            output.extend(_schedule_block(block))
+            block = []
+            output.append(instruction)
+        else:
+            block.append(instruction)
+    output.extend(_schedule_block(block))
+    return output
+
+
+def load_store_distances(instructions: Sequence[Instruction]) -> List[int]:
+    """Distance from each store back to the most recent load (for audits)."""
+    distances: List[int] = []
+    last_load: Optional[int] = None
+    for index, instruction in enumerate(instructions):
+        eff = effects_of(instruction)
+        if isinstance(instruction, (Load, LoadMultiple)):
+            last_load = index
+        elif isinstance(instruction, (Store, StoreMultiple)):
+            if last_load is not None:
+                distances.append(index - last_load)
+    return distances

@@ -1,0 +1,146 @@
+"""Semantic checks of the suite's sink payloads.
+
+Detection tests ask *whether* PIFT flags an app; these ask whether the VM
+executed the app *correctly* — the obfuscated payloads must be the exact
+transformations the mini-Java source describes.  This exercises loops,
+arithmetic, switches, exceptions, and string machinery end to end.
+"""
+
+import pytest
+
+from repro.android import DeviceSecrets
+from repro.apps.droidbench import app_by_name, run_app
+
+SECRETS = DeviceSecrets()
+IMEI = SECRETS.imei
+
+
+def payload_of(app_name: str) -> str:
+    device = run_app(app_by_name(app_name))
+    assert device.sinks, app_name
+    return device.sinks[-1].payload
+
+
+class TestTransformedPayloads:
+    def test_string_formatter_is_the_paper_example(self):
+        assert payload_of("GeneralJava.StringFormatter") == (
+            f"type=sms&imei={IMEI}&dummy"
+        )
+
+    def test_loop1_copies_exactly(self):
+        assert payload_of("GeneralJava.Loop1") == IMEI
+
+    def test_substring_takes_the_tac_prefix(self):
+        assert payload_of("GeneralJava.Substring") == (
+            "http://evil.example.com/?tac=" + IMEI[:8]
+        )
+
+    def test_integer_encoding_roundtrips_digits(self):
+        digits = SECRETS.phone_number[2:8]
+        assert payload_of("GeneralJava.IntegerEncoding") == f"num={int(digits)}"
+
+    def test_reverse_string_reverses(self):
+        assert payload_of("Misc.ReverseString") == IMEI[::-1]
+
+    def test_xor_obfuscation_encodes_each_char(self):
+        expected = "".join(chr(ord(c) ^ 0x2A) for c in IMEI)
+        assert payload_of("Misc.XorObfuscation") == expected
+
+    def test_split_reassemble_swaps_halves(self):
+        assert payload_of("Misc.SplitReassemble") == (
+            "frag=" + IMEI[7:15] + IMEI[:7]
+        )
+
+    def test_implicit_flow1_translates_digits_to_letters(self):
+        expected = "".join(chr(ord("a") + int(c)) for c in IMEI)
+        assert payload_of("ImplicitFlows.ImplicitFlow1") == expected
+
+    def test_implicit_flow2_division_roundtrip_is_identity(self):
+        # (c * 7919) / 7919 == c for every char value.
+        assert payload_of("ImplicitFlows.ImplicitFlow2") == IMEI
+
+    def test_implicit_flow3_uses_uppercase_alphabet(self):
+        expected = "".join(chr(ord("A") + int(c)) for c in IMEI)
+        assert payload_of("ImplicitFlows.ImplicitFlow3") == expected
+
+    def test_exception1_carries_the_message(self):
+        assert payload_of("GeneralJava.Exception1") == IMEI
+
+    def test_char_array_copy_is_exact(self):
+        assert payload_of("Misc.CharArrayCopy") == IMEI
+
+    def test_location_http_formats_both_coordinates(self):
+        payload = payload_of("Misc.LocationHTTP")
+        assert payload == (
+            f"http://geo.example.com/?lat={SECRETS.latitude!r}"
+            f"&lon={SECRETS.longitude!r}"
+        )
+
+    def test_multi_source_concatenation(self):
+        assert payload_of("Misc.MultiSourceLeak") == (
+            f"id={IMEI}&num={SECRETS.phone_number}"
+        )
+
+
+class TestBenignPayloads:
+    def test_benign_apps_send_exactly_their_clean_strings(self):
+        expected = {
+            "Aliasing.Merge1": "nothing to see",
+            "ArraysAndLists.ArrayAccess1": "public data",
+            "ArraysAndLists.ArrayAccess2": "public data",
+            "ArraysAndLists.ListAccess1": "clean entry",
+            "GeneralJava.Loop2": "public payload",
+            "GeneralJava.Exception2": "something went wrong",
+            "GeneralJava.UnreachableCode": "all quiet",
+            "ImplicitFlows.ImplicitFlow4": "telemetry ping",
+            "FieldAndObjectSensitivity.FieldSensitivity1": "model=flagship",
+            "FieldAndObjectSensitivity.ObjectSensitivity1": "hello world",
+            "Callbacks.CallbackOrdering": "cache dropped",
+            "Lifecycle.ActivitySavedState": "default state",
+            "Lifecycle.ApplicationLifecycle": "build-2016.04",
+            "InterAppCommunication.IntentSink2": "see you at 6",
+            "Dispatch.VirtualDispatch2": "dropped",
+        }
+        for name, payload in expected.items():
+            assert payload_of(name) == payload, name
+
+    def test_no_benign_payload_contains_a_secret(self):
+        secrets = (
+            IMEI, SECRETS.phone_number, SECRETS.sim_serial,
+            str(SECRETS.latitude), str(SECRETS.longitude),
+        )
+        from repro.apps.droidbench import all_apps
+
+        for app in all_apps():
+            if app.leaks:
+                continue
+            device = run_app(app)
+            for event in device.sinks:
+                for secret in secrets:
+                    assert secret not in event.payload, (
+                        f"{app.name} ground truth is wrong: "
+                        f"benign app sent {secret!r}"
+                    )
+
+    def test_every_leaky_payload_contains_a_stolen_secret(self):
+        """Ground-truth audit: each leaky app's flagged payload really does
+        carry sensitive data (or a deterministic transformation of it —
+        covered by the transformation tests above)."""
+        from repro.apps.droidbench import all_apps
+
+        direct = (
+            IMEI, IMEI[:8], SECRETS.phone_number, SECRETS.sim_serial,
+            repr(SECRETS.latitude), repr(SECRETS.longitude),
+        )
+        transformed = {
+            "Misc.ReverseString", "Misc.XorObfuscation",
+            "Misc.SplitReassemble", "ImplicitFlows.ImplicitFlow1",
+            "ImplicitFlows.ImplicitFlow3", "GeneralJava.IntegerEncoding",
+            "Misc.LongDeviceId",
+        }
+        for app in all_apps():
+            if not app.leaks or app.name in transformed:
+                continue
+            device = run_app(app)
+            payloads = " ".join(event.payload for event in device.sinks)
+            assert any(secret in payloads for secret in direct), app.name

@@ -1,0 +1,139 @@
+"""Integration: the paper's §5.1 DroidBench results, end to end.
+
+Headline numbers being reproduced:
+
+* 57 apps (41 leaky, 16 benign),
+* 98% accuracy at (NI=13, NT=3): 0% false positives, 2% false negatives
+  (exactly one missed app, an obfuscated/implicit flow),
+* 100% accuracy at (NI=18, NT=3),
+* GPS-leaking apps require NI >= 10,
+* no false positives anywhere on the sampled grid.
+"""
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULT, PAPER_PERFECT, PIFTConfig
+from repro.analysis.accuracy import evaluate_suite
+from repro.analysis.replay import replay
+from repro.apps.droidbench import all_apps, record_app, record_suite
+
+
+@pytest.fixture(scope="module")
+def suite_runs():
+    return record_suite()
+
+
+@pytest.fixture(scope="module")
+def runs_by_name(suite_runs):
+    return {run.name: run for run in suite_runs}
+
+
+class TestSuiteComposition:
+    def test_counts_match_paper(self):
+        apps = all_apps()
+        assert len(apps) == 57
+        assert sum(app.leaks for app in apps) == 41
+        assert sum(not app.leaks for app in apps) == 16
+
+    def test_names_unique(self):
+        names = [app.name for app in all_apps()]
+        assert len(names) == len(set(names))
+
+    def test_categories_cover_droidbench(self):
+        categories = {app.category for app in all_apps()}
+        for expected in (
+            "aliasing", "arrays_and_lists", "callbacks", "dispatch",
+            "field_object_sensitivity", "general_java", "implicit_flows",
+            "inter_app", "lifecycle", "misc",
+        ):
+            assert expected in categories
+
+
+class TestHeadlineAccuracy:
+    def test_paper_default_98_percent(self, suite_runs):
+        report = evaluate_suite(suite_runs, PAPER_DEFAULT)
+        assert report.false_positives == 0
+        assert report.false_negatives == 1
+        assert report.accuracy == pytest.approx(56 / 57)
+
+    def test_single_miss_is_the_obfuscated_flow(self, suite_runs):
+        report = evaluate_suite(suite_runs, PAPER_DEFAULT)
+        assert report.missed_apps == ["ImplicitFlows.ImplicitFlow2"]
+
+    def test_perfect_at_18_3(self, suite_runs):
+        report = evaluate_suite(suite_runs, PAPER_PERFECT)
+        assert report.accuracy == 1.0
+
+    def test_accuracy_monotone_in_window(self, suite_runs):
+        previous = 0.0
+        for window in (1, 2, 5, 10, 13, 18, 20):
+            accuracy = evaluate_suite(
+                suite_runs, PIFTConfig(window, 3)
+            ).accuracy
+            assert accuracy >= previous - 1e-9, f"dip at NI={window}"
+            previous = accuracy
+
+    def test_no_false_positives_across_grid_sample(self, suite_runs):
+        # Paper: "In all experiments, no false positive occurred."
+        for window in (1, 5, 10, 13, 18, 20):
+            for cap in (1, 3, 10):
+                report = evaluate_suite(suite_runs, PIFTConfig(window, cap))
+                assert report.false_positives == 0, (window, cap)
+
+
+class TestGPSWindowRequirement:
+    @pytest.mark.parametrize(
+        "name",
+        ["Callbacks.LocationLeak1", "Callbacks.LocationLeak2", "Misc.LocationHTTP"],
+    )
+    def test_missed_below_ni_10(self, runs_by_name, name):
+        run = runs_by_name[name]
+        assert not replay(run.recorded, PIFTConfig(9, 3)).alarm
+        assert replay(run.recorded, PIFTConfig(10, 3)).alarm
+
+    def test_gps_needs_multiple_propagations(self, runs_by_name):
+        # The digit store is the third store of its window (soft-float
+        # scratch spills), so NT must be >= 3 at NI=10.
+        run = runs_by_name["Callbacks.LocationLeak1"]
+        assert not replay(run.recorded, PIFTConfig(10, 2)).alarm
+        assert replay(run.recorded, PIFTConfig(10, 3)).alarm
+
+
+class TestPerAppWindowHints:
+    def test_each_leaky_app_detected_at_its_hint(self, runs_by_name):
+        for app in all_apps():
+            if not app.leaks or app.min_window_hint is None:
+                continue
+            run = runs_by_name[app.name]
+            config = PIFTConfig(max(app.min_window_hint, 1), 3)
+            assert replay(run.recorded, config).alarm, (
+                f"{app.name} not detected at NI={app.min_window_hint}"
+            )
+
+    def test_each_leaky_app_missed_just_below_its_hint(self, runs_by_name):
+        for app in all_apps():
+            if not app.leaks or not app.min_window_hint or app.min_window_hint <= 1:
+                continue
+            run = runs_by_name[app.name]
+            config = PIFTConfig(app.min_window_hint - 1, 3)
+            assert not replay(run.recorded, config).alarm, (
+                f"{app.name} unexpectedly detected at NI={app.min_window_hint - 1}"
+            )
+
+    def test_benign_apps_silent_at_large_windows(self, runs_by_name):
+        for app in all_apps():
+            if app.leaks:
+                continue
+            run = runs_by_name[app.name]
+            assert not replay(run.recorded, PIFTConfig(20, 10)).alarm, app.name
+
+
+class TestLiveVersusReplay:
+    def test_live_device_matches_replay_at_default(self, suite_runs):
+        live = {}
+        for app in all_apps():
+            from repro.apps.droidbench import run_app
+
+            live[app.name] = run_app(app, PAPER_DEFAULT).leak_detected
+        for run in suite_runs:
+            assert replay(run.recorded, PAPER_DEFAULT).alarm == live[run.name], run.name

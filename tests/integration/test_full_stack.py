@@ -1,0 +1,154 @@
+"""Integration: end-to-end properties across the whole stack, including
+the paper's §4.2 limitations (native-code evasion) and the full-DIFT
+oracle agreement."""
+
+import pytest
+
+from repro.core import PAPER_DEFAULT, PIFTConfig
+from repro.core.ranges import AddressRange
+from repro.isa import asm
+from repro.android import AndroidDevice
+from repro.baseline import FullDIFTTracker
+from repro.dalvik import MethodBuilder
+
+
+def paper_example_device(config=PAPER_DEFAULT):
+    """The §2 running example: msgZ = msgX + "&imei=" + id + "&dummy"."""
+    device = AndroidDevice(config=config, keep_full_trace=True)
+    b = MethodBuilder("Paper.main", registers=14)
+    b.const_string(0, "type=sms")
+    b.invoke_static("TelephonyManager.getDeviceId")
+    b.move_result_object(1)
+    b.new_instance(2, "java/lang/StringBuilder")
+    b.invoke_direct("StringBuilder.<init>", 2)
+    b.invoke("StringBuilder.append", 2, 0)
+    b.const_string(3, "&imei=")
+    b.invoke("StringBuilder.append", 2, 3)
+    b.invoke("StringBuilder.append", 2, 1)
+    b.const_string(3, "&dummy")
+    b.invoke("StringBuilder.append", 2, 3)
+    b.invoke("StringBuilder.toString", 2)
+    b.move_result_object(4)
+    b.const_string(5, "+15557654321")
+    b.const(6, 0)
+    b.invoke("SmsManager.sendTextMessage", 5, 6, 4)
+    b.return_void()
+    device.install([b.build()])
+    device.run("Paper.main")
+    return device
+
+
+class TestPaperRunningExample:
+    def test_detected_and_payload_correct(self):
+        device = paper_example_device()
+        assert device.leak_detected
+        (event,) = device.sinks
+        assert event.payload == f"type=sms&imei={device.secrets.imei}&dummy"
+
+    def test_full_dift_oracle_agrees(self):
+        device = paper_example_device()
+        oracle = FullDIFTTracker()
+        for source in device.recorded.sources:
+            oracle.taint_source(source.address_range)
+        oracle.run(device.full_trace.records)
+        for check in device.recorded.sink_checks:
+            assert oracle.check(check.address_range)
+
+    def test_oracle_precise_on_message_bytes(self):
+        """The byte-exact oracle taints exactly the IMEI's 15 characters of
+        the message (30 bytes), not the constant prefix/suffix."""
+        device = paper_example_device()
+        oracle = FullDIFTTracker()
+        for source in device.recorded.sources:
+            oracle.taint_source(source.address_range)
+        oracle.run(device.full_trace.records)
+        check = device.recorded.sink_checks[0].address_range
+        message = "type=sms&imei=" + device.secrets.imei + "&dummy"
+        imei_start = check.start + 2 * message.index(device.secrets.imei)
+        imei_range = AddressRange.from_base_size(imei_start, 2 * 15)
+        assert oracle.check(imei_range)
+        prefix = AddressRange(check.start, imei_start - 1)
+        hits = oracle.memory_taint.overlapping(prefix)
+        assert not hits  # constant prefix is byte-exactly clean
+
+
+class TestNativeEvasion:
+    """Paper §4.2: stretching the load->store distance with dummy native
+    code between the load and the store defeats PIFT."""
+
+    def _evasion_run(self, dummy_instructions: int):
+        device = AndroidDevice(config=PAPER_DEFAULT)
+        imei = device.vm.heap.new_string(device.secrets.imei)
+        device.manager.register_source("TelephonyManager.getDeviceId", imei)
+        stolen = device.vm.heap.new_string_buffer(imei.length)
+        stolen.length = imei.length
+        cpu = device.cpu
+        # JNI-style hand-written native copy with dummy filler.
+        for i in range(imei.length):
+            cpu.registers["r1"] = imei.char_address(i)
+            cpu.execute(asm.ldrh("r0", "r1"))  # tainted load
+            for k in range(dummy_instructions):
+                cpu.execute(asm.add("r2", "r2", 1))  # dummy computation
+            cpu.registers["r3"] = stolen.char_address(i)
+            cpu.execute(asm.strh("r0", "r3"))  # the real store
+        return device, stolen
+
+    def test_short_native_copy_is_caught(self):
+        device, stolen = self._evasion_run(dummy_instructions=2)
+        assert device.manager.check_sink("SmsManager.sendTextMessage", stolen)
+
+    def test_long_dummy_blocks_defeat_pift(self):
+        device, stolen = self._evasion_run(dummy_instructions=50)
+        assert not device.manager.check_sink(
+            "SmsManager.sendTextMessage", stolen
+        )
+        # ... while the byte-exact value really did escape:
+        assert stolen.value() == device.secrets.imei
+
+
+class TestBoundedStorageEndToEnd:
+    def test_suite_accuracy_unchanged_with_paper_storage(self):
+        """The 32KB cache-of-ranges (spill policy) loses no accuracy."""
+        from repro.core.taint_storage import paper_default_storage
+        from repro.apps.droidbench import app_by_name
+
+        app = app_by_name("GeneralJava.StringFormatter")
+        device = AndroidDevice(
+            config=PAPER_DEFAULT, state_factory=paper_default_storage
+        )
+        device.install(app.build(device))
+        device.run(app.entry)
+        assert device.leak_detected
+
+    def test_tiny_drop_storage_can_miss(self):
+        """A drastically undersized DROP-policy storage loses flows —
+        the paper's noted false-negative risk."""
+        from repro.core.taint_storage import BoundedRangeCache, EvictionPolicy
+        from repro.apps.droidbench import app_by_name
+
+        app = app_by_name("GeneralJava.Loop1")
+        device = AndroidDevice(
+            config=PAPER_DEFAULT,
+            state_factory=lambda: BoundedRangeCache(
+                capacity_entries=1, policy=EvictionPolicy.DROP
+            ),
+        )
+        device.install(app.build(device))
+        device.run(app.entry)
+        assert not device.leak_detected
+
+
+class TestMultiProcessIsolation:
+    def test_two_devices_do_not_share_taint(self):
+        device_a = paper_example_device()
+        device_b = AndroidDevice()
+        b = MethodBuilder("Clean.main", registers=6)
+        b.const_string(0, "hello")
+        b.const_string(1, "+15550000000")
+        b.const(2, 0)
+        b.invoke("SmsManager.sendTextMessage", 1, 2, 0)
+        b.return_void()
+        device_b.install([b.build()])
+        device_b.run("Clean.main")
+        assert device_a.leak_detected
+        assert not device_b.leak_detected

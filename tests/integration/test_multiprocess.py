@@ -1,0 +1,106 @@
+"""Integration: one PIFT hardware module shared by multiple processes.
+
+The paper's §3.3 front end tags every event with a process-specific ID
+(PID / TTBR) and the taint storage keeps a PID per entry, so one on-chip
+module serves the whole system.  Here two independent CPU+VM stacks (two
+'processes') feed a single hardware module under different PIDs.
+"""
+
+import pytest
+
+from repro.core import (
+    Command,
+    CommandRequest,
+    MemoryAccess,
+    PIFTConfig,
+    PIFTHardwareModule,
+)
+from repro.core.ranges import AddressRange
+from repro.isa.cpu import CPU
+from repro.dalvik import DalvikVM, MethodBuilder, VMString
+
+
+def make_process(hardware: PIFTHardwareModule, pid: int):
+    cpu = CPU()
+    cpu.context_switch(pid)
+    cpu.add_observer(
+        lambda record, index, process: hardware.on_memory_event(
+            MemoryAccess(record.kind, record.address_range, index, process)
+        )
+        if record.is_memory
+        else None
+    )
+    return cpu, DalvikVM(cpu)
+
+
+def leak_program(vm: DalvikVM, secret_text: str):
+    secret = vm.heap.new_string(secret_text)
+    builder = MethodBuilder("P.main", registers=10, ins=1)
+    builder.const_string(0, "out:")
+    builder.invoke("String.concat", 0, 9)
+    builder.move_result_object(1)
+    builder.return_object(1)
+    vm.register_method(builder.build())
+    return secret
+
+
+class TestSharedHardwareModule:
+    def test_taint_isolated_by_pid(self):
+        hardware = PIFTHardwareModule(PIFTConfig(13, 3))
+        cpu1, vm1 = make_process(hardware, pid=1)
+        cpu2, vm2 = make_process(hardware, pid=2)
+
+        secret1 = leak_program(vm1, "SECRET-ONE-111")
+        secret2 = leak_program(vm2, "public-data-22")
+        # Only process 1's string is registered sensitive.
+        hardware.execute(
+            CommandRequest(
+                Command.REGISTER, pid=1, address_range=secret1.data_range()
+            )
+        )
+
+        out1 = vm1.heap.deref(vm1.call("P.main", [secret1.address]))
+        out2 = vm2.heap.deref(vm2.call("P.main", [secret2.address]))
+
+        assert hardware.execute(
+            CommandRequest(Command.CHECK, pid=1, address_range=out1.data_range())
+        ).tainted
+        assert not hardware.execute(
+            CommandRequest(Command.CHECK, pid=2, address_range=out2.data_range())
+        ).tainted
+
+    def test_same_addresses_different_pids_do_not_collide(self):
+        """Two processes use overlapping virtual addresses; the PID tag
+        keeps their taint states apart (the Figure 6 lookup condition)."""
+        hardware = PIFTHardwareModule(PIFTConfig(5, 2))
+        shared_range = AddressRange(0x5000, 0x500F)
+        hardware.execute(
+            CommandRequest(Command.REGISTER, pid=1, address_range=shared_range)
+        )
+        assert hardware.execute(
+            CommandRequest(Command.CHECK, pid=1, address_range=shared_range)
+        ).tainted
+        assert not hardware.execute(
+            CommandRequest(Command.CHECK, pid=2, address_range=shared_range)
+        ).tainted
+
+    def test_per_process_windows_do_not_bleed(self):
+        """An open tainting window in one process must not taint stores
+        retired by another process (per-process instruction counters)."""
+        from repro.core.events import load, store
+
+        hardware = PIFTHardwareModule(PIFTConfig(10, 3))
+        hardware.execute(
+            CommandRequest(
+                Command.REGISTER, pid=1, address_range=AddressRange(0x100, 0x103)
+            )
+        )
+        hardware.on_memory_event(load(0x100, 0x103, 0, pid=1))  # window: pid 1
+        hardware.on_memory_event(store(0x200, 0x203, 1, pid=2))  # pid 2 store
+        assert not hardware.execute(
+            CommandRequest(Command.CHECK, pid=2, address_range=AddressRange(0x200, 0x203))
+        ).tainted
+        hardware.on_memory_event(store(0x300, 0x303, 2, pid=1))
+        assert hardware.execute(
+            CommandRequest(Command.CHECK, pid=1, address_range=AddressRange(0x300, 0x303))
+        ).tainted

@@ -1,0 +1,33 @@
+"""Per-app verdicts at the paper's operating point — one test per app, so
+a regression in any single flow idiom is named directly in the report."""
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULT
+from repro.analysis.replay import replay
+from repro.apps.droidbench import all_apps, record_app
+
+#: The designed single miss at (13, 3).
+EXPECTED_MISSES = {"ImplicitFlows.ImplicitFlow2"}
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    results = {}
+    for app in all_apps():
+        run = record_app(app)
+        results[app.name] = (app.leaks, replay(run.recorded, PAPER_DEFAULT).alarm)
+    return results
+
+
+@pytest.mark.parametrize("app", all_apps(), ids=lambda a: a.name)
+def test_verdict_at_paper_default(app, verdicts):
+    truth, alarm = verdicts[app.name]
+    if app.name in EXPECTED_MISSES:
+        assert truth and not alarm, (
+            f"{app.name} is the designed false negative at (13, 3)"
+        )
+    else:
+        assert alarm == truth, (
+            f"{app.name}: expected leak={truth}, PIFT said {alarm}"
+        )

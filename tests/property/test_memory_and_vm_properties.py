@@ -1,0 +1,111 @@
+"""Property-based tests for the memory substrate and VM arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.cpu import CPU
+from repro.isa.memory import Memory
+from repro.dalvik import DalvikVM, MethodBuilder
+
+MASK_32 = 0xFFFFFFFF
+
+
+class TestMemoryProperties:
+    @given(st.integers(0, 2**20), st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200)
+    def test_bytes_roundtrip(self, address, payload):
+        memory = Memory()
+        memory.write_bytes(address, payload)
+        assert memory.read_bytes(address, len(payload)) == payload
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**32 - 1))
+    @settings(max_examples=200)
+    def test_u32_roundtrip_anywhere(self, address, value):
+        memory = Memory()
+        memory.write_u32(address, value)
+        assert memory.read_u32(address) == value
+
+    @given(
+        st.integers(0, 2**16),
+        st.integers(0, 2**16),
+        st.binary(min_size=1, max_size=16),
+        st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=200)
+    def test_disjoint_writes_do_not_interfere(self, a, b, pa, pb):
+        if abs(a - b) < 16:
+            return
+        memory = Memory()
+        memory.write_bytes(a, pa)
+        memory.write_bytes(b, pb)
+        assert memory.read_bytes(a, len(pa)) == pa
+        assert memory.read_bytes(b, len(pb)) == pb
+
+
+def _signed(value: int) -> int:
+    value &= MASK_32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _java_int(value: int) -> int:
+    return _signed(value & MASK_32)
+
+
+_counter = [0]
+
+
+def run_binop(op: str, a: int, c: int) -> int:
+    vm = DalvikVM(CPU())
+    _counter[0] += 1
+    b = MethodBuilder(f"P.m{_counter[0]}", registers=8)
+    b.const(1, a)
+    b.const(2, c)
+    b.raw(op, a=0, b=1, c=2)
+    b.return_value(0)
+    vm.register_method(b.build())
+    return _signed(vm.call(f"P.m{_counter[0]}"))
+
+
+int32 = st.integers(-(2**31), 2**31 - 1)
+
+
+class TestVMArithmeticProperties:
+    @given(int32, int32)
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_java(self, a, c):
+        assert run_binop("add-int", a, c) == _java_int(a + c)
+
+    @given(int32, int32)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_java(self, a, c):
+        assert run_binop("sub-int", a, c) == _java_int(a - c)
+
+    @given(int32, int32)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_matches_java(self, a, c):
+        assert run_binop("mul-int", a, c) == _java_int(a * c)
+
+    @given(int32, int32.filter(lambda v: v != 0))
+    @settings(max_examples=60, deadline=None)
+    def test_div_truncates_toward_zero(self, a, c):
+        expected = _java_int(int(a / c))
+        assert run_binop("div-int", a, c) == expected
+
+    @given(int32, int32.filter(lambda v: v != 0))
+    @settings(max_examples=60, deadline=None)
+    def test_rem_identity(self, a, c):
+        quotient = run_binop("div-int", a, c)
+        remainder = run_binop("rem-int", a, c)
+        assert _java_int(quotient * c + remainder) == _java_int(a)
+
+    @given(int32, int32)
+    @settings(max_examples=60, deadline=None)
+    def test_xor_matches(self, a, c):
+        assert run_binop("xor-int", a, c) == _java_int(
+            (a & MASK_32) ^ (c & MASK_32)
+        )
+
+    @given(int32, st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_shl_masks_shift_count(self, a, shift):
+        assert run_binop("shl-int", a, shift) == _java_int(a << (shift & 31))

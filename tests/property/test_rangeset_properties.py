@@ -1,0 +1,107 @@
+"""Property-based tests: RangeSet against a reference set-of-bytes model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranges import AddressRange, RangeSet
+
+ADDRESS_SPACE = 256  # small space so collisions are common
+
+ranges = st.builds(
+    lambda start, size: AddressRange(start, min(start + size, ADDRESS_SPACE)),
+    st.integers(0, ADDRESS_SPACE),
+    st.integers(0, 24),
+)
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), ranges), max_size=60
+)
+
+
+def apply_to_model(model: set, op: str, item: AddressRange) -> None:
+    bytes_ = set(range(item.start, item.end + 1))
+    if op == "add":
+        model |= bytes_
+    else:
+        model -= bytes_
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_rangeset_equals_byte_set_model(ops):
+    """After any add/remove sequence, RangeSet covers exactly the bytes the
+    naive set-of-integers model covers."""
+    range_set = RangeSet()
+    model: set = set()
+    for op, item in ops:
+        if op == "add":
+            range_set.add(item)
+        else:
+            range_set.remove(item)
+        apply_to_model(model, op, item)
+    assert range_set.total_size == len(model)
+    for probe in range(0, ADDRESS_SPACE + 25, 7):
+        assert range_set.covers_address(probe) == (probe in model)
+
+
+@given(operations, ranges)
+@settings(max_examples=200)
+def test_overlap_query_matches_model(ops, query):
+    range_set = RangeSet()
+    model: set = set()
+    for op, item in ops:
+        if op == "add":
+            range_set.add(item)
+        else:
+            range_set.remove(item)
+        apply_to_model(model, op, item)
+    expected = any(
+        probe in model for probe in range(query.start, query.end + 1)
+    )
+    assert range_set.overlaps(query) == expected
+
+
+@given(st.lists(ranges, max_size=40))
+@settings(max_examples=200)
+def test_ranges_stay_sorted_disjoint_nonadjacent(items):
+    """Structural invariant: stored ranges are sorted, disjoint, and
+    non-adjacent (fully coalesced)."""
+    range_set = RangeSet()
+    for item in items:
+        range_set.add(item)
+    stored = list(range_set)
+    for left, right in zip(stored, stored[1:]):
+        assert left.end + 1 < right.start
+
+
+@given(st.lists(ranges, min_size=1, max_size=40))
+@settings(max_examples=200)
+def test_add_is_idempotent_and_order_independent(items):
+    forward = RangeSet()
+    backward = RangeSet()
+    for item in items:
+        forward.add(item)
+    for item in reversed(items):
+        backward.add(item)
+        backward.add(item)  # idempotence
+    assert forward == backward
+
+
+@given(st.lists(ranges, max_size=30), ranges)
+@settings(max_examples=200)
+def test_remove_then_query_is_always_false(items, victim):
+    range_set = RangeSet()
+    for item in items:
+        range_set.add(item)
+    range_set.remove(victim)
+    assert not range_set.overlaps(victim)
+
+
+@given(st.lists(ranges, max_size=30))
+@settings(max_examples=100)
+def test_total_size_bounded_by_count_times_max(items):
+    range_set = RangeSet()
+    for item in items:
+        range_set.add(item)
+    assert range_set.range_count <= len(items) or not items
+    assert range_set.total_size <= ADDRESS_SPACE + 25

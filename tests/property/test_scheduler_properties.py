@@ -1,0 +1,102 @@
+"""Property-based tests: the scheduling pass preserves program semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import asm
+from repro.isa.cpu import CPU
+from repro.isa.scheduler import load_store_distances, tighten_load_store
+
+# A pool of address bases kept apart so the generated programs are valid.
+DATA_REGIONS = [0x1000, 0x1100, 0x1200, 0x1300]
+
+# Generators for straight-line instructions over r0..r3 (data) with
+# addresses taken from fixed bases in r8..r11.
+_data_reg = st.sampled_from(["r0", "r1", "r2", "r3"])
+_addr_reg = st.sampled_from(["r8", "r9", "r10", "r11"])
+_offset = st.integers(0, 15).map(lambda v: v * 4)
+
+
+def _alu_instruction(draw_tuple):
+    kind, rd, rn, value = draw_tuple
+    makers = {
+        "add": lambda: asm.add(rd, rn, value),
+        "sub": lambda: asm.sub(rd, rn, value),
+        "eor": lambda: asm.eor(rd, rn, value),
+        "orr": lambda: asm.orr(rd, rn, value),
+        "mov": lambda: asm.mov(rd, value),
+    }
+    return makers[kind]()
+
+
+alu_instructions = st.builds(
+    _alu_instruction,
+    st.tuples(
+        st.sampled_from(["add", "sub", "eor", "orr", "mov"]),
+        _data_reg,
+        _data_reg,
+        st.integers(0, 255),
+    ),
+)
+
+load_instructions = st.builds(
+    lambda rd, base, offset: asm.ldr(rd, base, offset),
+    _data_reg, _addr_reg, _offset,
+)
+
+store_instructions = st.builds(
+    lambda rd, base, offset: asm.str_(rd, base, offset),
+    _data_reg, _addr_reg, _offset,
+)
+
+programs = st.lists(
+    st.one_of(alu_instructions, load_instructions, store_instructions),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _setup(cpu: CPU) -> None:
+    for register, base in zip(("r8", "r9", "r10", "r11"), DATA_REGIONS):
+        cpu.registers[register] = base
+    for base in DATA_REGIONS:
+        for offset in range(0, 64, 4):
+            cpu.address_space.memory.write_u32(base + offset, base + offset)
+
+
+def _final_state(program):
+    cpu = CPU()
+    _setup(cpu)
+    cpu.run(program)
+    memory = {
+        base + offset: cpu.address_space.memory.read_u32(base + offset)
+        for base in DATA_REGIONS
+        for offset in range(0, 64, 4)
+    }
+    return cpu.registers.snapshot(), memory
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_scheduling_preserves_architectural_state(program):
+    original_registers, original_memory = _final_state(program)
+    scheduled = tighten_load_store(program)
+    scheduled_registers, scheduled_memory = _final_state(scheduled)
+    assert scheduled_registers == original_registers
+    assert scheduled_memory == original_memory
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_scheduling_is_a_permutation(program):
+    scheduled = tighten_load_store(program)
+    assert sorted(map(id, scheduled)) == sorted(map(id, program))
+
+
+@given(programs)
+@settings(max_examples=100, deadline=None)
+def test_scheduling_never_worsens_max_distance(program):
+    before = load_store_distances(program)
+    after = load_store_distances(tighten_load_store(program))
+    if before and after:
+        assert max(after) <= max(before)

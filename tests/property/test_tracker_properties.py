@@ -1,0 +1,127 @@
+"""Property-based tests for Algorithm 1's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PIFTConfig
+from repro.core.events import AccessKind, MemoryAccess
+from repro.core.ranges import AddressRange, RangeSet
+from repro.core.tracker import PIFTTracker
+
+SOURCE = AddressRange(0, 15)
+
+events = st.builds(
+    lambda kind, start, size, gap: (kind, start, size, gap),
+    st.sampled_from([AccessKind.LOAD, AccessKind.STORE]),
+    st.integers(0, 400),
+    st.integers(1, 8),
+    st.integers(1, 6),
+)
+
+
+def materialise(raw_events):
+    """Assign increasing instruction indices."""
+    index = 0
+    output = []
+    for kind, start, size, gap in raw_events:
+        index += gap
+        output.append(
+            MemoryAccess(kind, AddressRange.from_base_size(start, size), index)
+        )
+    return output
+
+
+def run(config: PIFTConfig, stream):
+    tracker = PIFTTracker(config)
+    tracker.taint_source(SOURCE)
+    tracker.run(stream)
+    return tracker
+
+
+@given(st.lists(events, max_size=80))
+@settings(max_examples=150)
+def test_no_taint_without_tainted_loads(raw):
+    """If no load ever touches tainted state, taint never grows."""
+    stream = [
+        e for e in materialise(raw)
+        if not (e.is_load and e.address_range.overlaps(SOURCE))
+    ]
+    # Remove loads of anything that stores could have tainted: keep only
+    # loads disjoint from the source; stores can then never be tainted, so
+    # no new ranges may appear beyond the source itself.
+    tracker = PIFTTracker(PIFTConfig(10, 3, untainting=False))
+    tracker.taint_source(SOURCE)
+    for event in stream:
+        if event.is_load and tracker.check(event.address_range):
+            continue  # skip any accidentally-tainted load
+        tracker.observe(event)
+    assert tracker.stats.taint_operations == 0
+
+
+@given(st.lists(events, max_size=80))
+@settings(max_examples=150)
+def test_stats_add_up(raw):
+    stream = materialise(raw)
+    tracker = run(PIFTConfig(5, 2), stream)
+    assert tracker.stats.loads_observed + tracker.stats.stores_observed == len(stream)
+    assert tracker.stats.tainted_loads <= tracker.stats.loads_observed
+    assert tracker.stats.taint_operations <= tracker.stats.stores_observed
+    assert tracker.stats.max_tainted_bytes >= tracker.tainted_bytes * 0 + (
+        SOURCE.size if tracker.stats.max_tainted_bytes else 0
+    )
+
+
+@given(st.lists(events, max_size=60))
+@settings(max_examples=150)
+def test_no_untainting_means_taint_only_grows(raw):
+    """With untainting off, the source range stays tainted forever and the
+    high-water mark equals the final size."""
+    stream = materialise(raw)
+    tracker = run(PIFTConfig(5, 2, untainting=False), stream)
+    assert tracker.check(SOURCE)
+    assert tracker.stats.max_tainted_bytes == tracker.tainted_bytes
+    assert tracker.stats.untaint_operations == 0
+
+
+@given(st.lists(events, max_size=60))
+@settings(max_examples=150)
+def test_untainting_never_increases_state(raw):
+    """Final tainted size with untainting <= without, on the same stream."""
+    stream = materialise(raw)
+    with_untaint = run(PIFTConfig(5, 2, untainting=True), stream)
+    without_untaint = run(PIFTConfig(5, 2, untainting=False), stream)
+    assert with_untaint.tainted_bytes <= without_untaint.tainted_bytes
+
+
+@given(st.lists(events, max_size=60), st.integers(1, 10))
+@settings(max_examples=150)
+def test_taint_ops_monotone_in_nt(raw, cap):
+    """A larger NT can only allow more propagations (untainting off)."""
+    stream = materialise(raw)
+    small = run(PIFTConfig(8, cap, untainting=False), stream)
+    large = run(PIFTConfig(8, cap + 1, untainting=False), stream)
+    assert small.stats.taint_operations <= large.stats.taint_operations
+
+
+@given(st.lists(events, max_size=60))
+@settings(max_examples=100)
+def test_window_size_one_only_immediate_stores(raw):
+    """With NI=1, only a store in the very next instruction slot after a
+    tainted load may be tainted."""
+    stream = materialise(raw)
+    tracker = PIFTTracker(PIFTConfig(1, 10, untainting=False))
+    tracker.taint_source(SOURCE)
+    last_tainted_load_index = None
+    expected_taints = 0
+    for event in stream:
+        if event.is_load:
+            if tracker.check(event.address_range):
+                last_tainted_load_index = event.instruction_index
+        else:
+            if (
+                last_tainted_load_index is not None
+                and event.instruction_index <= last_tainted_load_index + 1
+            ):
+                expected_taints += 1
+        tracker.observe(event)
+    assert tracker.stats.taint_operations <= expected_taints

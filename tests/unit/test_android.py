@@ -1,0 +1,166 @@
+"""Unit tests for the Android device model: sources, sinks, PIFT wiring."""
+
+import pytest
+
+from repro.core.config import PIFTConfig
+from repro.android import AndroidDevice, DeviceSecrets
+from repro.dalvik import MethodBuilder
+from repro.dalvik.objects import bits_to_double
+
+
+@pytest.fixture
+def device():
+    return AndroidDevice(config=PIFTConfig(13, 3))
+
+
+def install_and_run(device, builder):
+    device.install([builder.build()])
+    return device.run(builder.name)
+
+
+class TestSources:
+    def test_device_id_returns_and_taints(self, device):
+        b = MethodBuilder("S.main", registers=4)
+        b.invoke_static("TelephonyManager.getDeviceId")
+        b.move_result_object(0)
+        b.return_object(0)
+        ref = install_and_run(device, b)
+        imei = device.vm.heap.deref(ref)
+        assert imei.value() == device.secrets.imei
+        assert device.hw.tracker.check(imei.data_range())
+        assert device.manager.sources_registered[0].source_name == (
+            "TelephonyManager.getDeviceId"
+        )
+
+    def test_phone_number_and_serial(self, device):
+        b = MethodBuilder("S.main", registers=4)
+        b.invoke_static("TelephonyManager.getLine1Number")
+        b.move_result_object(0)
+        b.invoke_static("TelephonyManager.getSimSerialNumber")
+        b.move_result_object(1)
+        b.return_object(1)
+        ref = install_and_run(device, b)
+        assert device.vm.heap.deref(ref).value() == device.secrets.sim_serial
+        assert len(device.recorded.sources) == 2
+
+    def test_location_fields_tainted(self, device):
+        b = MethodBuilder("S.main", registers=6)
+        b.invoke_static("LocationManager.getLastKnownLocation")
+        b.move_result_object(0)
+        b.invoke("Location.getLatitude", 0)
+        b.move_result_wide(2)
+        b.return_wide(2)
+        install_and_run(device, b)
+        assert bits_to_double(device.vm.retval_wide) == device.secrets.latitude
+        # Both coordinate fields registered as tainted ranges.
+        assert len(device.recorded.sources) == 2
+
+    def test_custom_secrets(self):
+        device = AndroidDevice(secrets=DeviceSecrets(imei="111222333444555"))
+        b = MethodBuilder("S.main", registers=4)
+        b.invoke_static("TelephonyManager.getDeviceId")
+        b.move_result_object(0)
+        b.return_object(0)
+        ref = install_and_run(device, b)
+        assert device.vm.heap.deref(ref).value() == "111222333444555"
+
+
+class TestSinks:
+    def test_sms_sink_records_payload(self, device):
+        b = MethodBuilder("S.main", registers=6)
+        b.const_string(0, "+15550001111")
+        b.const(1, 0)
+        b.const_string(2, "hello")
+        b.invoke("SmsManager.sendTextMessage", 0, 1, 2)
+        b.return_void()
+        install_and_run(device, b)
+        (event,) = device.sinks
+        assert event.channel == "sms"
+        assert event.destination == "+15550001111"
+        assert event.payload == "hello"
+        assert not event.pift_alarm
+        assert device.framework.sent_sms == ["hello"]
+
+    def test_http_sink_via_url(self, device):
+        b = MethodBuilder("S.main", registers=8)
+        b.const_string(0, "http://example.com/ping")
+        b.new_instance(1, "java/net/URL")
+        b.invoke_direct("URL.<init>", 1, 0)
+        b.invoke("URL.openConnection", 1)
+        b.move_result_object(2)
+        b.invoke("HttpURLConnection.connect", 2)
+        b.return_void()
+        install_and_run(device, b)
+        (event,) = device.sinks
+        assert event.channel == "http"
+        assert event.payload == "http://example.com/ping"
+
+    def test_log_sink(self, device):
+        b = MethodBuilder("S.main", registers=6)
+        b.const_string(0, "TAG")
+        b.const_string(1, "message")
+        b.invoke_static("Log.i", 0, 1)
+        b.return_void()
+        install_and_run(device, b)
+        assert device.framework.log_lines == ["TAG: message"]
+        assert device.sinks[0].channel == "log"
+
+    def test_tainted_sink_raises_alarm_and_leak_event(self, device):
+        b = MethodBuilder("S.main", registers=6)
+        b.invoke_static("TelephonyManager.getDeviceId")
+        b.move_result_object(0)
+        b.const_string(1, "+15550001111")
+        b.const(2, 0)
+        b.invoke("SmsManager.sendTextMessage", 1, 2, 0)
+        b.return_void()
+        install_and_run(device, b)
+        assert device.leak_detected
+        assert device.sinks[0].pift_alarm
+        assert device.module.leak_events  # kernel-level event raised
+
+
+class TestRecording:
+    def test_recorded_run_is_complete(self, device):
+        b = MethodBuilder("S.main", registers=6)
+        b.invoke_static("TelephonyManager.getDeviceId")
+        b.move_result_object(0)
+        b.const_string(1, "+15550001111")
+        b.const(2, 0)
+        b.invoke("SmsManager.sendTextMessage", 1, 2, 0)
+        b.return_void()
+        install_and_run(device, b)
+        recorded = device.recorded
+        assert recorded.trace.load_count > 0
+        assert recorded.trace.store_count > 0
+        assert len(recorded.sources) == 1
+        assert len(recorded.sink_checks) == 1
+        check = recorded.sink_checks[0]
+        assert check.channel == "sms"
+        assert check.instruction_index <= recorded.instruction_count
+
+    def test_replay_matches_live_verdict(self, device):
+        from repro.analysis.replay import replay
+
+        b = MethodBuilder("S.main", registers=6)
+        b.invoke_static("TelephonyManager.getDeviceId")
+        b.move_result_object(0)
+        b.const_string(1, "+15550001111")
+        b.const(2, 0)
+        b.invoke("SmsManager.sendTextMessage", 1, 2, 0)
+        b.return_void()
+        install_and_run(device, b)
+        result = replay(device.recorded, device.config)
+        assert result.alarm == device.leak_detected
+
+    def test_intents_round_trip(self, device):
+        b = MethodBuilder("S.main", registers=8)
+        b.new_instance(0, "android/content/Intent")
+        b.invoke_direct("Intent.<init>", 0)
+        b.const_string(1, "k")
+        b.const_string(2, "v")
+        b.invoke("Intent.putExtra", 0, 1, 2)
+        b.invoke("Intent.getStringExtra", 0, 1)
+        b.move_result_object(3)
+        b.return_object(3)
+        ref = install_and_run(device, b)
+        assert device.vm.heap.deref(ref).value() == "v"

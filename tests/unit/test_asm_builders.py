@@ -1,0 +1,101 @@
+"""Unit tests for the assembler-style constructors (repro.isa.asm)."""
+
+import pytest
+
+from repro.isa import asm
+from repro.isa.instructions import (
+    Address,
+    Alu,
+    AluOp,
+    Imm,
+    Load,
+    Mov,
+    Reg,
+    ShiftKind,
+    Store,
+)
+
+
+class TestOperandHelpers:
+    def test_imm(self):
+        assert asm.imm(42) == Imm(42)
+
+    def test_plain_reg(self):
+        operand = asm.reg("r3")
+        assert operand.register == 3 and operand.shift is None
+
+    def test_shifted_regs(self):
+        assert asm.reg("r3", lsl=2).shift is ShiftKind.LSL
+        assert asm.reg("r3", lsr=8).shift is ShiftKind.LSR
+        assert asm.reg("r3", asr=31).shift is ShiftKind.ASR
+
+    def test_alias_names(self):
+        assert asm.reg("rFP").register == 5
+        assert asm.reg("rINST").register == 7
+
+
+class TestDataProcessing:
+    def test_mov_accepts_int_and_str(self):
+        assert isinstance(asm.mov("r0", 5).src, Imm)
+        assert isinstance(asm.mov("r0", "r1").src, Reg)
+
+    def test_alu_ops_map_correctly(self):
+        cases = [
+            (asm.add, AluOp.ADD), (asm.sub, AluOp.SUB), (asm.rsb, AluOp.RSB),
+            (asm.adc, AluOp.ADC), (asm.sbc, AluOp.SBC), (asm.rsc, AluOp.RSC),
+            (asm.and_, AluOp.AND), (asm.orr, AluOp.ORR),
+            (asm.eor, AluOp.EOR), (asm.bic, AluOp.BIC),
+        ]
+        for builder, op in cases:
+            instruction = builder("r0", "r1", 2)
+            assert isinstance(instruction, Alu)
+            assert instruction.op is op
+
+    def test_s_suffix_sets_flags(self):
+        assert asm.adds("r0", "r1", 1).set_flags
+        assert asm.subs("r0", "r1", 1).set_flags
+        assert not asm.add("r0", "r1", 1).set_flags
+
+
+class TestMemoryBuilders:
+    def test_widths(self):
+        assert asm.ldr("r0", "r1").width == 4
+        assert asm.ldrh("r0", "r1").width == 2
+        assert asm.ldrb("r0", "r1").width == 1
+        assert asm.str_("r0", "r1").width == 4
+        assert asm.strh("r0", "r1").width == 2
+        assert asm.strb("r0", "r1").width == 1
+
+    def test_signed_loads(self):
+        assert asm.ldrsh("r0", "r1").signed
+        assert asm.ldrsb("r0", "r1").signed
+
+    def test_pair_ops(self):
+        assert asm.ldrd("r0", "r1", "r2").rd2 == 1
+        assert asm.strd("r0", "r1", "r2").rd2 == 1
+
+    def test_offset_kinds(self):
+        by_imm = asm.ldr("r0", "r1", 8)
+        assert by_imm.address.offset == Imm(8)
+        by_reg = asm.ldr("r0", "r1", asm.reg("r2", lsl=2))
+        assert isinstance(by_reg.address.offset, Reg)
+
+    def test_writeback_and_post(self):
+        wb = asm.ldrh("r0", "r1", 2, wb=True)
+        assert wb.address.writeback and wb.address.pre
+        post = asm.ldrh("r0", "r1", 2, post=True)
+        assert not post.address.pre
+
+    def test_string_rendering(self):
+        assert str(asm.ldr("r1", "rFP", asm.reg("r3", lsl=2))) == (
+            "ldr r1, [r5, r3, LSL #2]"
+        )
+        assert str(asm.ldrh("r7", "r4", 2, wb=True)) == "ldrh r7, [r4, #2]!"
+
+
+class TestPatch:
+    def test_patch_roundtrip(self):
+        patch = asm.patch("r0", 0x1234, reads=("r1", "r2"), mnemonic="umull")
+        assert patch.rd == 0
+        assert patch.reads == (1, 2)
+        assert patch.mnemonic == "umull"

@@ -1,0 +1,175 @@
+"""Unit tests for the full register-level DIFT baseline."""
+
+import pytest
+
+from repro.core.ranges import AddressRange
+from repro.isa import asm
+from repro.isa.cpu import CPU, FullTraceRecorder
+from repro.baseline import FullDIFTTracker
+
+
+@pytest.fixture
+def cpu():
+    return CPU()
+
+
+def run_tracked(cpu, instructions, tainted_ranges):
+    recorder = FullTraceRecorder()
+    cpu.add_observer(recorder)
+    tracker = FullDIFTTracker()
+    for r in tainted_ranges:
+        tracker.taint_source(r)
+    cpu.run(instructions)
+    tracker.run(recorder.records)
+    return tracker
+
+
+class TestRegisterPropagation:
+    def test_load_taints_register_store_taints_memory(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [asm.ldr("r0", "r1"), asm.str_("r0", "r2")],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_alu_propagates_through_registers(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [
+                asm.ldr("r0", "r1"),
+                asm.add("r3", "r0", 5),  # r3 derives from tainted r0
+                asm.mov("r4", asm.reg("r3")),
+                asm.str_("r4", "r2"),
+            ],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_clean_overwrite_clears_register(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [
+                asm.ldr("r0", "r1"),
+                asm.mov("r0", 7),  # constant overwrite: r0 now clean
+                asm.str_("r0", "r2"),
+            ],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert not tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_clean_store_untaints_memory(self, cpu):
+        cpu.registers["r2"] = 0x1000
+        tracker = run_tracked(
+            cpu,
+            [asm.mov("r0", 0), asm.str_("r0", "r2")],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert not tracker.check(AddressRange(0x1000, 0x1003))
+
+    def test_arbitrary_distance_tracked_exactly(self, cpu):
+        # Unlike PIFT, the baseline follows flows of any length.
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        program = [asm.ldr("r0", "r1")]
+        program += [asm.add("r0", "r0", 1)] * 100  # 100-instruction gap
+        program += [asm.str_("r0", "r2")]
+        tracker = run_tracked(cpu, program, [AddressRange(0x1000, 0x1003)])
+        assert tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_untainted_flow_stays_clean(self, cpu):
+        cpu.registers["r1"] = 0x5000  # clean source
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [asm.ldr("r0", "r1"), asm.str_("r0", "r2")],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert not tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_patch_instruction_preserves_dataflow(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [
+                asm.ldr("r0", "r1"),
+                asm.patch("r0", 1234, reads=("r0",), mnemonic="mov"),
+                asm.str_("r0", "r2"),
+            ],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert tracker.check(AddressRange(0x2000, 0x2003))
+
+    def test_address_registers_do_not_carry_data_taint(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [
+                asm.ldr("r0", "r1"),  # r0 tainted
+                asm.str_("r3", "r2"),  # r3 clean; r2 is just the address
+            ],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        assert not tracker.check(AddressRange(0x2000, 0x2003))
+
+
+class TestCostModel:
+    def test_ops_counted_per_instruction(self, cpu):
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        tracker = run_tracked(
+            cpu,
+            [
+                asm.ldr("r0", "r1"),
+                asm.add("r0", "r0", 1),
+                asm.nop(),
+                asm.str_("r0", "r2"),
+            ],
+            [AddressRange(0x1000, 0x1003)],
+        )
+        stats = tracker.stats
+        assert stats.instructions_processed == 4
+        assert stats.propagation_operations >= 2  # load + alu
+        assert stats.memory_taint_operations == 1  # store
+
+    def test_baseline_busier_than_pift(self, cpu):
+        """The paper's §2 argument: full tracking works on (almost) every
+        instruction, PIFT only on loads and stores."""
+        from repro.core import PIFTConfig, PIFTTracker, MemoryAccess
+
+        recorder = FullTraceRecorder()
+        pift_events = []
+
+        def pift_observer(record, index, pid):
+            if record.is_memory:
+                pift_events.append(
+                    MemoryAccess(record.kind, record.address_range, index, pid)
+                )
+
+        cpu.add_observer(recorder)
+        cpu.add_observer(pift_observer)
+        cpu.registers["r1"] = 0x1000
+        cpu.registers["r2"] = 0x2000
+        program = [asm.ldr("r0", "r1")]
+        program += [asm.add("r0", "r0", 1), asm.eor("r3", "r0", 7)] * 20
+        program += [asm.str_("r0", "r2")]
+        cpu.run(program)
+
+        baseline = FullDIFTTracker()
+        baseline.taint_source(AddressRange(0x1000, 0x1003))
+        baseline.run(recorder.records)
+        baseline_ops = (
+            baseline.stats.propagation_operations
+            + baseline.stats.memory_taint_operations
+        )
+        # PIFT touches only the 2 memory events; the baseline touched all 42.
+        assert len(pift_events) == 2
+        assert baseline_ops >= 40

@@ -1,0 +1,156 @@
+"""Unit tests for the opcode table, instruction encoding, and validation."""
+
+import pytest
+
+from repro.dalvik.bytecode import (
+    Category,
+    Format,
+    Instr,
+    OPCODES,
+    data_moving_opcodes,
+    known_distance_opcodes,
+    opcode,
+    unknown_distance_opcodes,
+)
+
+
+class TestOpcodeTable:
+    def test_paper_unknown_count(self):
+        # Paper §4.1: "There exist 47 bytecodes of which load-store
+        # distances were not measured" (ABI-helper backed).
+        assert len(unknown_distance_opcodes()) == 47
+
+    def test_every_unknown_has_a_helper(self):
+        for info in unknown_distance_opcodes():
+            assert info.helper is not None, info.name
+
+    def test_known_plus_unknown_equals_movers(self):
+        assert len(known_distance_opcodes()) + len(
+            unknown_distance_opcodes()
+        ) == len(data_moving_opcodes())
+
+    def test_paper_table1_spot_checks(self):
+        # Distances straight out of the paper's Table 1 / Figure 10.
+        expected = {
+            "return": 1,
+            "return-wide": 1,
+            "return-object": 1,
+            "move-result": 2,
+            "move-result-object": 2,
+            "move/16": 2,
+            "move/from16": 2,
+            "aget": 2,
+            "aput": 2,
+            "sput": 2,
+            "iput-quick": 2,
+            "move": 3,
+            "move-object": 3,
+            "sget": 3,
+            "sget-object": 3,
+            "long-to-int": 3,
+            "iput": 4,
+            "iget-quick": 4,
+            "neg-double": 4,
+            "iget": 5,
+            "iget-object": 5,
+            "iput-object": 5,
+            "int-to-long": 5,
+            "add-int/lit8": 5,
+            "add-int/2addr": 5,
+            "int-to-char": 6,
+            "sub-long": 6,
+            "shl-int/lit8": 6,
+            "aput-object": 10,
+            "mul-long/2addr": 12,
+        }
+        for name, distance in expected.items():
+            assert opcode(name).load_store_distance == distance, name
+
+    def test_float_and_division_are_unknown(self):
+        for name in ("add-float", "mul-double", "div-int", "rem-int",
+                     "div-int/lit16", "double-to-int"):
+            assert opcode(name).load_store_distance is None, name
+
+    def test_names_unique(self):
+        names = [info.name for info in OPCODES]
+        assert len(names) == len(set(names))
+
+    def test_unknown_opcode_lookup(self):
+        with pytest.raises(ValueError):
+            opcode("frobnicate")
+
+    def test_invokes_do_not_move_data(self):
+        # The paper classifies method invocations in the non-mover group.
+        for kind in ("virtual", "static", "direct", "interface", "super"):
+            assert not opcode(f"invoke-{kind}").moves_data
+
+
+class TestEncoding:
+    def test_12x_packs_nibbles(self):
+        instr = Instr(opcode("move"), a=3, b=11)
+        (unit,) = instr.encode()
+        assert unit & 0xFF == opcode("move").value
+        assert (unit >> 8) & 0xF == 3
+        assert (unit >> 12) & 0xF == 11
+
+    def test_22x_layout(self):
+        instr = Instr(opcode("move/from16"), a=200, b=4000)
+        unit0, unit1 = instr.encode()
+        assert (unit0 >> 8) & 0xFF == 200
+        assert unit1 == 4000
+
+    def test_23x_layout(self):
+        instr = Instr(opcode("add-int"), a=1, b=2, c=3)
+        unit0, unit1 = instr.encode()
+        assert (unit0 >> 8) & 0xFF == 1
+        assert unit1 & 0xFF == 2
+        assert (unit1 >> 8) & 0xFF == 3
+
+    def test_22b_literal(self):
+        instr = Instr(opcode("add-int/lit8"), a=1, b=2, literal=-1)
+        unit0, unit1 = instr.encode()
+        assert (unit1 >> 8) & 0xFF == 0xFF  # two's-complement byte
+
+    def test_51l_wide_literal(self):
+        instr = Instr(opcode("const-wide"), a=4, literal=0x1122334455667788)
+        units = instr.encode()
+        assert len(units) == 5
+        assert units[1] == 0x7788
+        assert units[4] == 0x1122
+
+    def test_35c_argument_packing(self):
+        instr = Instr(opcode("invoke-virtual"), literal=7, args=(1, 2, 3))
+        unit0, unit1, unit2 = instr.encode()
+        assert (unit0 >> 12) & 0xF == 3  # argument count
+        assert unit1 == 7
+        assert unit2 & 0xF == 1
+        assert (unit2 >> 4) & 0xF == 2
+
+    def test_unit_counts_match_format(self):
+        for info in OPCODES:
+            instr = Instr(info, a=1, b=1, c=1)
+            assert len(instr.encode()) == info.units, info.name
+
+    def test_str_is_readable(self):
+        instr = Instr(opcode("mul-int/2addr"), a=3, b=4)
+        assert str(instr) == "mul-int/2addr v3, v4"
+
+
+class TestValidation:
+    def test_nibble_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Instr(opcode("move"), a=16, b=0).validate(register_count=32)
+
+    def test_register_count_enforced(self):
+        with pytest.raises(ValueError):
+            Instr(opcode("move"), a=3, b=2).validate(register_count=3)
+
+    def test_invoke_argument_nibbles(self):
+        with pytest.raises(ValueError):
+            Instr(opcode("invoke-virtual"), args=(16,)).validate(32)
+        with pytest.raises(ValueError):
+            Instr(opcode("invoke-virtual"), args=(1, 2, 3, 4, 5, 6)).validate(32)
+
+    def test_valid_instruction_passes(self):
+        Instr(opcode("move"), a=15, b=15).validate(register_count=16)
+        Instr(opcode("move/from16"), a=255, b=4000).validate(register_count=4096)

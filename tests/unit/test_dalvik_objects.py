@@ -1,0 +1,150 @@
+"""Unit tests for the VM heap object model."""
+
+import pytest
+
+from repro.core.ranges import AddressRange
+from repro.isa.memory import AddressSpace
+from repro.dalvik.objects import (
+    Heap,
+    NullPointerError,
+    VMArray,
+    VMInstance,
+    VMString,
+)
+
+
+@pytest.fixture
+def heap():
+    return Heap(AddressSpace())
+
+
+class TestVMString:
+    def test_two_bytes_per_char(self, heap):
+        # Paper footnote 1: "in Java, each character consumes two bytes".
+        s = heap.new_string("abc")
+        assert s.length == 3
+        assert s.data_range().size == 6
+
+    def test_value_roundtrip(self, heap):
+        s = heap.new_string("type=sms&imei=")
+        assert s.value() == "type=sms&imei="
+
+    def test_char_addressing(self, heap):
+        s = heap.new_string("xyz")
+        assert s.char_address(1) == s.chars_base + 2
+        assert s.char_range(2).size == 2
+        with pytest.raises(IndexError):
+            s.char_address(3)
+
+    def test_empty_string_has_addressable_payload(self, heap):
+        s = heap.new_string("")
+        assert s.data_range().size >= 1
+
+    def test_interning_reuses_instances(self, heap):
+        a = heap.intern_string("hello")
+        b = heap.intern_string("hello")
+        c = heap.intern_string("other")
+        assert a is b
+        assert a is not c
+
+    def test_strings_do_not_overlap(self, heap):
+        a = heap.new_string("aaaa")
+        b = heap.new_string("bbbb")
+        assert not a.data_range().overlaps(b.data_range())
+
+
+class TestVMArray:
+    def test_element_addressing(self, heap):
+        arr = heap.new_array(10, element_width=4)
+        assert arr.element_address(3) == arr.data_base + 12
+        assert arr.element_range(3).size == 4
+        with pytest.raises(IndexError):
+            arr.element_address(10)
+
+    def test_get_put(self, heap):
+        arr = heap.new_array(4, element_width=2, class_name="[C")
+        arr.put(2, ord("x"))
+        assert arr.get(2) == ord("x")
+
+    def test_put_masks_to_width(self, heap):
+        arr = heap.new_array(4, element_width=1, class_name="[B")
+        arr.put(0, 0x1FF)
+        assert arr.get(0) == 0xFF
+
+    def test_length_word_in_memory(self, heap):
+        arr = heap.new_array(7, element_width=4)
+        assert heap.space.memory.read_u32(arr.address + 8) == 7
+
+    def test_rejects_bad_width(self, heap):
+        with pytest.raises(ValueError):
+            VMArray(heap, 0x1000, heap.lookup_class(Heap.OBJECT_CLASS), 4, 3)
+
+
+class TestVMInstanceAndClasses:
+    def test_field_layout_offsets(self, heap):
+        heap.define_class("T/Pair", fields=[("first", 4), ("second", 4)])
+        obj = heap.new_instance("T/Pair")
+        first = obj.field_range("first")
+        second = obj.field_range("second")
+        assert first.size == 4 and second.size == 4
+        assert not first.overlaps(second)
+
+    def test_wide_field_alignment(self, heap):
+        heap.define_class("T/Mixed", fields=[("flag", 4), ("value", 8)])
+        spec = heap.lookup_class("T/Mixed").field("value")
+        assert spec.offset % 8 == 0
+
+    def test_field_get_set(self, heap):
+        heap.define_class("T/Box", fields=[("v", 4)])
+        obj = heap.new_instance("T/Box")
+        obj.set_field("v", 0xCAFE)
+        assert obj.get_field("v") == 0xCAFE
+
+    def test_inherited_fields(self, heap):
+        heap.define_class("T/Base", fields=[("a", 4)])
+        heap.define_class("T/Derived", fields=[("b", 4)], superclass="T/Base")
+        obj = heap.new_instance("T/Derived")
+        obj.set_field("a", 1)
+        obj.set_field("b", 2)
+        assert obj.get_field("a") == 1
+        assert obj.get_field("b") == 2
+
+    def test_subclass_relation(self, heap):
+        base = heap.define_class("T/A")
+        derived = heap.define_class("T/B", superclass="T/A")
+        assert derived.is_subclass_of(base)
+        assert not base.is_subclass_of(derived)
+
+    def test_unknown_field_rejected(self, heap):
+        heap.define_class("T/Empty")
+        with pytest.raises(KeyError):
+            heap.lookup_class("T/Empty").field("ghost")
+
+    def test_duplicate_class_rejected(self, heap):
+        heap.define_class("T/Once")
+        with pytest.raises(ValueError):
+            heap.define_class("T/Once")
+
+    def test_statics_area(self, heap):
+        klass = heap.define_class("T/WithStatics", statics=[("count", 4)])
+        assert klass.static_base is not None
+        assert klass.static_field("count").offset == 0
+
+
+class TestDereference:
+    def test_deref_roundtrip(self, heap):
+        s = heap.new_string("x")
+        assert heap.deref(s.address) is s
+
+    def test_null_deref_raises(self, heap):
+        with pytest.raises(NullPointerError):
+            heap.deref(0)
+
+    def test_wild_pointer_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.deref(0x12345678)
+
+    def test_maybe_deref(self, heap):
+        assert heap.maybe_deref(0) is None
+        s = heap.new_string("x")
+        assert heap.maybe_deref(s.address) is s

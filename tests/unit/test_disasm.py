@@ -1,0 +1,76 @@
+"""Unit tests for the annotated disassembly recorder."""
+
+from repro.core import MemoryAccess, PIFTConfig, PIFTHardwareModule
+from repro.core.ranges import AddressRange
+from repro.isa import asm
+from repro.isa.cpu import CPU
+from repro.isa.disasm import DisassemblyRecorder
+
+
+def test_lines_rendered_with_operands():
+    cpu = CPU(render_text=True)
+    recorder = DisassemblyRecorder()
+    cpu.add_observer(recorder)
+    cpu.registers["r1"] = 0x5000
+    cpu.run([asm.ldrh("r6", "r1"), asm.adds("r3", "r3", 1)])
+    assert "ldrh r6, [r1]" in recorder.lines[0]
+    assert "load [0x5000,0x5001]" in recorder.lines[0]
+    assert recorder.lines[1].endswith("adds r3, r3, #1")
+
+
+def test_taint_annotations():
+    cpu = CPU(render_text=True)
+    hw = PIFTHardwareModule(PIFTConfig(5, 2))
+    cpu.add_observer(
+        lambda r, i, p: hw.on_memory_event(
+            MemoryAccess(r.kind, r.address_range, i, p)
+        )
+        if r.is_memory
+        else None
+    )
+    recorder = DisassemblyRecorder(tracker=hw.tracker)
+    cpu.add_observer(recorder)
+    hw.tracker.taint_source(AddressRange(0x5000, 0x5001))
+    cpu.registers["r1"] = 0x5000
+    cpu.registers["r2"] = 0x6000
+    cpu.run([asm.ldrh("r6", "r1"), asm.strh("r6", "r2")])
+    assert "TAINTED-LOAD" in recorder.lines[0]
+    assert "TAINT" in recorder.lines[1]
+
+
+def test_addresses_monotone():
+    cpu = CPU(render_text=True)
+    recorder = DisassemblyRecorder()
+    cpu.add_observer(recorder)
+    cpu.run([asm.nop()] * 3)
+    addresses = [int(line.split(":")[0], 16) for line in recorder.lines]
+    assert addresses == sorted(addresses)
+    assert len(set(addresses)) == 3
+
+
+def test_truncation():
+    cpu = CPU(render_text=True)
+    recorder = DisassemblyRecorder(max_lines=2)
+    cpu.add_observer(recorder)
+    cpu.run([asm.nop()] * 5)
+    assert len(recorder.lines) == 2
+    assert recorder.truncated
+    assert recorder.text().endswith("... (truncated)")
+
+
+def test_without_render_text_falls_back_to_mnemonic():
+    cpu = CPU()  # render_text off
+    recorder = DisassemblyRecorder()
+    cpu.add_observer(recorder)
+    cpu.run([asm.mov("r0", 5)])
+    assert recorder.lines[0].endswith("mov")
+
+
+def test_text_slicing():
+    cpu = CPU(render_text=True)
+    recorder = DisassemblyRecorder()
+    cpu.add_observer(recorder)
+    cpu.run([asm.nop(), asm.mov("r0", 1), asm.nop()])
+    sliced = recorder.text(first=1, count=1)
+    assert "mov r0, #1" in sliced
+    assert sliced.count("\n") == 0

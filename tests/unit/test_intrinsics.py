@@ -1,0 +1,275 @@
+"""Unit tests for the core-library intrinsics (string machinery etc.)."""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.dalvik import DalvikVM, MethodBuilder, VMArray, VMString
+from repro.dalvik.objects import double_to_bits
+
+
+@pytest.fixture
+def vm():
+    return DalvikVM(CPU())
+
+
+_COUNTER = [0]
+
+
+def run_main(vm, build, registers=14):
+    _COUNTER[0] += 1
+    name = f"I.main{_COUNTER[0]}"
+    b = MethodBuilder(name, registers=registers)
+    build(b)
+    vm.register_method(b.build())
+    return vm.call(name)
+
+
+def returned_string(vm, reference) -> str:
+    value = vm.heap.deref(reference)
+    assert isinstance(value, VMString)
+    return value.value()
+
+
+class TestStringBuilder:
+    def test_append_strings(self, vm):
+        def build(b):
+            b.new_instance(0, "java/lang/StringBuilder")
+            b.invoke_direct("StringBuilder.<init>", 0)
+            b.const_string(1, "hello, ")
+            b.invoke("StringBuilder.append", 0, 1)
+            b.const_string(1, "world")
+            b.invoke("StringBuilder.append", 0, 1)
+            b.invoke("StringBuilder.toString", 0)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "hello, world"
+
+    def test_append_char(self, vm):
+        def build(b):
+            b.new_instance(0, "java/lang/StringBuilder")
+            b.invoke_direct("StringBuilder.<init>", 0)
+            b.const(1, ord("x"))
+            b.invoke("StringBuilder.appendChar", 0, 1)
+            b.invoke("StringBuilder.toString", 0)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "x"
+
+    def test_append_int(self, vm):
+        def build(b):
+            b.new_instance(0, "java/lang/StringBuilder")
+            b.invoke_direct("StringBuilder.<init>", 0)
+            b.const(1, -1234)
+            b.invoke("StringBuilder.appendInt", 0, 1)
+            b.invoke("StringBuilder.toString", 0)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "-1234"
+
+    def test_append_double(self, vm):
+        def build(b):
+            b.new_instance(0, "java/lang/StringBuilder")
+            b.invoke_direct("StringBuilder.<init>", 0)
+            b.raw("const-wide", a=2, literal=double_to_bits(2.5))
+            b.invoke("StringBuilder.appendDouble", 0, 2, 3)
+            b.invoke("StringBuilder.toString", 0)
+            b.move_result_object(4)
+            b.return_object(4)
+
+        assert returned_string(vm, run_main(vm, build)) == "2.5"
+
+    def test_length(self, vm):
+        def build(b):
+            b.new_instance(0, "java/lang/StringBuilder")
+            b.invoke_direct("StringBuilder.<init>", 0)
+            b.const_string(1, "abcd")
+            b.invoke("StringBuilder.append", 0, 1)
+            b.invoke("StringBuilder.length", 0)
+            b.move_result(2)
+            b.return_value(2)
+
+        assert run_main(vm, build) == 4
+
+
+class TestStringOps:
+    def test_concat(self, vm):
+        def build(b):
+            b.const_string(0, "foo")
+            b.const_string(1, "bar")
+            b.invoke("String.concat", 0, 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "foobar"
+
+    def test_length_and_char_at(self, vm):
+        def build(b):
+            b.const_string(0, "pift")
+            b.const(1, 2)
+            b.invoke("String.charAt", 0, 1)
+            b.move_result(2)
+            b.return_value(2)
+
+        assert run_main(vm, build) == ord("f")
+
+    def test_substring(self, vm):
+        def build(b):
+            b.const_string(0, "predictive")
+            b.const(1, 3)
+            b.const(2, 7)
+            b.invoke("String.substring", 0, 1, 2)
+            b.move_result_object(3)
+            b.return_object(3)
+
+        assert returned_string(vm, run_main(vm, build)) == "dict"
+
+    def test_to_char_array_and_back(self, vm):
+        def build(b):
+            b.const_string(0, "taint")
+            b.invoke("String.toCharArray", 0)
+            b.move_result_object(1)
+            b.invoke_static("String.fromChars", 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "taint"
+
+    def test_get_bytes(self, vm):
+        def build(b):
+            b.const_string(0, "AB")
+            b.invoke("String.getBytes", 0)
+            b.move_result_object(1)
+            b.return_object(1)
+
+        array = vm.heap.deref(run_main(vm, build))
+        assert isinstance(array, VMArray)
+        assert array.element_width == 1
+        assert [array.get(i) for i in range(2)] == [65, 66]
+
+    def test_equals(self, vm):
+        def build(b):
+            b.const_string(0, "same")
+            b.const_string(1, "same")
+            b.invoke("String.equals", 0, 1)
+            b.move_result(2)
+            b.return_value(2)
+
+        assert run_main(vm, build) == 1
+
+    def test_parse_int(self, vm):
+        def build(b):
+            b.const_string(0, "54321")
+            b.invoke_static("Integer.parseInt", 0)
+            b.move_result(1)
+            b.return_value(1)
+
+        assert run_main(vm, build) == 54321
+
+    def test_value_of_int(self, vm):
+        def build(b):
+            b.const(0, 987)
+            b.invoke_static("String.valueOfInt", 0)
+            b.move_result_object(1)
+            b.return_object(1)
+
+        assert returned_string(vm, run_main(vm, build)) == "987"
+
+
+class TestCollections:
+    def test_array_list(self, vm):
+        def build(b):
+            b.new_instance(0, "java/util/ArrayList")
+            b.invoke_direct("ArrayList.<init>", 0)
+            b.const_string(1, "first")
+            b.invoke("ArrayList.add", 0, 1)
+            b.const_string(1, "second")
+            b.invoke("ArrayList.add", 0, 1)
+            b.const(2, 1)
+            b.invoke("ArrayList.get", 0, 2)
+            b.move_result_object(3)
+            b.return_object(3)
+
+        assert returned_string(vm, run_main(vm, build)) == "second"
+
+    def test_array_list_size(self, vm):
+        def build(b):
+            b.new_instance(0, "java/util/ArrayList")
+            b.invoke_direct("ArrayList.<init>", 0)
+            b.const_string(1, "x")
+            b.invoke("ArrayList.add", 0, 1)
+            b.invoke("ArrayList.size", 0)
+            b.move_result(2)
+            b.return_value(2)
+
+        assert run_main(vm, build) == 1
+
+    def test_hash_map_put_get(self, vm):
+        def build(b):
+            b.new_instance(0, "java/util/HashMap")
+            b.invoke_direct("HashMap.<init>", 0)
+            b.const_string(1, "key")
+            b.const_string(2, "value")
+            b.invoke("HashMap.put", 0, 1, 2)
+            b.const_string(3, "key")  # equal content, different instance
+            b.invoke("HashMap.get", 0, 3)
+            b.move_result_object(4)
+            b.return_object(4)
+
+        assert returned_string(vm, run_main(vm, build)) == "value"
+
+    def test_hash_map_miss_returns_null(self, vm):
+        def build(b):
+            b.new_instance(0, "java/util/HashMap")
+            b.invoke_direct("HashMap.<init>", 0)
+            b.const_string(1, "ghost")
+            b.invoke("HashMap.get", 0, 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert run_main(vm, build) == 0
+
+    def test_hash_map_overwrite(self, vm):
+        def build(b):
+            b.new_instance(0, "java/util/HashMap")
+            b.invoke_direct("HashMap.<init>", 0)
+            b.const_string(1, "k")
+            b.const_string(2, "old")
+            b.invoke("HashMap.put", 0, 1, 2)
+            b.const_string(2, "new")
+            b.invoke("HashMap.put", 0, 1, 2)
+            b.invoke("HashMap.get", 0, 1)
+            b.move_result_object(3)
+            b.return_object(3)
+
+        assert returned_string(vm, run_main(vm, build)) == "new"
+
+
+class TestSystemAndThrowable:
+    def test_arraycopy(self, vm):
+        def build(b):
+            b.const(0, 3)
+            b.new_array(1, 0, "[C")
+            b.const_string(2, "xyz")
+            b.invoke("String.toCharArray", 2)
+            b.move_result_object(3)
+            b.const(4, 0)
+            b.invoke_static("System.arraycopy", 3, 4, 1, 4, 0)
+            b.invoke_static("String.fromChars", 1)
+            b.move_result_object(5)
+            b.return_object(5)
+
+        assert returned_string(vm, run_main(vm, build)) == "xyz"
+
+    def test_throwable_message(self, vm):
+        def build(b):
+            b.const_string(0, "boom")
+            b.new_instance(1, "java/lang/Exception")
+            b.invoke_direct("Throwable.<init>", 1, 0)
+            b.invoke("Throwable.getMessage", 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "boom"

@@ -1,0 +1,237 @@
+"""Edge-case tests for intrinsics and the builder/VM surface."""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.dalvik import DalvikVM, MethodBuilder, VMError, VMString
+from repro.dalvik.translator import fuse_dispatch, MterpTranslator
+from repro.dalvik.bytecode import Instr, opcode
+
+
+@pytest.fixture
+def vm():
+    return DalvikVM(CPU())
+
+
+_COUNTER = [0]
+
+
+def run_main(vm, build, registers=14):
+    _COUNTER[0] += 1
+    name = f"E.main{_COUNTER[0]}"
+    builder = MethodBuilder(name, registers=registers)
+    build(builder)
+    vm.register_method(builder.build())
+    return vm.call(name)
+
+
+def returned_string(vm, reference) -> str:
+    return vm.heap.deref(reference).value()
+
+
+class TestStringEdgeCases:
+    def test_empty_string_constant(self, vm):
+        def build(b):
+            b.const_string(0, "")
+            b.invoke("String.length", 0)
+            b.move_result(1)
+            b.return_value(1)
+
+        assert run_main(vm, build) == 0
+
+    def test_concat_with_empty(self, vm):
+        def build(b):
+            b.const_string(0, "")
+            b.const_string(1, "tail")
+            b.invoke("String.concat", 0, 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "tail"
+
+    def test_substring_empty_result(self, vm):
+        def build(b):
+            b.const_string(0, "abc")
+            b.const(1, 1)
+            b.invoke("String.substring", 0, 1, 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == ""
+
+    def test_substring_out_of_bounds_raises(self, vm):
+        def build(b):
+            b.const_string(0, "abc")
+            b.const(1, 2)
+            b.const(2, 9)
+            b.invoke("String.substring", 0, 1, 2)
+            b.return_void()
+
+        with pytest.raises(IndexError):
+            run_main(vm, build)
+
+    def test_char_at_out_of_bounds_raises(self, vm):
+        def build(b):
+            b.const_string(0, "ab")
+            b.const(1, 5)
+            b.invoke("String.charAt", 0, 1)
+            b.return_void()
+
+        with pytest.raises(IndexError):
+            run_main(vm, build)
+
+    def test_equals_different_lengths(self, vm):
+        def build(b):
+            b.const_string(0, "abc")
+            b.const_string(1, "ab")
+            b.invoke("String.equals", 0, 1)
+            b.move_result(2)
+            b.return_value(2)
+
+        assert run_main(vm, build) == 0
+
+    def test_to_char_array_of_empty(self, vm):
+        def build(b):
+            b.const_string(0, "")
+            b.invoke("String.toCharArray", 0)
+            b.move_result_object(1)
+            b.array_length(2, 1)
+            b.return_value(2)
+
+        assert run_main(vm, build) == 0
+
+    def test_unicode_string_roundtrip(self, vm):
+        def build(b):
+            b.const_string(0, "héllo wörld")
+            b.const_string(1, " — ünïcode")
+            b.invoke("String.concat", 0, 1)
+            b.move_result_object(2)
+            b.return_object(2)
+
+        assert returned_string(vm, run_main(vm, build)) == "héllo wörld — ünïcode"
+
+
+class TestBuilderErrors:
+    def test_empty_method_rejected(self, vm):
+        with pytest.raises(VMError):
+            MethodBuilder("E.empty", registers=4).build()
+
+    def test_too_many_ins_rejected(self, vm):
+        with pytest.raises(VMError):
+            builder = MethodBuilder("E.bad", registers=2, ins=3)
+            builder.return_void()
+            builder.build()
+
+    def test_unknown_label_rejected(self, vm):
+        builder = MethodBuilder("E.badlabel", registers=4)
+        builder.goto("nowhere")
+        builder.return_void()
+        vm.register_method(builder.build())
+        with pytest.raises(VMError):
+            vm.call("E.badlabel")
+
+    def test_fall_off_end_rejected(self, vm):
+        builder = MethodBuilder("E.falloff", registers=4)
+        builder.const(0, 1)  # no return
+        vm.register_method(builder.build())
+        with pytest.raises(VMError):
+            vm.call("E.falloff")
+
+    def test_duplicate_registration_rejected(self, vm):
+        builder = MethodBuilder("E.dup", registers=4)
+        builder.return_void()
+        vm.register_method(builder.build())
+        rebuilt = MethodBuilder("E.dup", registers=4)
+        rebuilt.return_void()
+        with pytest.raises(VMError):
+            vm.register_method(rebuilt.build())
+
+    def test_intrinsic_name_collision_rejected(self, vm):
+        builder = MethodBuilder("String.length", registers=4)
+        builder.return_void()
+        with pytest.raises(VMError):
+            vm.register_method(builder.build())
+
+
+class TestFusedDispatch:
+    def test_fuse_removes_only_dispatch_tail(self):
+        translator = MterpTranslator()
+        routine = translator.binop_2addr_int(
+            Instr(opcode("add-int/2addr"), a=1, b=2)
+        )
+        fused = fuse_dispatch(routine)
+        mnemonics = [i.mnemonic for i in fused.instructions]
+        assert "and" not in mnemonics  # GET_INST_OPCODE gone
+        assert mnemonics[-1] == "str"  # GOTO_OPCODE gone
+        assert len(fused.instructions) == len(routine.instructions) - 2
+
+    def test_fuse_remaps_marker_indices(self):
+        translator = MterpTranslator()
+        routine = translator.binop_2addr_int(
+            Instr(opcode("add-int/2addr"), a=1, b=2)
+        )
+        fused = fuse_dispatch(routine)
+        load = fused.instructions[fused.data_load_index]
+        store = fused.instructions[fused.data_store_index]
+        assert load.mnemonic == "ldr"
+        assert store.mnemonic == "str"
+        # Distance shrinks by exactly the removed in-gap crack instruction.
+        assert fused.load_store_distance == routine.load_store_distance - 1
+
+    def test_fused_vm_computes_same_results(self):
+        plain = DalvikVM(CPU())
+        fused = DalvikVM(CPU(), fused_dispatch=True)
+        for vm in (plain, fused):
+            builder = MethodBuilder("E.calc", registers=8)
+            builder.const(1, 6)
+            builder.const(2, 7)
+            builder.mul_int(0, 1, 2)
+            builder.add_int_lit8(0, 0, -2)
+            builder.return_value(0)
+            vm.register_method(builder.build())
+        assert plain.call("E.calc") == fused.call("E.calc") == 40
+
+    def test_fused_vm_executes_fewer_instructions(self):
+        plain = DalvikVM(CPU())
+        fused = DalvikVM(CPU(), fused_dispatch=True)
+        for vm in (plain, fused):
+            builder = MethodBuilder("E.loop", registers=8)
+            builder.const(0, 0)
+            builder.const(1, 20)
+            builder.label("loop")
+            builder.if_ge(0, 1, "done")
+            builder.add_int_lit8(0, 0, 1)
+            builder.goto("loop")
+            builder.label("done")
+            builder.return_value(0)
+            vm.register_method(builder.build())
+            vm.call("E.loop")
+        assert fused.cpu.instruction_count() < plain.cpu.instruction_count()
+
+
+class TestArraysFill:
+    def test_fill_semantics(self, vm):
+        def build(b):
+            b.const(0, 6)
+            b.new_array(1, 0, "[B")
+            b.const(2, 1)
+            b.const(3, 4)
+            b.const(4, 0x41)
+            b.invoke_static("Arrays.fill", 1, 2, 3, 4)
+            b.return_object(1)
+
+        array = vm.heap.deref(run_main(vm, build))
+        assert [array.get(i) for i in range(6)] == [0, 0x41, 0x41, 0x41, 0, 0]
+
+    def test_fill_bad_bounds_raises(self, vm):
+        def build(b):
+            b.const(0, 4)
+            b.new_array(1, 0, "[B")
+            b.const(2, 2)
+            b.const(3, 9)
+            b.const(4, 1)
+            b.invoke_static("Arrays.fill", 1, 2, 3, 4)
+            b.return_void()
+
+        with pytest.raises(IndexError):
+            run_main(vm, build)

@@ -1,0 +1,269 @@
+"""Unit tests for the instruction set and the tracing CPU."""
+
+import pytest
+
+from repro.core.events import AccessKind
+from repro.core.ranges import AddressRange
+from repro.isa import asm
+from repro.isa.abihelpers import HELPER_BODY_LENGTHS, helper_body, helper_length
+from repro.isa.cpu import CPU, FullTraceRecorder, TraceRecorder
+from repro.isa.instructions import Load, Store, Ubfx
+
+
+@pytest.fixture
+def cpu():
+    return CPU()
+
+
+class TestDataProcessing:
+    def test_mov_immediate(self, cpu):
+        cpu.execute(asm.mov("r0", 42))
+        assert cpu.registers["r0"] == 42
+
+    def test_mov_register_with_lsr(self, cpu):
+        # Figure 8 line 1: mov r3, rINST, lsr #12
+        cpu.registers["rINST"] = 0x3456
+        cpu.execute(asm.mov("r3", asm.reg("rINST", lsr=12)))
+        assert cpu.registers["r3"] == 0x3
+
+    def test_mvn(self, cpu):
+        cpu.execute(asm.mvn("r0", 0))
+        assert cpu.registers["r0"] == 0xFFFFFFFF
+
+    def test_ubfx_extracts_field(self, cpu):
+        # Figure 8 line 2: ubfx r9, rINST, #8, #4
+        cpu.registers["rINST"] = 0x3456
+        cpu.execute(asm.ubfx("r9", "rINST", 8, 4))
+        assert cpu.registers["r9"] == 0x4
+
+    def test_ubfx_validates_field(self):
+        with pytest.raises(ValueError):
+            Ubfx(0, 1, 30, 8)
+
+    def test_add_sub_wrap(self, cpu):
+        cpu.registers["r1"] = 0xFFFFFFFF
+        cpu.execute(asm.add("r0", "r1", 1))
+        assert cpu.registers["r0"] == 0
+
+    def test_rsb(self, cpu):
+        cpu.registers["r1"] = 3
+        cpu.execute(asm.rsb("r0", "r1", 10))
+        assert cpu.registers["r0"] == 7
+
+    def test_bitwise_ops(self, cpu):
+        cpu.registers["r1"] = 0b1100
+        cpu.execute(asm.and_("r0", "r1", 0b1010))
+        assert cpu.registers["r0"] == 0b1000
+        cpu.execute(asm.orr("r0", "r1", 0b0011))
+        assert cpu.registers["r0"] == 0b1111
+        cpu.execute(asm.eor("r0", "r1", 0b1111))
+        assert cpu.registers["r0"] == 0b0011
+        cpu.execute(asm.bic("r0", "r1", 0b0100))
+        assert cpu.registers["r0"] == 0b1000
+
+    def test_mul(self, cpu):
+        cpu.registers["r1"] = 6
+        cpu.registers["r2"] = 7
+        cpu.execute(asm.mul("r0", "r1", "r2"))
+        assert cpu.registers["r0"] == 42
+
+    def test_adds_sets_flags(self, cpu):
+        cpu.registers["r1"] = 0
+        cpu.execute(asm.adds("r0", "r1", 0))
+        assert cpu.registers.flags.zero
+
+    def test_cmp_flags(self, cpu):
+        cpu.registers["r3"] = 5
+        cpu.execute(asm.cmp("r3", 5))
+        assert cpu.registers.flags.zero
+        cpu.execute(asm.cmp("r3", 9))
+        assert cpu.registers.flags.negative
+        assert not cpu.registers.flags.carry
+
+    def test_asr_shift(self, cpu):
+        cpu.registers["r1"] = 0x80000000
+        cpu.execute(asm.mov("r0", asm.reg("r1", asr=4)))
+        assert cpu.registers["r0"] == 0xF8000000
+
+    def test_reg_operand_rejects_two_shifts(self):
+        with pytest.raises(ValueError):
+            asm.reg("r1", lsl=2, lsr=3)
+
+
+class TestMemoryInstructions:
+    def test_ldr_str_roundtrip(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        cpu.registers["r0"] = 0xDEADBEEF
+        cpu.execute(asm.str_("r0", "r1"))
+        cpu.execute(asm.ldr("r2", "r1"))
+        assert cpu.registers["r2"] == 0xDEADBEEF
+
+    def test_scaled_register_offset(self, cpu):
+        # Figure 8 GET_VREG: ldr r1, [rFP, r3, lsl #2]
+        cpu.registers["rFP"] = 0x5000
+        cpu.registers["r3"] = 4
+        cpu.address_space.memory.write_u32(0x5010, 1234)
+        record = cpu.execute(asm.ldr("r1", "rFP", asm.reg("r3", lsl=2)))
+        assert cpu.registers["r1"] == 1234
+        assert record.address_range == AddressRange(0x5010, 0x5013)
+
+    def test_ldrh_event_covers_two_bytes(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        record = cpu.execute(asm.ldrh("r6", "r1"))
+        assert record.kind is AccessKind.LOAD
+        assert record.address_range == AddressRange(0x5000, 0x5001)
+
+    def test_strh_truncates(self, cpu):
+        cpu.registers["r0"] = 0x12345678
+        cpu.registers["r1"] = 0x5000
+        cpu.execute(asm.strh("r0", "r1"))
+        assert cpu.address_space.memory.read_u16(0x5000) == 0x5678
+        assert cpu.address_space.memory.read_u16(0x5002) == 0
+
+    def test_ldrsh_sign_extends(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        cpu.address_space.memory.write_u16(0x5000, 0x8001)
+        cpu.execute(asm.ldrsh("r0", "r1"))
+        assert cpu.registers.read_signed("r0") == -32767
+
+    def test_ldrb_strb(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        cpu.registers["r0"] = 0xAB
+        cpu.execute(asm.strb("r0", "r1"))
+        record = cpu.execute(asm.ldrb("r2", "r1"))
+        assert cpu.registers["r2"] == 0xAB
+        assert record.address_range.size == 1
+
+    def test_ldrd_strd_cover_eight_bytes(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        cpu.registers["r2"] = 0x11111111
+        cpu.registers["r3"] = 0x22222222
+        store_rec = cpu.execute(asm.strd("r2", "r3", "r1"))
+        assert store_rec.address_range.size == 8
+        load_rec = cpu.execute(asm.ldrd("r4", "r5", "r1"))
+        assert load_rec.address_range.size == 8
+        assert cpu.registers["r4"] == 0x11111111
+        assert cpu.registers["r5"] == 0x22222222
+
+    def test_pre_index_writeback(self, cpu):
+        # Figure 9: ldrh r7, [r4, #2]!
+        cpu.registers["r4"] = 0x5000
+        cpu.address_space.memory.write_u16(0x5002, 0x99)
+        record = cpu.execute(asm.ldrh("r7", "r4", 2, wb=True))
+        assert cpu.registers["r7"] == 0x99
+        assert cpu.registers["r4"] == 0x5002
+        assert record.address_range == AddressRange(0x5002, 0x5003)
+
+    def test_post_index(self, cpu):
+        cpu.registers["r4"] = 0x5000
+        cpu.address_space.memory.write_u16(0x5000, 0x77)
+        record = cpu.execute(asm.ldrh("r7", "r4", 2, post=True))
+        assert cpu.registers["r7"] == 0x77
+        assert cpu.registers["r4"] == 0x5002
+        assert record.address_range == AddressRange(0x5000, 0x5001)
+
+    def test_ldmia_stmdb(self, cpu):
+        cpu.registers["sp"] = 0x6000
+        cpu.registers["r0"] = 1
+        cpu.registers["r1"] = 2
+        rec = cpu.execute(asm.stmdb("sp", ["r0", "r1"]))
+        assert rec.kind is AccessKind.STORE
+        assert rec.address_range == AddressRange(0x5FF8, 0x5FFF)
+        assert cpu.registers["sp"] == 0x5FF8
+        cpu.registers["r0"] = 0
+        cpu.registers["r1"] = 0
+        rec = cpu.execute(asm.ldmia("sp", ["r0", "r1"]))
+        assert rec.address_range.size == 8
+        assert (cpu.registers["r0"], cpu.registers["r1"]) == (1, 2)
+        assert cpu.registers["sp"] == 0x6000
+
+    def test_data_registers_exclude_address_registers(self, cpu):
+        cpu.registers["r1"] = 0x5000
+        record = cpu.execute(asm.str_("r0", "r1"))
+        assert record.data_registers == (0,)
+        assert 1 in record.reads
+
+
+class TestCpuObserved:
+    def test_instruction_counting(self, cpu):
+        cpu.run([asm.nop(), asm.nop(), asm.mov("r0", 1)])
+        assert cpu.instruction_count() == 3
+
+    def test_per_pid_counters(self, cpu):
+        cpu.context_switch(1)
+        cpu.run([asm.nop()] * 3)
+        cpu.context_switch(2)
+        cpu.run([asm.nop()])
+        assert cpu.instruction_count(1) == 3
+        assert cpu.instruction_count(2) == 1
+
+    def test_trace_recorder_collects_memory_events(self, cpu):
+        recorder = TraceRecorder()
+        cpu.add_observer(recorder)
+        cpu.registers["r1"] = 0x5000
+        cpu.run(
+            [
+                asm.ldrh("r6", "r1"),
+                asm.adds("r3", "r3", 1),
+                asm.strh("r6", "r1", 0x10),
+                asm.nop(),
+            ]
+        )
+        trace = recorder.trace
+        assert trace.load_count == 1
+        assert trace.store_count == 1
+        assert trace.instruction_count == 4
+        load_event, store_event = trace.events
+        assert load_event.instruction_index == 0
+        assert store_event.instruction_index == 2
+
+    def test_full_trace_recorder_keeps_every_record(self, cpu):
+        recorder = FullTraceRecorder()
+        cpu.add_observer(recorder)
+        cpu.run([asm.nop(), asm.mov("r0", 1)])
+        assert [r.mnemonic for r in recorder.records] == ["nop", "mov"]
+
+    def test_remove_observer(self, cpu):
+        recorder = FullTraceRecorder()
+        cpu.add_observer(recorder)
+        cpu.remove_observer(recorder)
+        cpu.run([asm.nop()])
+        assert not recorder.records
+
+    def test_branch_is_stream_marker_only(self, cpu):
+        record = cpu.execute(asm.b("loop"))
+        assert not record.is_memory
+        assert cpu.instruction_count() == 1
+
+
+class TestAbiHelpers:
+    def test_bodies_have_declared_length(self, cpu):
+        for name, length in HELPER_BODY_LENGTHS.items():
+            body = helper_body(name)
+            assert len(body) == length == helper_length(name)
+
+    def test_bodies_contain_no_memory_traffic(self, cpu):
+        for name in HELPER_BODY_LENGTHS:
+            for instruction in helper_body(name):
+                record = cpu.execute(instruction)
+                assert not record.is_memory, f"{name}: {instruction}"
+
+    def test_result_register_derives_from_operands(self, cpu):
+        cpu.registers["r0"] = 0x11
+        cpu.registers["r1"] = 0x22
+        for instruction in helper_body("fadd", rd="r0", rn="r0", rm="r1"):
+            cpu.execute(instruction)
+        # r0 must have been recombined from the operands (dataflow intact).
+        assert cpu.registers["r0"] == 0x11 ^ 0x22
+
+    def test_unknown_helper_rejected(self):
+        with pytest.raises(ValueError):
+            helper_body("nosuch")
+        with pytest.raises(ValueError):
+            helper_length("nosuch")
+
+    def test_float_helpers_are_long_enough_to_need_ni_10(self):
+        # The Figure 11 effect: float->string needs NI >= 10.  The end-to-end
+        # distance is value-load (1) + helper body + digit store.
+        assert helper_length("d2s_digit") + 1 >= 10
+        assert helper_length("f2s_digit") + 1 >= 10

@@ -1,0 +1,146 @@
+"""Unit tests for the simulated memory, allocator, and register file."""
+
+import pytest
+
+from repro.core.ranges import AddressRange
+from repro.isa.memory import AddressSpace, BumpAllocator, Memory, MemoryFault
+from repro.isa.registers import ConditionFlags, RegisterFile, register_number
+
+
+class TestMemory:
+    def test_zero_initialised(self):
+        mem = Memory()
+        assert mem.read_u32(0x1000) == 0
+
+    def test_u8_roundtrip(self):
+        mem = Memory()
+        mem.write_u8(0x10, 0xAB)
+        assert mem.read_u8(0x10) == 0xAB
+
+    def test_u16_little_endian(self):
+        mem = Memory()
+        mem.write_u16(0x10, 0x1234)
+        assert mem.read_u8(0x10) == 0x34
+        assert mem.read_u8(0x11) == 0x12
+        assert mem.read_u16(0x10) == 0x1234
+
+    def test_u32_roundtrip(self):
+        mem = Memory()
+        mem.write_u32(0x100, 0xDEADBEEF)
+        assert mem.read_u32(0x100) == 0xDEADBEEF
+
+    def test_u64_roundtrip(self):
+        mem = Memory()
+        mem.write_u64(0x100, 0x0123456789ABCDEF)
+        assert mem.read_u64(0x100) == 0x0123456789ABCDEF
+        assert mem.read_u32(0x100) == 0x89ABCDEF
+
+    def test_cross_page_access(self):
+        mem = Memory()
+        addr = 0x1FFE  # straddles the 0x1000/0x2000 page boundary
+        mem.write_u32(addr, 0xCAFEBABE)
+        assert mem.read_u32(addr) == 0xCAFEBABE
+
+    def test_bulk_bytes(self):
+        mem = Memory()
+        payload = bytes(range(100))
+        mem.write_bytes(0x3000, payload)
+        assert mem.read_bytes(0x3000, 100) == payload
+
+    def test_write_truncates_to_width(self):
+        mem = Memory()
+        mem.write_u8(0x10, 0x1FF)
+        assert mem.read_u8(0x10) == 0xFF
+
+    def test_out_of_space_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0xFFFFFFFF, 2)
+        with pytest.raises(MemoryFault):
+            mem.write_bytes(-4, b"1234")
+
+
+class TestBumpAllocator:
+    def test_sequential_disjoint(self):
+        alloc = BumpAllocator(0x1000, 0x2000)
+        a = alloc.alloc(16)
+        b = alloc.alloc(16)
+        assert a == 0x1000
+        assert b == 0x1010
+
+    def test_alignment(self):
+        alloc = BumpAllocator(0x1000, 0x2000)
+        alloc.alloc(3)
+        assert alloc.alloc(4, align=8) % 8 == 0
+
+    def test_exhaustion(self):
+        alloc = BumpAllocator(0x1000, 0x1010)
+        alloc.alloc(16)
+        with pytest.raises(MemoryFault):
+            alloc.alloc(1)
+
+    def test_region_helper(self):
+        alloc = BumpAllocator(0x1000, 0x2000)
+        region = alloc.alloc_region("imei", 30)
+        assert region.range == AddressRange(0x1000, 0x101D)
+        assert region.size == 30
+
+    def test_rejects_bad_arguments(self):
+        alloc = BumpAllocator(0x1000, 0x2000)
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+        with pytest.raises(ValueError):
+            alloc.alloc(4, align=3)
+        with pytest.raises(ValueError):
+            BumpAllocator(0x2000, 0x1000)
+
+    def test_bytes_used(self):
+        alloc = BumpAllocator(0x1000, 0x2000)
+        alloc.alloc(10)
+        assert alloc.bytes_used == 10
+
+
+class TestAddressSpace:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        frame = space.frames.alloc(256)
+        heap = space.heap.alloc(256)
+        assert frame < heap
+        assert space.FRAME_LIMIT <= space.HEAP_BASE
+
+
+class TestRegisterFile:
+    def test_named_and_numbered_access(self):
+        regs = RegisterFile()
+        regs.write("rFP", 0x1234)
+        assert regs.read(5) == 0x1234
+        assert regs["rFP"] == 0x1234
+
+    def test_values_wrap_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(0, 0x1_0000_0001)
+        assert regs.read(0) == 1
+
+    def test_signed_read(self):
+        regs = RegisterFile()
+        regs.write(0, 0xFFFFFFFF)
+        assert regs.read_signed(0) == -1
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            register_number("r16")
+        with pytest.raises(ValueError):
+            register_number("bogus")
+
+    def test_flags_set_nz(self):
+        flags = ConditionFlags()
+        flags.set_nz(0)
+        assert flags.zero and not flags.negative
+        flags.set_nz(0x80000000)
+        assert flags.negative and not flags.zero
+
+    def test_snapshot_is_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs.write(0, 42)
+        assert snap[0] == 0

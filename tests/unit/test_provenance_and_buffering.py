@@ -1,0 +1,154 @@
+"""Unit tests for labelled provenance tracking and buffered processing."""
+
+import pytest
+
+from repro.core.buffered import BufferedPIFT
+from repro.core.config import PIFTConfig
+from repro.core.events import load, store
+from repro.core.provenance import ProvenanceTracker
+from repro.core.ranges import AddressRange
+
+IMEI = AddressRange(0x1000, 0x100F)
+PHONE = AddressRange(0x3000, 0x300F)
+CONFIG = PIFTConfig(5, 2)
+
+
+class TestProvenance:
+    def make(self):
+        tracker = ProvenanceTracker(CONFIG)
+        tracker.taint_source("device_id", IMEI)
+        tracker.taint_source("phone_number", PHONE)
+        return tracker
+
+    def test_labels_listed(self):
+        assert self.make().labels() == ["device_id", "phone_number"]
+
+    def test_single_label_flow(self):
+        tracker = self.make()
+        tracker.run([load(0x1000, 0x1003, 0), store(0x5000, 0x5003, 1)])
+        assert tracker.check(AddressRange(0x5000, 0x5003)) == {"device_id"}
+
+    def test_mixed_flow_carries_both_labels(self):
+        tracker = self.make()
+        tracker.run(
+            [
+                load(0x1000, 0x1003, 0),
+                store(0x5000, 0x5003, 1),  # device_id
+                load(0x3000, 0x3003, 10),
+                store(0x5004, 0x5007, 11),  # phone_number, adjacent
+            ]
+        )
+        assert tracker.check(AddressRange(0x5000, 0x5007)) == {
+            "device_id",
+            "phone_number",
+        }
+
+    def test_clean_range_returns_empty(self):
+        tracker = self.make()
+        assert tracker.check(AddressRange(0x9000, 0x9003)) == frozenset()
+        assert not tracker.leaks
+
+    def test_leak_log_records_labels(self):
+        tracker = self.make()
+        tracker.run([load(0x3000, 0x3003, 0), store(0x5000, 0x5003, 1)])
+        tracker.check(AddressRange(0x5000, 0x5003), sink_name="sms")
+        (leak,) = tracker.leaks
+        assert leak.sink_name == "sms"
+        assert leak.labels == {"phone_number"}
+
+    def test_per_label_windows_are_independent(self):
+        # A window opened by one label's load must not taint for another.
+        tracker = self.make()
+        tracker.run(
+            [
+                load(0x1000, 0x1003, 0),  # device_id window opens
+                store(0x5000, 0x5003, 2),
+            ]
+        )
+        assert tracker.check(AddressRange(0x5000, 0x5003)) == {"device_id"}
+
+    def test_union_tainted_bytes(self):
+        tracker = self.make()
+        assert tracker.union_tainted_bytes() == IMEI.size + PHONE.size
+
+
+class TestBufferedPIFT:
+    def leaky_stream(self):
+        return [load(0x1000, 0x1003, 0), store(0x5000, 0x5003, 1)]
+
+    def test_blocking_check_sees_through_buffer(self):
+        buffered = BufferedPIFT(CONFIG, capacity=64)
+        buffered.taint_source(IMEI)
+        for event in self.leaky_stream():
+            buffered.on_memory_event(event)
+        assert buffered.queue_depth == 2
+        assert buffered.check_blocking(AddressRange(0x5000, 0x5003))
+        assert buffered.queue_depth == 0
+        assert buffered.stats.blocking_drain_events == 2
+
+    def test_immediate_check_can_be_stale(self):
+        buffered = BufferedPIFT(CONFIG, capacity=64)
+        buffered.taint_source(IMEI)
+        for event in self.leaky_stream():
+            buffered.on_memory_event(event)
+        # Detection semantics: the in-flight flow is not yet visible...
+        assert not buffered.check_immediate(
+            AddressRange(0x5000, 0x5003), sink_name="sms"
+        )
+        buffered.drain_all()
+        # ...but is reported late once the buffer drains.
+        assert buffered.stats.stale_negatives == 1
+        (late,) = buffered.late_detections
+        assert late.sink_name == "sms"
+        assert late.events_behind == 2
+
+    def test_immediate_check_true_when_state_current(self):
+        buffered = BufferedPIFT(CONFIG, capacity=64)
+        buffered.taint_source(IMEI)
+        for event in self.leaky_stream():
+            buffered.on_memory_event(event)
+        buffered.drain_all()
+        assert buffered.check_immediate(AddressRange(0x5000, 0x5003))
+        assert buffered.stats.stale_negatives == 0
+
+    def test_watermark_auto_drain(self):
+        buffered = BufferedPIFT(CONFIG, capacity=4, drain_batch=2)
+        buffered.taint_source(IMEI)
+        for index in range(12):
+            buffered.on_memory_event(load(0x8000, 0x8003, index))
+        assert buffered.queue_depth < 12  # the FIFO drained itself
+        assert buffered.stats.drains >= 1
+        assert buffered.stats.max_queue_depth <= 4
+
+    def test_source_registration_is_synchronous(self):
+        buffered = BufferedPIFT(CONFIG, capacity=64)
+        buffered.on_memory_event(load(0x1000, 0x1003, 0))
+        buffered.taint_source(IMEI)  # forces a drain first
+        assert buffered.queue_depth == 0
+
+    def test_verdicts_match_unbuffered_after_drain(self):
+        from repro.core.tracker import PIFTTracker
+
+        events = [
+            load(0x1000, 0x1003, 0),
+            store(0x5000, 0x5003, 1),
+            store(0x5000, 0x5003, 50),  # untainted again later
+            load(0x1004, 0x1007, 60),
+            store(0x6000, 0x6003, 61),
+        ]
+        reference = PIFTTracker(CONFIG)
+        reference.taint_source(IMEI)
+        reference.run(events)
+        buffered = BufferedPIFT(CONFIG, capacity=2, drain_batch=1)
+        buffered.taint_source(IMEI)
+        for event in events:
+            buffered.on_memory_event(event)
+        buffered.drain_all()
+        for probe in (AddressRange(0x5000, 0x5003), AddressRange(0x6000, 0x6003)):
+            assert buffered.tracker.check(probe) == reference.check(probe)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BufferedPIFT(CONFIG, capacity=0)
+        with pytest.raises(ValueError):
+            BufferedPIFT(CONFIG, drain_batch=0)

@@ -1,0 +1,195 @@
+"""Unit tests for the PIFT-aware instruction scheduler (paper §7)."""
+
+import pytest
+
+from repro.isa import asm
+from repro.isa.cpu import CPU
+from repro.isa.scheduler import (
+    effects_of,
+    load_store_distances,
+    tighten_load_store,
+)
+
+
+def run_program(instructions, setup=None):
+    """Execute and return (registers snapshot, memory probe function)."""
+    cpu = CPU()
+    if setup:
+        setup(cpu)
+    cpu.run(instructions)
+    return cpu
+
+
+def evasion_program(dummy_count):
+    """The §4.2 attack: tainted load, dummy block, then the real store."""
+    program = [asm.ldrh("r0", "r1")]
+    program += [asm.add("r2", "r2", 1) for _ in range(dummy_count)]
+    program += [asm.strh("r0", "r3")]
+    return program
+
+
+class TestSemanticsPreserved:
+    def test_evasion_program_same_result(self):
+        program = evasion_program(30)
+
+        def setup(cpu):
+            cpu.registers["r1"] = 0x1000
+            cpu.registers["r3"] = 0x2000
+            cpu.address_space.memory.write_u16(0x1000, 0xBEEF)
+
+        original = run_program(program, setup)
+        scheduled = run_program(tighten_load_store(program), setup)
+        assert (
+            scheduled.address_space.memory.read_u16(0x2000)
+            == original.address_space.memory.read_u16(0x2000)
+            == 0xBEEF
+        )
+        assert scheduled.registers.snapshot() == original.registers.snapshot()
+
+    def test_dependent_chain_not_reordered(self):
+        # r0 derives from the load; everything in its chain must stay put.
+        program = [
+            asm.ldr("r0", "r1"),
+            asm.add("r0", "r0", 1),
+            asm.eor("r0", "r0", 0x5A),
+            asm.str_("r0", "r3"),
+        ]
+
+        def setup(cpu):
+            cpu.registers["r1"] = 0x1000
+            cpu.registers["r3"] = 0x2000
+            cpu.address_space.memory.write_u32(0x1000, 100)
+
+        original = run_program(program, setup)
+        scheduled = run_program(tighten_load_store(program), setup)
+        assert (
+            scheduled.address_space.memory.read_u32(0x2000)
+            == original.address_space.memory.read_u32(0x2000)
+            == (101 ^ 0x5A)
+        )
+
+    def test_memory_operations_keep_order(self):
+        # Two stores to the same address must not swap (no alias analysis).
+        program = [
+            asm.mov("r0", 1),
+            asm.str_("r0", "r3"),
+            asm.mov("r0", 2),
+            asm.str_("r0", "r3"),
+        ]
+
+        def setup(cpu):
+            cpu.registers["r3"] = 0x2000
+
+        scheduled = run_program(tighten_load_store(program), setup)
+        assert scheduled.address_space.memory.read_u32(0x2000) == 2
+
+    def test_flag_dependencies_respected(self):
+        program = [
+            asm.mov("r0", 0xFFFFFFFF),
+            asm.adds("r0", "r0", 1),  # sets carry
+            asm.adc("r1", "r1", 0),  # consumes carry
+            asm.str_("r1", "r3"),
+        ]
+
+        def setup(cpu):
+            cpu.registers["r3"] = 0x2000
+
+        scheduled = run_program(tighten_load_store(program), setup)
+        assert scheduled.address_space.memory.read_u32(0x2000) == 1
+
+    def test_branches_fence_blocks(self):
+        program = [
+            asm.ldr("r0", "r1"),
+            asm.b("somewhere"),
+            asm.str_("r0", "r3"),
+        ]
+        scheduled = tighten_load_store(program)
+        kinds = [type(i).__name__ for i in scheduled]
+        assert kinds == ["Load", "Branch", "Store"]
+
+
+class TestDistanceTightening:
+    def test_evasion_distance_collapses(self):
+        program = evasion_program(50)
+        assert load_store_distances(program) == [51]
+        scheduled = tighten_load_store(program)
+        (distance,) = load_store_distances(scheduled)
+        assert distance == 1  # the store now directly follows its load
+
+    def test_dependent_work_bounds_distance(self):
+        # Three dependent ops between load and store, plus 40 dummies: the
+        # dummies leave, the three stay.
+        program = [asm.ldr("r0", "r1")]
+        program += [asm.add("r2", "r2", 1)] * 40
+        program += [
+            asm.add("r0", "r0", 1),
+            asm.eor("r0", "r0", 7),
+            asm.mul("r0", "r0", "r0"),
+            asm.str_("r0", "r3"),
+        ]
+        scheduled = tighten_load_store(program)
+        (distance,) = load_store_distances(scheduled)
+        assert distance == 4
+
+    def test_already_tight_code_unchanged_distance(self):
+        program = [
+            asm.ldrh("r6", "r1"),
+            asm.adds("r3", "r3", 1),
+            asm.strh("r6", "r0"),
+        ]
+        scheduled = tighten_load_store(program)
+        assert load_store_distances(scheduled)[0] <= 2
+
+    def test_pift_catches_scheduled_evasion(self):
+        """End to end: PIFT misses the raw evasion, catches the scheduled
+        version — the paper's proposed compiler countermeasure works."""
+        from repro.core import MemoryAccess, PIFTConfig, PIFTTracker
+        from repro.core.ranges import AddressRange
+
+        def run_with_pift(program):
+            cpu = CPU()
+            tracker = PIFTTracker(PIFTConfig(13, 3))
+            tracker.taint_source(AddressRange(0x1000, 0x1001))
+            cpu.add_observer(
+                lambda record, index, pid: tracker.observe(
+                    MemoryAccess(record.kind, record.address_range, index, pid)
+                )
+                if record.is_memory
+                else None
+            )
+            cpu.registers["r1"] = 0x1000
+            cpu.registers["r3"] = 0x2000
+            cpu.run(program)
+            return tracker.check(AddressRange(0x2000, 0x2001))
+
+        program = evasion_program(50)
+        assert not run_with_pift(program)  # §4.2: evasion succeeds
+        assert run_with_pift(tighten_load_store(program))  # §7: and is fixed
+
+
+class TestEffects:
+    def test_load_effects(self):
+        eff = effects_of(asm.ldr("r0", "r1", 4))
+        assert 1 in eff.reads and 0 in eff.writes and eff.is_memory
+
+    def test_store_effects(self):
+        eff = effects_of(asm.str_("r0", "r1"))
+        assert {0, 1} <= set(eff.reads) and eff.is_memory
+
+    def test_writeback_adds_base_write(self):
+        eff = effects_of(asm.ldrh("r7", "r4", 2, wb=True))
+        assert 4 in eff.writes
+
+    def test_cmp_writes_flags(self):
+        eff = effects_of(asm.cmp("r0", 1))
+        assert eff.writes_flags and not eff.writes
+
+    def test_patch_effects(self):
+        eff = effects_of(asm.patch("r0", 7, reads=("r1",)))
+        assert 1 in eff.reads and 0 in eff.writes
+
+    def test_multiple_effects(self):
+        eff = effects_of(asm.ldmia("sp", ["r0", "r1"]))
+        assert {0, 1, 13} <= set(eff.writes)
+        eff = effects_of(asm.stmdb("sp", ["r0", "r1"]))
+        assert {0, 1, 13} <= set(eff.reads)

@@ -1,0 +1,124 @@
+"""Unit tests for the mterp translator: Table 1 distances and routine shape."""
+
+import pytest
+
+from repro.core.events import AccessKind
+from repro.dalvik.bytecode import Instr, OPCODES, opcode
+from repro.dalvik.translator import MterpTranslator
+from repro.analysis.bytecode_stats import routine_for
+
+TRANSLATOR = MterpTranslator()
+
+KNOWN = [info for info in OPCODES if info.moves_data and info.load_store_distance is not None]
+UNKNOWN = [info for info in OPCODES if info.moves_data and info.load_store_distance is None]
+
+
+@pytest.mark.parametrize("info", KNOWN, ids=lambda i: i.name)
+def test_routine_distance_matches_table1(info):
+    """Every data-moving bytecode's routine measures to its Table 1 value."""
+    routine = routine_for(info, TRANSLATOR)
+    assert routine is not None, info.name
+    assert routine.load_store_distance == info.load_store_distance
+
+
+@pytest.mark.parametrize("info", UNKNOWN, ids=lambda i: i.name)
+def test_helper_backed_routines_are_long(info):
+    """'Unknown'-distance bytecodes run through ABI helpers: distance >= 10,
+    consistent with the paper's GPS-needs-NI>=10 finding."""
+    routine = routine_for(info, TRANSLATOR)
+    assert routine is not None, info.name
+    assert routine.load_store_distance is not None
+    assert routine.load_store_distance >= 10
+
+
+class TestFigure8Layout:
+    """binop/2addr translates to the paper's Figure 8 structure."""
+
+    def test_mul_int_2addr_shape(self):
+        routine = TRANSLATOR.binop_2addr_int(
+            Instr(opcode("mul-int/2addr"), a=3, b=4)
+        )
+        mnemonics = [i.mnemonic for i in routine.instructions]
+        assert mnemonics == [
+            "mov",  # r3 <- B
+            "ubfx",  # r9 <- A
+            "ldr",  # GET_VREG(r1, r3)
+            "ldr",  # GET_VREG(r0, r9)
+            "ldrh",  # FETCH_ADVANCE_INST
+            "mul",  # the op
+            "and",  # GET_INST_OPCODE
+            "str",  # SET_VREG
+            "add",  # GOTO_OPCODE
+        ]
+        assert routine.load_store_distance == 5
+
+    def test_get_vreg_addresses_scale_by_four(self):
+        # GET_VREG must be ldr rX, [rFP, vN, lsl #2].
+        routine = TRANSLATOR.binop_2addr_int(Instr(opcode("add-int/2addr"), a=1, b=2))
+        load = routine.instructions[routine.data_load_index]
+        assert load.mnemonic == "ldr"
+        assert load.address.base == 5  # rFP
+        assert load.address.offset.shift_amount == 2
+
+
+class TestControlRoutines:
+    def test_if_test_has_no_stores(self):
+        routine = TRANSLATOR.if_test(Instr(opcode("if-eq"), a=1, b=2))
+        assert all(i.mnemonic[:3] != "str" for i in routine.instructions)
+
+    def test_goto_is_single_marker(self):
+        routine = TRANSLATOR.goto(Instr(opcode("goto"), symbol="x"))
+        assert len(routine.instructions) == 1
+
+    def test_refetch_reloads_rinst(self):
+        routine = TRANSLATOR.refetch()
+        assert routine.instructions[0].mnemonic == "ldrh"
+
+    def test_sparse_switch_scales_with_comparisons(self):
+        instr = Instr(opcode("sparse-switch"), a=1, keys=(1, 2, 3), targets=("a", "b", "c"))
+        short = TRANSLATOR.sparse_switch(instr, 0x40000000, comparisons=1)
+        long = TRANSLATOR.sparse_switch(instr, 0x40000000, comparisons=3)
+        assert len(long.instructions) - len(short.instructions) == 6
+
+    def test_throw_stores_to_exception_slot(self):
+        routine = TRANSLATOR.throw(Instr(opcode("throw"), a=1))
+        assert routine.load_store_distance == 1
+        store = routine.instructions[routine.data_store_index]
+        assert store.address.base == 6  # rSELF
+
+
+class TestInvokePlumbing:
+    def test_arg_copies_have_distance_one(self):
+        routine = TRANSLATOR.invoke_arg_copies([3, 4, 5])
+        loads = [i for i, ins in enumerate(routine.instructions) if ins.mnemonic == "ldr"]
+        stores = [i for i, ins in enumerate(routine.instructions) if ins.mnemonic == "str"]
+        assert len(loads) == len(stores) == 3
+        for load, store in zip(loads, stores):
+            assert store - load == 1
+
+    def test_frame_push_saves_rpc_and_rfp(self):
+        routine = TRANSLATOR.frame_push(0x41000100)
+        stores = [i for i in routine.instructions if i.mnemonic == "str"]
+        assert len(stores) == 2
+        assert {s.rd for s in stores} == {4, 5}  # rPC, rFP
+
+    def test_frame_pop_restores_them(self):
+        routine = TRANSLATOR.frame_pop()
+        loads = [i for i in routine.instructions if i.mnemonic == "ldr"]
+        assert {l.rd for l in loads} == {4, 5}
+
+
+class TestEventKinds:
+    def test_return_routine_events(self):
+        from repro.isa.cpu import CPU
+
+        cpu = CPU()
+        cpu.registers["rFP"] = 0x41000000
+        cpu.registers["rSELF"] = 0x60000000
+        cpu.registers["rINST"] = opcode("return").value | (2 << 8)
+        routine = TRANSLATOR.return_value(Instr(opcode("return"), a=2))
+        kinds = []
+        for instruction in routine.instructions:
+            record = instruction.execute(cpu)
+            kinds.append(record.kind)
+        assert kinds == [None, AccessKind.LOAD, AccessKind.STORE]

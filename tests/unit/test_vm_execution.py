@@ -1,0 +1,559 @@
+"""Unit tests for VM execution semantics: every bytecode family runs a
+small program and the architectural result is checked."""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.dalvik import (
+    DalvikVM,
+    MethodBuilder,
+    UncaughtVMException,
+    VMError,
+    bits_to_double,
+    bits_to_float,
+    double_to_bits,
+    float_to_bits,
+)
+
+
+@pytest.fixture
+def vm():
+    return DalvikVM(CPU())
+
+
+_NAME_COUNTER = [0]
+
+
+def run_int(vm, build, registers=12):
+    """Build a uniquely-named main method with ``build(b)`` appending code;
+    run; return v0 as a signed int via the retval."""
+    _NAME_COUNTER[0] += 1
+    name = f"T.main{_NAME_COUNTER[0]}"
+    b = MethodBuilder(name, registers=registers)
+    build(b)
+    b.return_value(0)
+    vm.register_method(b.build())
+    value = vm.call(name)
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class TestConstants:
+    def test_const4_positive(self, vm):
+        assert run_int(vm, lambda b: b.const(0, 7)) == 7
+
+    def test_const4_negative(self, vm):
+        assert run_int(vm, lambda b: b.const(0, -3)) == -3
+
+    def test_const16(self, vm):
+        assert run_int(vm, lambda b: b.const(0, -30000)) == -30000
+
+    def test_const32(self, vm):
+        assert run_int(vm, lambda b: b.const(0, 0x12345678)) == 0x12345678
+
+    def test_const_wide(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const_wide(0, -(2**40))
+        b.return_wide(0)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        assert vm.retval_wide == (-(2**40)) & (2**64 - 1)
+
+
+class TestArithmetic:
+    def test_add(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 20), b.const(2, 22),
+                                      b.add_int(0, 1, 2))) == 42
+
+    def test_sub_negative_result(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 5), b.const(2, 9),
+                                      b.sub_int(0, 1, 2))) == -4
+
+    def test_mul(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, -6), b.const(2, 7),
+                                      b.mul_int(0, 1, 2))) == -42
+
+    def test_div_truncates_toward_zero(self, vm):
+        # Java semantics: -7 / 2 == -3.
+        assert run_int(vm, lambda b: (b.const(1, -7), b.const(2, 2),
+                                      b.div_int(0, 1, 2))) == -3
+
+    def test_rem_sign_follows_dividend(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, -7), b.const(2, 2),
+                                      b.rem_int(0, 1, 2))) == -1
+
+    def test_div_by_zero_throws(self, vm):
+        with pytest.raises(UncaughtVMException):
+            run_int(vm, lambda b: (b.const(1, 1), b.const(2, 0),
+                                   b.div_int(0, 1, 2)))
+
+    def test_xor(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 0b1100), b.const(2, 0b1010),
+                                      b.xor_int(0, 1, 2))) == 0b0110
+
+    def test_shifts(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 1), b.const(2, 5),
+                                      b.binop("shl-int", 0, 1, 2))) == 32
+        assert run_int(vm, lambda b: (b.const(1, -32), b.const(2, 2),
+                                      b.binop("shr-int", 0, 1, 2))) == -8
+        assert run_int(vm, lambda b: (b.const(1, -1), b.const(2, 28),
+                                      b.binop("ushr-int", 0, 1, 2))) == 0xF
+
+    def test_2addr_variant(self, vm):
+        assert run_int(vm, lambda b: (b.const(0, 6), b.const(1, 7),
+                                      b.binop_2addr("mul-int", 0, 1))) == 42
+
+    def test_lit8_negative_literal(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 10),
+                                      b.add_int_lit8(0, 1, -1))) == 9
+
+    def test_lit16(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 10),
+                                      b.raw("add-int/lit16", a=0, b=1, literal=-500))) == -490
+
+    def test_rsub(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 3),
+                                      b.raw("rsub-int", a=0, b=1, literal=10))) == 7
+
+    def test_neg_and_not(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 42),
+                                      b.raw("neg-int", a=0, b=1))) == -42
+        assert run_int(vm, lambda b: (b.const(1, 0),
+                                      b.raw("not-int", a=0, b=1))) == -1
+
+
+class TestWideArithmetic:
+    def run_long(self, vm, op, a, c):
+        b = MethodBuilder("T.main", registers=12)
+        b.const_wide(0, a)
+        b.const_wide(2, c)
+        b.raw(op, a=4, b=0, c=2)
+        b.return_wide(4)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        raw = vm.retval_wide
+        return raw - 2**64 if raw & (1 << 63) else raw
+
+    def test_add_long_with_carry(self, vm):
+        assert self.run_long(vm, "add-long", 0xFFFFFFFF, 1) == 0x100000000
+
+    def test_sub_long_borrow(self, vm):
+        assert self.run_long(vm, "sub-long", 0, 1) == -1
+
+    def test_mul_long(self, vm):
+        assert self.run_long(vm, "mul-long", 123456789, 987654321) == (
+            123456789 * 987654321
+        )
+
+    def test_div_long(self, vm):
+        assert self.run_long(vm, "div-long", -(2**40), 3) == -((2**40) // 3)
+
+    def test_shl_long(self, vm):
+        assert self.run_long(vm, "shl-long", 1, 40) == 1 << 40
+
+    def test_cmp_long(self, vm):
+        b = MethodBuilder("T.main", registers=12)
+        b.const_wide(0, 2**40)
+        b.const_wide(2, 5)
+        b.raw("cmp-long", a=4, b=0, c=2)
+        b.return_value(4)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 1
+
+
+class TestFloatingPoint:
+    def run_double(self, vm, op, a, c):
+        b = MethodBuilder("T.main", registers=12)
+        b.const_wide(0, double_to_bits(a))
+        b.raw("const-wide", a=2, literal=double_to_bits(c))
+        b.raw(op, a=4, b=0, c=2)
+        b.return_wide(4)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        return bits_to_double(vm.retval_wide)
+
+    def test_add_double(self, vm):
+        assert self.run_double(vm, "add-double", 1.5, 2.25) == 3.75
+
+    def test_mul_double(self, vm):
+        assert self.run_double(vm, "mul-double", -2.0, 8.5) == -17.0
+
+    def test_div_double(self, vm):
+        assert self.run_double(vm, "div-double", 1.0, 4.0) == 0.25
+
+    def test_cmpl_double(self, vm):
+        b = MethodBuilder("T.main", registers=12)
+        b.raw("const-wide", a=0, literal=double_to_bits(1.5))
+        b.raw("const-wide", a=2, literal=double_to_bits(2.5))
+        b.raw("cmpl-double", a=4, b=0, c=2)
+        b.return_value(4)
+        vm.register_method(b.build())
+        value = vm.call("T.main")
+        assert value == 0xFFFFFFFF  # -1
+
+
+class TestConversions:
+    def test_int_to_long(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(0, -5)
+        b.raw("int-to-long", a=2, b=0)
+        b.return_wide(2)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        assert vm.retval_wide == (-5) & (2**64 - 1)
+
+    def test_long_to_int_truncates(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const_wide(0, 0x1_0000_002A)
+        b.raw("long-to-int", a=2, b=0)
+        b.return_value(2)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 42
+
+    def test_int_to_char_masks(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 0x12345),
+                                      b.int_to_char(0, 1))) == 0x2345
+
+    def test_int_to_byte_sign_extends(self, vm):
+        assert run_int(vm, lambda b: (b.const(1, 0x80),
+                                      b.raw("int-to-byte", a=0, b=1))) == -128
+
+    def test_int_to_double_roundtrip(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(0, 37)
+        b.raw("int-to-double", a=2, b=0)
+        b.raw("double-to-int", a=4, b=2)
+        b.return_value(4)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 37
+
+    def test_double_to_int_clamps(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.raw("const-wide", a=0, literal=double_to_bits(1e18))
+        b.raw("double-to-int", a=2, b=0)
+        b.return_value(2)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 2**31 - 1
+
+
+class TestControlFlow:
+    def test_loop_sums(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(0, 0)  # sum
+        b.const(1, 0)  # i
+        b.const(2, 10)
+        b.label("loop")
+        b.if_ge(1, 2, "done")
+        b.add_int(0, 0, 1)
+        b.add_int_lit8(1, 1, 1)
+        b.goto("loop")
+        b.label("done")
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 45
+
+    def test_packed_switch(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 2)
+        b.packed_switch(1, 0, ["zero", "one", "two"])
+        b.const(0, -1)
+        b.return_value(0)
+        for i, label in enumerate(["zero", "one", "two"]):
+            b.label(label)
+            b.const(0, i * 100)
+            b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 200
+
+    def test_packed_switch_default(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 7)
+        b.packed_switch(1, 0, ["zero"])
+        b.const(0, -1)
+        b.return_value(0)
+        b.label("zero")
+        b.const(0, 0)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 0xFFFFFFFF  # -1 as a raw 32-bit word
+
+    def test_sparse_switch(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 1000)
+        b.sparse_switch(1, [(10, "ten"), (1000, "thousand")])
+        b.const(0, -1)
+        b.return_value(0)
+        b.label("ten")
+        b.const(0, 1)
+        b.return_value(0)
+        b.label("thousand")
+        b.const(0, 2)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 2
+
+    def test_all_if_conditions(self, vm):
+        for name, a, c, taken in [
+            ("if-eq", 5, 5, True), ("if-ne", 5, 5, False),
+            ("if-lt", -1, 0, True), ("if-ge", -1, 0, False),
+            ("if-gt", 3, 2, True), ("if-le", 3, 2, False),
+        ]:
+            fresh = DalvikVM(CPU())
+            b = MethodBuilder("T.main", registers=8)
+            b.const(1, a)
+            b.const(2, c)
+            b.raw(name, a=1, b=2, symbol="yes")
+            b.const(0, 0)
+            b.return_value(0)
+            b.label("yes")
+            b.const(0, 1)
+            b.return_value(0)
+            fresh.register_method(b.build())
+            assert bool(fresh.call("T.main")) == taken, name
+
+
+class TestMethodsAndFrames:
+    def test_arguments_and_return(self, vm):
+        callee = MethodBuilder("T.sum3", registers=6, ins=3)
+        callee.add_int(0, 3, 4)
+        callee.add_int(0, 0, 5)
+        callee.return_value(0)
+        vm.register_method(callee.build())
+        main = MethodBuilder("T.main", registers=8)
+        main.const(1, 10)
+        main.const(2, 20)
+        main.const(3, 12)
+        main.invoke_static("T.sum3", 1, 2, 3)
+        main.move_result(0)
+        main.return_value(0)
+        vm.register_method(main.build())
+        assert vm.call("T.main") == 42
+
+    def test_nested_calls(self, vm):
+        inner = MethodBuilder("T.twice", registers=4, ins=1)
+        inner.add_int(0, 3, 3)
+        inner.return_value(0)
+        vm.register_method(inner.build())
+        outer = MethodBuilder("T.quad", registers=4, ins=1)
+        outer.invoke_static("T.twice", 3)
+        outer.move_result(0)
+        outer.invoke_static("T.twice", 0)
+        outer.move_result(0)
+        outer.return_value(0)
+        vm.register_method(outer.build())
+        main = MethodBuilder("T.main", registers=4)
+        main.const(1, 5)
+        main.invoke_static("T.quad", 1)
+        main.move_result(0)
+        main.return_value(0)
+        vm.register_method(main.build())
+        assert vm.call("T.main") == 20
+
+    def test_recursion(self, vm):
+        fact = MethodBuilder("T.fact", registers=6, ins=1)
+        fact.if_nez(5, "recurse")
+        fact.const(0, 1)
+        fact.return_value(0)
+        fact.label("recurse")
+        fact.add_int_lit8(1, 5, -1)
+        fact.invoke_static("T.fact", 1)
+        fact.move_result(0)
+        fact.mul_int(0, 0, 5)
+        fact.return_value(0)
+        vm.register_method(fact.build())
+        main = MethodBuilder("T.main", registers=4)
+        main.const(1, 6)
+        main.invoke_static("T.fact", 1)
+        main.move_result(0)
+        main.return_value(0)
+        vm.register_method(main.build())
+        assert vm.call("T.main") == 720
+
+    def test_wrong_arity_rejected(self, vm):
+        callee = MethodBuilder("T.one", registers=2, ins=1)
+        callee.return_value(1)
+        vm.register_method(callee.build())
+        main = MethodBuilder("T.main", registers=4)
+        main.invoke_static("T.one")
+        main.return_void()
+        vm.register_method(main.build())
+        with pytest.raises(VMError):
+            vm.call("T.main")
+
+    def test_unknown_method_rejected(self, vm):
+        with pytest.raises(VMError):
+            vm.call("T.ghost")
+
+
+class TestFieldsAndArrays:
+    def test_instance_fields(self, vm):
+        vm.heap.define_class("T/Point", fields=[("x", 4), ("y", 4)])
+        b = MethodBuilder("T.main", registers=8)
+        b.new_instance(1, "T/Point")
+        b.const(2, 11)
+        b.iput(2, 1, "T/Point.x")
+        b.const(2, 31)
+        b.iput(2, 1, "T/Point.y")
+        b.iget(3, 1, "T/Point.x")
+        b.iget(4, 1, "T/Point.y")
+        b.add_int(0, 3, 4)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 42
+
+    def test_wide_fields(self, vm):
+        vm.heap.define_class("T/Holder", fields=[("big", 8)])
+        b = MethodBuilder("T.main", registers=8)
+        b.new_instance(1, "T/Holder")
+        b.const_wide(2, 2**40)
+        b.iput(2, 1, "T/Holder.big", wide=True)
+        b.iget(4, 1, "T/Holder.big", wide=True)
+        b.return_wide(4)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        assert vm.retval_wide == 2**40
+
+    def test_static_fields(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 77)
+        b.sput(1, "T.counter")
+        b.sget(0, "T.counter")
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 77
+
+    def test_array_roundtrip(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 4)
+        b.new_array(2, 1, "[I")
+        b.const(3, 2)
+        b.const(4, 99)
+        b.aput(4, 2, 3)
+        b.aget(0, 2, 3)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 99
+
+    def test_array_length(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 9)
+        b.new_array(2, 1, "[I")
+        b.array_length(0, 2)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 9
+
+    def test_array_bounds_throw(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 2)
+        b.new_array(2, 1, "[I")
+        b.const(3, 5)
+        b.aget(0, 2, 3)
+        b.return_value(0)
+        vm.register_method(b.build())
+        with pytest.raises(UncaughtVMException):
+            vm.call("T.main")
+
+    def test_null_field_access_throws(self, vm):
+        vm.heap.define_class("T/N", fields=[("v", 4)])
+        b = MethodBuilder("T.main", registers=8)
+        b.const(1, 0)
+        b.iget(0, 1, "T/N.v")
+        b.return_value(0)
+        vm.register_method(b.build())
+        with pytest.raises(UncaughtVMException):
+            vm.call("T.main")
+
+
+class TestExceptions:
+    def test_catch_in_same_method(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.label("try_start")
+        b.new_instance(1, "java/lang/Exception")
+        b.throw(1)
+        b.label("try_end")
+        b.const(0, -1)  # skipped
+        b.return_value(0)
+        b.label("handler")
+        b.move_exception(2)
+        b.const(0, 42)
+        b.return_value(0)
+        b.catch("try_start", "try_end", "handler", "java/lang/Exception")
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 42
+
+    def test_unwind_to_caller(self, vm):
+        thrower = MethodBuilder("T.boom", registers=4)
+        thrower.new_instance(0, "java/lang/RuntimeException")
+        thrower.throw(0)
+        vm.register_method(thrower.build())
+        main = MethodBuilder("T.main", registers=8)
+        main.label("try_start")
+        main.invoke_static("T.boom")
+        main.label("try_end")
+        main.const(0, -1)
+        main.return_value(0)
+        main.label("handler")
+        main.const(0, 7)
+        main.return_value(0)
+        main.catch("try_start", "try_end", "handler", "java/lang/RuntimeException")
+        vm.register_method(main.build())
+        assert vm.call("T.main") == 7
+
+    def test_type_mismatch_not_caught(self, vm):
+        vm.heap.define_class("T/Special", superclass="java/lang/Exception")
+        b = MethodBuilder("T.main", registers=8)
+        b.label("try_start")
+        b.new_instance(1, "java/lang/RuntimeException")
+        b.throw(1)
+        b.label("try_end")
+        b.return_void()
+        b.label("handler")
+        b.return_void()
+        b.catch("try_start", "try_end", "handler", "T/Special")
+        vm.register_method(b.build())
+        with pytest.raises(UncaughtVMException):
+            vm.call("T.main")
+
+    def test_instance_of_and_check_cast(self, vm):
+        vm.heap.define_class("T/A")
+        vm.heap.define_class("T/B", superclass="T/A")
+        b = MethodBuilder("T.main", registers=8)
+        b.new_instance(1, "T/B")
+        b.instance_of(0, 1, "T/A")
+        b.check_cast(1, "T/A")  # must not throw
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 1
+
+    def test_failed_check_cast_throws(self, vm):
+        vm.heap.define_class("T/X")
+        vm.heap.define_class("T/Y")
+        b = MethodBuilder("T.main", registers=8)
+        b.new_instance(1, "T/X")
+        b.check_cast(1, "T/Y")
+        b.return_void()
+        vm.register_method(b.build())
+        with pytest.raises(UncaughtVMException):
+            vm.call("T.main")
+
+
+class TestMoves:
+    def test_move_variants(self, vm):
+        b = MethodBuilder("T.main", registers=20)
+        b.const(5, 42)
+        b.move(4, 5)
+        b.move_from16(3, 4)
+        b.raw("move/16", a=2, b=3)
+        b.move(0, 2)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call("T.main") == 42
+
+    def test_move_wide(self, vm):
+        b = MethodBuilder("T.main", registers=8)
+        b.const_wide(0, 2**50)
+        b.move_wide(2, 0)
+        b.return_wide(2)
+        vm.register_method(b.build())
+        vm.call("T.main")
+        assert vm.retval_wide == 2**50

@@ -1,0 +1,247 @@
+"""Execution coverage for array/field width variants and quick/volatile
+accessors — every encodable access path runs end to end."""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.dalvik import DalvikVM, MethodBuilder
+
+_COUNTER = [0]
+
+
+def fresh_name():
+    _COUNTER[0] += 1
+    return f"W.main{_COUNTER[0]}"
+
+
+@pytest.fixture
+def vm():
+    return DalvikVM(CPU())
+
+
+class TestArrayWidthVariants:
+    @pytest.mark.parametrize(
+        "kind, class_name, value, expected",
+        [
+            ("", "[I", 0x12345678, 0x12345678),
+            ("-object", "[L", None, None),  # ref roundtrip, value filled below
+            ("-boolean", "[Z", 1, 1),
+            ("-byte", "[B", 0x7F, 0x7F),
+            ("-char", "[C", 0xBEEF, 0xBEEF),
+            ("-short", "[S", 0x7FEE, 0x7FEE),
+        ],
+    )
+    def test_aget_aput_roundtrip(self, vm, kind, class_name, value, expected):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.const(0, 4)
+        b.new_array(1, 0, class_name)
+        b.const(2, 2)  # index
+        if kind == "-object":
+            b.const_string(3, "an element")
+        else:
+            b.const(3, value)
+        b.raw(f"aput{kind}", a=3, b=1, c=2)
+        b.raw(f"aget{kind}", a=4, b=1, c=2)
+        if kind == "-object":
+            b.return_object(4)
+        else:
+            b.return_value(4)
+        vm.register_method(b.build())
+        result = vm.call(name)
+        if kind == "-object":
+            assert vm.heap.deref(result).value() == "an element"
+        else:
+            assert result == expected
+
+    def test_aget_byte_sign_extends(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.const(0, 2)
+        b.new_array(1, 0, "[B")
+        b.const(2, 0)
+        b.const(3, 0xFF)
+        b.raw("aput-byte", a=3, b=1, c=2)
+        b.raw("aget-byte", a=4, b=1, c=2)
+        b.return_value(4)
+        vm.register_method(b.build())
+        assert vm.call(name) == 0xFFFFFFFF  # -1 sign-extended
+
+    def test_wide_array_roundtrip(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.const(0, 3)
+        b.new_array(1, 0, "[J")
+        b.const(2, 1)
+        b.const_wide(4, 2**45 + 7)
+        b.raw("aput-wide", a=4, b=1, c=2)
+        b.raw("aget-wide", a=6, b=1, c=2)
+        b.return_wide(6)
+        vm.register_method(b.build())
+        vm.call(name)
+        assert vm.retval_wide == 2**45 + 7
+
+
+class TestFieldAccessVariants:
+    @pytest.mark.parametrize(
+        "iget_name, iput_name",
+        [
+            ("iget", "iput"),
+            ("iget-boolean", "iput-boolean"),
+            ("iget-byte", "iput-byte"),
+            ("iget-char", "iput-char"),
+            ("iget-short", "iput-short"),
+            ("iget-quick", "iput-quick"),
+            ("iget-volatile", "iput-volatile"),
+        ],
+    )
+    def test_field_roundtrip_variants(self, vm, iget_name, iput_name):
+        class_name = f"W/C{_COUNTER[0]}_{iget_name.replace('-', '_')}"
+        vm.heap.define_class(class_name, fields=[("v", 4)])
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.new_instance(1, class_name)
+        b.const(2, 77)
+        b.raw(iput_name, a=2, b=1, symbol=f"{class_name}.v")
+        b.raw(iget_name, a=3, b=1, symbol=f"{class_name}.v")
+        b.return_value(3)
+        vm.register_method(b.build())
+        assert vm.call(name) == 77
+
+    def test_wide_quick_field(self, vm):
+        vm.heap.define_class("W/Wide", fields=[("big", 8)])
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.new_instance(1, "W/Wide")
+        b.const_wide(2, 2**50 + 3)
+        b.raw("iput-wide-quick", a=2, b=1, symbol="W/Wide.big")
+        b.raw("iget-wide-quick", a=4, b=1, symbol="W/Wide.big")
+        b.return_wide(4)
+        vm.register_method(b.build())
+        vm.call(name)
+        assert vm.retval_wide == 2**50 + 3
+
+    @pytest.mark.parametrize(
+        "sget_name, sput_name",
+        [
+            ("sget", "sput"),
+            ("sget-boolean", "sput-boolean"),
+            ("sget-char", "sput-char"),
+            ("sget-volatile", "sput-volatile"),
+        ],
+    )
+    def test_static_variants(self, vm, sget_name, sput_name):
+        name = fresh_name()
+        slot = f"W.slot_{sget_name.replace('-', '_')}"
+        b = MethodBuilder(name, registers=10)
+        b.const(1, 1234)
+        b.raw(sput_name, a=1, symbol=slot)
+        b.raw(sget_name, a=0, symbol=slot)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call(name) == 1234
+
+    def test_static_wide(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.const_wide(0, -(2**40))
+        b.raw("sput-wide", a=0, symbol="W.wide_slot")
+        b.raw("sget-wide", a=2, symbol="W.wide_slot")
+        b.return_wide(2)
+        vm.register_method(b.build())
+        vm.call(name)
+        assert vm.retval_wide == (-(2**40)) & (2**64 - 1)
+
+
+class TestRemainingOpcodes:
+    def test_const_high16(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=6)
+        b.raw("const/high16", a=0, literal=0x7F00)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call(name) == 0x7F000000
+
+    def test_const_wide_high16(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=6)
+        b.raw("const-wide/high16", a=0, literal=0x4030)
+        b.return_wide(0)
+        vm.register_method(b.build())
+        vm.call(name)
+        assert vm.retval_wide >> 48 == 0x4030
+
+    def test_monitor_pair(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=6)
+        b.new_instance(0, "java/lang/Object")
+        b.raw("monitor-enter", a=0)
+        b.const(1, 5)
+        b.raw("monitor-exit", a=0)
+        b.return_value(1)
+        vm.register_method(b.build())
+        assert vm.call(name) == 5
+
+    def test_goto_16_and_32(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=6)
+        b.raw("goto/16", symbol="mid")
+        b.const(0, -1)
+        b.return_value(0)
+        b.label("mid")
+        b.raw("goto/32", symbol="end")
+        b.const(0, -2)
+        b.return_value(0)
+        b.label("end")
+        b.const(0, 99)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call(name) == 99
+
+    def test_cmpl_cmpg_float(self, vm):
+        from repro.dalvik import float_to_bits
+
+        name = fresh_name()
+        b = MethodBuilder(name, registers=8)
+        b.const(1, float_to_bits(2.0))
+        b.const(2, float_to_bits(3.0))
+        b.raw("cmpl-float", a=0, b=1, c=2)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert vm.call(name) == 0xFFFFFFFF  # -1: 2.0 < 3.0
+
+    def test_neg_float(self, vm):
+        from repro.dalvik import bits_to_float, float_to_bits
+
+        name = fresh_name()
+        b = MethodBuilder(name, registers=8)
+        b.const(1, float_to_bits(1.5))
+        b.raw("neg-float", a=0, b=1)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert bits_to_float(vm.call(name)) == -1.5
+
+    def test_float_binop_2addr(self, vm):
+        from repro.dalvik import bits_to_float, float_to_bits
+
+        name = fresh_name()
+        b = MethodBuilder(name, registers=8)
+        b.const(0, float_to_bits(2.5))
+        b.const(1, float_to_bits(4.0))
+        b.raw("mul-float/2addr", a=0, b=1)
+        b.return_value(0)
+        vm.register_method(b.build())
+        assert bits_to_float(vm.call(name)) == 10.0
+
+    def test_long_shift_variants(self, vm):
+        name = fresh_name()
+        b = MethodBuilder(name, registers=10)
+        b.const_wide(0, -(2**40))
+        b.const(2, 8)
+        b.raw("shr-long", a=4, b=0, c=2)
+        b.return_wide(4)
+        vm.register_method(b.build())
+        vm.call(name)
+        raw = vm.retval_wide
+        value = raw - 2**64 if raw & (1 << 63) else raw
+        assert value == -(2**32)
