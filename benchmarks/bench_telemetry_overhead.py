@@ -1,0 +1,128 @@
+"""Telemetry overhead on the tracker hot path — off vs metrics vs logging.
+
+The telemetry design promise is graded cost:
+
+* **off** (the default) — the tracker's ``observe`` is the untouched
+  Algorithm-1 method; telemetry must cost nothing,
+* **metrics-only** — counters and gauges update in-process but no events
+  are serialized,
+* **full logging** — every taint-state mutation is also JSON-encoded
+  into the JSONL event stream (here an in-memory buffer, so the numbers
+  isolate encoding cost from disk).
+
+Each benchmark reports its sustained event rate; the summary test
+consolidates all three into one JSON blob (``extra_info``) for the
+acceptance check and for regression tracking across PRs.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.core import PAPER_DEFAULT, PIFTTracker
+from repro.telemetry import Telemetry, TelemetryWriter
+
+
+@pytest.fixture(scope="module")
+def event_stream(lgroot_trace):
+    return list(lgroot_trace.trace)
+
+
+@pytest.fixture(scope="module")
+def source_ranges(lgroot_trace):
+    return [source.address_range for source in lgroot_trace.sources]
+
+
+def _run(events, sources, telemetry=None):
+    tracker = PIFTTracker(PAPER_DEFAULT, telemetry=telemetry)
+    for source in sources:
+        tracker.taint_source(source)
+    tracker.run(events)
+    return tracker
+
+
+def _telemetry_metrics_only():
+    return Telemetry().preregister_standard()
+
+
+def _telemetry_full_logging():
+    return Telemetry(
+        writer=TelemetryWriter(io.StringIO())
+    ).preregister_standard()
+
+
+def test_overhead_telemetry_off(benchmark, event_stream, source_ranges):
+    tracker = benchmark(_run, event_stream, source_ranges)
+    rate = len(event_stream) / benchmark.stats["mean"]
+    print(f"\ntelemetry off: {rate:,.0f} events/s")
+    benchmark.extra_info["events_per_second"] = round(rate)
+    assert tracker.stats.loads_observed > 0
+
+
+def test_overhead_metrics_only(benchmark, event_stream, source_ranges):
+    tracker = benchmark(
+        _run, event_stream, source_ranges, _telemetry_metrics_only()
+    )
+    rate = len(event_stream) / benchmark.stats["mean"]
+    print(f"\nmetrics only: {rate:,.0f} events/s")
+    benchmark.extra_info["events_per_second"] = round(rate)
+    assert tracker.stats.loads_observed > 0
+
+
+def test_overhead_full_logging(benchmark, event_stream, source_ranges):
+    tracker = benchmark(
+        _run, event_stream, source_ranges, _telemetry_full_logging()
+    )
+    rate = len(event_stream) / benchmark.stats["mean"]
+    print(f"\nfull logging: {rate:,.0f} events/s")
+    benchmark.extra_info["events_per_second"] = round(rate)
+    assert tracker.stats.loads_observed > 0
+
+
+def test_overhead_summary(benchmark, event_stream, source_ranges):
+    """All three modes, interleaved, in one place.
+
+    Interleaving the timed runs cancels machine drift; best-of-N per
+    mode gives a low-noise rate.  ``extra_info`` carries the three
+    headline numbers so ``--benchmark-json`` output is self-contained.
+    """
+
+    modes = {
+        "off": lambda: None,
+        "metrics": _telemetry_metrics_only,
+        "logging": _telemetry_full_logging,
+    }
+    best = {name: float("inf") for name in modes}
+    for _ in range(3):
+        for name, make in modes.items():
+            start = time.perf_counter()
+            _run(event_stream, source_ranges, make())
+            best[name] = min(best[name], time.perf_counter() - start)
+
+    rates = {
+        name: round(len(event_stream) / seconds)
+        for name, seconds in best.items()
+    }
+    summary = {
+        "events": len(event_stream),
+        "events_per_second": rates,
+        "metrics_slowdown": round(best["metrics"] / best["off"], 3),
+        "logging_slowdown": round(best["logging"] / best["off"], 3),
+    }
+    benchmark.extra_info.update(summary)
+    print(
+        f"\ntelemetry overhead over {summary['events']} events: "
+        f"off {rates['off']:,} ev/s, "
+        f"metrics {rates['metrics']:,} ev/s "
+        f"(x{summary['metrics_slowdown']}), "
+        f"logging {rates['logging']:,} ev/s "
+        f"(x{summary['logging_slowdown']})"
+    )
+
+    # Keep the benchmark fixture exercised so pytest-benchmark records a
+    # timing row for this test too (one cheap representative run).
+    benchmark(_run, event_stream, source_ranges)
+
+    # Sanity, not a perf gate: every mode still tracked correctly.
+    assert all(rate > 0 for rate in rates.values())

@@ -13,6 +13,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -25,10 +26,74 @@ def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable untainting of out-of-window stores")
 
 
+def _add_telemetry_arguments(
+    parser: argparse.ArgumentParser, with_json: bool = False
+) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="PATH.jsonl", default=None,
+        help="write the structured telemetry event stream (JSONL) here",
+    )
+    parser.add_argument(
+        "--metrics-dump", nargs="?", const="json", choices=["json", "prom"],
+        default=None,
+        help="print the metrics snapshot after the run "
+             "(json, the default, or Prometheus text format)",
+    )
+    if with_json:
+        parser.add_argument(
+            "--json", action="store_true",
+            help="emit the command's result as machine-readable JSON",
+        )
+
+
 def _config(args):
     from repro.core import PIFTConfig
 
     return PIFTConfig(args.ni, args.nt, untainting=not args.no_untainting)
+
+
+def _config_dict(config) -> dict:
+    return {
+        "ni": config.window_size,
+        "nt": config.max_propagations,
+        "untainting": config.untainting,
+    }
+
+
+def _make_telemetry(args):
+    """Build the hub the run's flags ask for, or None for the no-op path."""
+    if not getattr(args, "telemetry", None) and args.metrics_dump is None:
+        return None
+    from repro.telemetry import Telemetry, TelemetryWriter
+
+    writer = TelemetryWriter(args.telemetry) if args.telemetry else None
+    return Telemetry(writer=writer).preregister_standard()
+
+
+def _finish_telemetry(args, telemetry, payload=None) -> None:
+    """Close the event stream; dump metrics inline (JSON) or as text.
+
+    With ``--json`` the snapshot rides inside the single JSON document as
+    a ``metrics`` key so stdout stays one parseable object; otherwise it
+    is printed after the human-readable report.
+    """
+    if telemetry is None:
+        return
+    telemetry.close()
+    if args.telemetry:
+        print(
+            f"telemetry: {telemetry.writer.event_count} events -> "
+            f"{args.telemetry}",
+            file=sys.stderr,
+        )
+    if args.metrics_dump == "json":
+        if payload is not None:
+            payload["metrics"] = telemetry.snapshot()
+        else:
+            print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True))
+    elif args.metrics_dump == "prom":
+        stream = sys.stderr if payload is not None else sys.stdout
+        print(telemetry.prometheus(), end="", file=stream)
 
 
 def cmd_suite(args) -> int:
@@ -36,7 +101,19 @@ def cmd_suite(args) -> int:
     from repro.apps.droidbench import record_suite
 
     config = _config(args)
-    report = evaluate_suite(record_suite(), config)
+    telemetry = _make_telemetry(args)
+    report = evaluate_suite(
+        record_suite(telemetry=telemetry), config, telemetry=telemetry
+    )
+    if args.json:
+        payload = {
+            "command": "suite",
+            "config": _config_dict(config),
+            "report": report.as_dict(),
+        }
+        _finish_telemetry(args, telemetry, payload)
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{config}")
     print(
         f"accuracy {report.accuracy * 100:.1f}%  "
@@ -47,6 +124,7 @@ def cmd_suite(args) -> int:
         print(f"  missed: {name}")
     for name in report.false_alarm_apps:
         print(f"  false alarm: {name}")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -66,13 +144,35 @@ def cmd_malware(args) -> int:
     from repro.apps.malware import SAMPLES, run_sample
 
     config = _config(args)
+    telemetry = _make_telemetry(args)
     detected = 0
+    verdicts = []
     for sample in SAMPLES:
-        device = run_sample(sample, config, work=24)
-        flag = "DETECTED" if device.leak_detected else "missed"
+        device = run_sample(sample, config, work=24, telemetry=telemetry)
         detected += device.leak_detected
-        print(f"{sample.name:<13} {sample.kind:<12} {flag}")
-    print(f"\n{detected}/{len(SAMPLES)} detected at {config}")
+        verdicts.append(
+            {
+                "name": sample.name,
+                "kind": sample.kind,
+                "detected": bool(device.leak_detected),
+            }
+        )
+    if args.json:
+        payload = {
+            "command": "malware",
+            "config": _config_dict(config),
+            "samples": verdicts,
+            "detected": detected,
+            "total": len(SAMPLES),
+        }
+        _finish_telemetry(args, telemetry, payload)
+        print(json.dumps(payload, indent=2))
+    else:
+        for verdict in verdicts:
+            flag = "DETECTED" if verdict["detected"] else "missed"
+            print(f"{verdict['name']:<13} {verdict['kind']:<12} {flag}")
+        print(f"\n{detected}/{len(SAMPLES)} detected at {config}")
+        _finish_telemetry(args, telemetry)
     return 0 if detected == len(SAMPLES) else 1
 
 
@@ -107,8 +207,9 @@ def cmd_analyze(args) -> int:
     from repro.analysis.tracefile import load_recorded_run
 
     config = _config(args)
+    telemetry = _make_telemetry(args)
     recorded = load_recorded_run(args.trace)
-    result = replay(recorded, config)
+    result = replay(recorded, config, telemetry=telemetry)
     stats = result.stats
     print(f"{config} over {args.trace}")
     print(
@@ -124,6 +225,7 @@ def cmd_analyze(args) -> int:
         flag = "TAINTED" if outcome.tainted else "clean"
         print(f"  sink {outcome.sink_name} @{outcome.instruction_index}: {flag}")
     print(f"  verdict: {'LEAK DETECTED' if result.alarm else 'no leak'}")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -136,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = commands.add_parser("suite", help="evaluate the DroidBench suite")
     _add_window_arguments(suite)
+    _add_telemetry_arguments(suite, with_json=True)
     suite.set_defaults(func=cmd_suite)
 
     sweep_cmd = commands.add_parser("sweep", help="Figure 11 accuracy grid")
@@ -143,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     malware = commands.add_parser("malware", help="seven-sample malware scan")
     _add_window_arguments(malware)
+    _add_telemetry_arguments(malware, with_json=True)
     malware.set_defaults(func=cmd_malware)
 
     table1 = commands.add_parser("table1", help="bytecode distance table")
@@ -157,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser("analyze", help="replay a recorded trace")
     analyze.add_argument("trace", help="trace file written by 'trace'")
     _add_window_arguments(analyze)
+    _add_telemetry_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
     return parser
 

@@ -61,17 +61,34 @@ class AccuracyReport:
         leaky = self.true_positives + self.false_negatives
         return self.false_negatives / leaky if leaky else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` output)."""
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "true_negatives": self.true_negatives,
+            "false_negatives": self.false_negatives,
+            "total": self.total,
+            "accuracy": self.accuracy,
+            "false_positive_rate": self.false_positive_rate,
+            "false_negative_rate": self.false_negative_rate,
+            "missed_apps": list(self.missed_apps),
+            "false_alarm_apps": list(self.false_alarm_apps),
+        }
 
-def evaluate_app(app: AppRun, config: PIFTConfig) -> bool:
+
+def evaluate_app(app: AppRun, config: PIFTConfig, telemetry=None) -> bool:
     """Replay one app under ``config``; True when PIFT raises an alarm."""
-    return replay(app.recorded, config).alarm
+    return replay(app.recorded, config, telemetry=telemetry).alarm
 
 
-def evaluate_suite(apps: Sequence[AppRun], config: PIFTConfig) -> AccuracyReport:
+def evaluate_suite(
+    apps: Sequence[AppRun], config: PIFTConfig, telemetry=None
+) -> AccuracyReport:
     """Confusion matrix of PIFT verdicts against ground truth."""
     report = AccuracyReport()
     for app in apps:
-        predicted = evaluate_app(app, config)
+        predicted = evaluate_app(app, config, telemetry=telemetry)
         if app.leaks and predicted:
             report.true_positives += 1
         elif app.leaks and not predicted:

@@ -91,6 +91,7 @@ def replay(
     config: PIFTConfig,
     state_factory: StateFactory = RangeSet,
     record_timeline: bool = False,
+    telemetry=None,
 ) -> ReplayResult:
     """Feed a recorded run through a fresh tracker in instruction order.
 
@@ -98,7 +99,10 @@ def replay(
     stream at the instruction indices they originally occurred at.
     """
     tracker = PIFTTracker(
-        config, state_factory=state_factory, record_timeline=record_timeline
+        config,
+        state_factory=state_factory,
+        record_timeline=record_timeline,
+        telemetry=telemetry,
     )
     result = ReplayResult(config=config, stats=tracker.stats)
     sources = sorted(recorded.sources, key=lambda s: s.instruction_index)

@@ -85,10 +85,19 @@ class AndroidDevice:
         record_timeline: bool = False,
         keep_full_trace: bool = False,
         fused_dispatch: bool = False,
+        telemetry=None,
     ) -> None:
-        self.cpu = CPU()
+        """``telemetry`` (a :class:`repro.telemetry.Telemetry`) is threaded
+        into every layer — CPU batches, VM method spans, the tracker's
+        mutation stream, and the manager's source/sink events all report
+        to the same hub."""
+        self.telemetry = telemetry
+        self.cpu = CPU(telemetry=telemetry)
         self.hw = PIFTHardwareModule(
-            config, state_factory=state_factory, record_timeline=record_timeline
+            config,
+            state_factory=state_factory,
+            record_timeline=record_timeline,
+            telemetry=telemetry,
         )
         self.module = PIFTKernelModule(self.hw)
         self.native = PIFTNative(self.module)
@@ -161,7 +170,7 @@ class AndroidDevice:
                     )
                 return super().check_sink(sink_name, value, pid=pid)
 
-        return RecordingManager(self.native)
+        return RecordingManager(self.native, telemetry=self.telemetry)
 
     # -- app surface -------------------------------------------------------------
 

@@ -48,18 +48,20 @@ def app_by_name(name: str) -> BenchApp:
 
 
 def run_app(
-    app: BenchApp, config: PIFTConfig = PAPER_DEFAULT
+    app: BenchApp, config: PIFTConfig = PAPER_DEFAULT, telemetry=None
 ) -> AndroidDevice:
     """Execute one app on a fresh device; returns the device for inspection."""
-    device = AndroidDevice(config=config)
+    device = AndroidDevice(config=config, telemetry=telemetry)
     device.install(app.build(device))
     device.run(app.entry)
     return device
 
 
-def record_app(app: BenchApp, config: PIFTConfig = PAPER_DEFAULT) -> AppRun:
+def record_app(
+    app: BenchApp, config: PIFTConfig = PAPER_DEFAULT, telemetry=None
+) -> AppRun:
     """Execute one app and package its recorded run for offline analysis."""
-    device = run_app(app, config)
+    device = run_app(app, config, telemetry=telemetry)
     return AppRun(
         name=app.name,
         recorded=device.recorded,
@@ -71,6 +73,10 @@ def record_app(app: BenchApp, config: PIFTConfig = PAPER_DEFAULT) -> AppRun:
 def record_suite(
     apps: Optional[Sequence[BenchApp]] = None,
     config: PIFTConfig = PAPER_DEFAULT,
+    telemetry=None,
 ) -> List[AppRun]:
     """Execute the whole suite once; replays then evaluate any (NI, NT)."""
-    return [record_app(app, config) for app in (apps or all_apps())]
+    return [
+        record_app(app, config, telemetry=telemetry)
+        for app in (apps or all_apps())
+    ]

@@ -24,14 +24,18 @@ blocking check had to wait for.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.core.config import PIFTConfig
 from repro.core.events import MemoryAccess
 from repro.core.ranges import AddressRange
 from repro.core.tracker import PIFTTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -47,6 +51,10 @@ class BufferStats:
     blocking_drain_events: int = 0  # events processed while a check waited
     immediate_checks: int = 0
     stale_negatives: int = 0  # immediate 'clean' that turned tainted
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (feeds the telemetry/CLI exporters)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -74,16 +82,32 @@ class BufferedPIFT:
         config: PIFTConfig,
         capacity: int = 1024,
         drain_batch: int = 256,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         if capacity < 1 or drain_batch < 1:
             raise ValueError("capacity and drain_batch must be >= 1")
-        self.tracker = PIFTTracker(config)
+        self.tracker = PIFTTracker(config, telemetry=telemetry)
         self.capacity = capacity
         self.drain_batch = drain_batch
         self.stats = BufferStats()
         self.late_detections: List[LateDetection] = []
         self._queue: Deque[MemoryAccess] = deque()
         self._pending_immediate: List[tuple] = []
+        self._tel: Optional["Telemetry"] = None
+        if telemetry is not None and telemetry.enabled:
+            self._tel = telemetry
+            m = telemetry.metrics
+            self._m_events = m.counter(
+                "buffer.events", "events enqueued to the FIFO"
+            )
+            self._m_drains = m.counter("buffer.drains", "drain batches executed")
+            self._m_drained = m.counter(
+                "buffer.events_drained", "events processed by drains"
+            )
+            self._m_depth = m.gauge("buffer.queue_depth", "current FIFO depth")
+            self._m_drain_seconds = m.histogram(
+                "buffer.drain_seconds", "drain batch wall time"
+            )
 
     # -- front-end side ----------------------------------------------------------
 
@@ -93,6 +117,9 @@ class BufferedPIFT:
         self.stats.events_buffered += 1
         if len(self._queue) > self.stats.max_queue_depth:
             self.stats.max_queue_depth = len(self._queue)
+        if self._tel is not None:
+            self._m_events.inc()
+            self._m_depth.set(len(self._queue))
         if len(self._queue) >= self.capacity:
             self.drain(self.drain_batch)
 
@@ -110,11 +137,24 @@ class BufferedPIFT:
     def drain(self, batch: Optional[int] = None) -> int:
         """Process up to ``batch`` queued events (all of them if None)."""
         limit = len(self._queue) if batch is None else min(batch, len(self._queue))
+        started = time.perf_counter() if self._tel is not None else 0.0
         for _ in range(limit):
             self.tracker.observe(self._queue.popleft())
         if limit:
             self.stats.drains += 1
             self.stats.events_drained += limit
+        if self._tel is not None and limit:
+            elapsed = time.perf_counter() - started
+            self._m_drains.inc()
+            self._m_drained.inc(limit)
+            self._m_depth.set(len(self._queue))
+            self._m_drain_seconds.observe(elapsed)
+            self._tel.event(
+                "drain",
+                events=limit,
+                remaining=len(self._queue),
+                duration_us=round(elapsed * 1e6, 3),
+            )
         self._reconcile_immediate_checks()
         return limit
 

@@ -63,9 +63,13 @@ class PIFTHardwareModule:
         config: PIFTConfig,
         state_factory: StateFactory = RangeSet,
         record_timeline: bool = False,
+        telemetry=None,
     ) -> None:
         self._tracker = PIFTTracker(
-            config, state_factory=state_factory, record_timeline=record_timeline
+            config,
+            state_factory=state_factory,
+            record_timeline=record_timeline,
+            telemetry=telemetry,
         )
 
     @property

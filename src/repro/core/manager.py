@@ -10,10 +10,13 @@ framework-level placement as TaintDroid's instrumentation (paper §3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.module import LeakEvent, PIFTKernelModule
 from repro.core.native import PIFTNative
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -36,10 +39,25 @@ class SinkReport:
 class PIFTManager:
     """Framework-level source/sink instrumentation entry points."""
 
-    def __init__(self, native: PIFTNative) -> None:
+    def __init__(
+        self, native: PIFTNative, telemetry: Optional["Telemetry"] = None
+    ) -> None:
         self._native = native
         self.sources_registered: List[SourceRecord] = []
         self.sink_reports: List[SinkReport] = []
+        self._tel: Optional["Telemetry"] = None
+        if telemetry is not None and telemetry.enabled:
+            self._tel = telemetry
+            m = telemetry.metrics
+            self._m_sources = m.counter(
+                "manager.sources_registered", "framework source events"
+            )
+            self._m_checks = m.counter(
+                "manager.sink_checks", "framework sink checks"
+            )
+            self._m_leaks = m.counter(
+                "manager.leaks", "sink checks that found taint"
+            )
 
     @property
     def native(self) -> PIFTNative:
@@ -53,6 +71,9 @@ class PIFTManager:
         """Instrumented source fetched ``value``; taint its backing memory."""
         self._native.register_value(value, pid=pid)
         self.sources_registered.append(SourceRecord(source_name, pid))
+        if self._tel is not None:
+            self._m_sources.inc()
+            self._tel.event("source_register", source=source_name, pid=pid)
 
     def check_sink(self, sink_name: str, value: object, pid: int = 0) -> bool:
         """Instrumented sink is about to emit ``value``; query its taint."""
@@ -60,6 +81,13 @@ class PIFTManager:
             value, pid=pid, sink_description=sink_name
         )
         self.sink_reports.append(SinkReport(sink_name, pid, tainted))
+        if self._tel is not None:
+            self._m_checks.inc()
+            if tainted:
+                self._m_leaks.inc()
+            self._tel.event(
+                "sink_check", sink=sink_name, pid=pid, tainted=tainted
+            )
         return tainted
 
     @property

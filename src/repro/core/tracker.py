@@ -15,11 +15,14 @@ taint state are both kept per PID.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import PIFTConfig
 from repro.core.events import MemoryAccess
 from repro.core.ranges import AddressRange, RangeSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry import Telemetry
 
 
 #: Any object with the RangeSet mutation/query surface can back the tracker —
@@ -84,6 +87,29 @@ class TrackerStats:
     def total_operations(self) -> int:
         return self.taint_operations + self.untaint_operations
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (feeds the telemetry/CLI exporters)."""
+        return {
+            "instructions_observed": self.instructions_observed,
+            "loads_observed": self.loads_observed,
+            "stores_observed": self.stores_observed,
+            "tainted_loads": self.tainted_loads,
+            "taint_operations": self.taint_operations,
+            "untaint_operations": self.untaint_operations,
+            "total_operations": self.total_operations,
+            "max_tainted_bytes": self.max_tainted_bytes,
+            "max_range_count": self.max_range_count,
+            "timeline": [
+                {
+                    "instruction_index": p.instruction_index,
+                    "tainted_bytes": p.tainted_bytes,
+                    "range_count": p.range_count,
+                    "cumulative_operations": p.cumulative_operations,
+                }
+                for p in self.timeline
+            ],
+        }
+
 
 @dataclass
 class _WindowState:
@@ -91,6 +117,49 @@ class _WindowState:
 
     last_tainted_load: Optional[int] = None  # LTLT; None encodes -infinity
     propagations: int = 0  # n_t
+    #: Telemetry-only bookkeeping: has a window_open event been emitted for
+    #: the currently live window?  Never touched when telemetry is off.
+    telemetry_open: bool = False
+
+
+class _TrackerInstruments:
+    """Bound metric handles, resolved once so the hot path skips registry
+    lookups.  Built only when the tracker has an active telemetry hub."""
+
+    __slots__ = (
+        "events", "loads", "stores", "tainted_loads", "taint_ops",
+        "untaint_ops", "windows_opened", "windows_closed", "sources",
+        "checks", "tainted_bytes", "range_count",
+    )
+
+    def __init__(self, telemetry: "Telemetry") -> None:
+        m = telemetry.metrics
+        self.events = m.counter("tracker.events", "memory events observed")
+        self.loads = m.counter("tracker.loads", "load events observed")
+        self.stores = m.counter("tracker.stores", "store events observed")
+        self.tainted_loads = m.counter(
+            "tracker.tainted_loads", "loads that hit tainted state"
+        )
+        self.taint_ops = m.counter(
+            "tracker.taint_ops", "in-window store taint operations"
+        )
+        self.untaint_ops = m.counter(
+            "tracker.untaint_ops", "effective untaint operations"
+        )
+        self.windows_opened = m.counter(
+            "tracker.windows_opened", "tainting windows opened"
+        )
+        self.windows_closed = m.counter(
+            "tracker.windows_closed", "tainting windows closed"
+        )
+        self.sources = m.counter("tracker.sources", "source ranges registered")
+        self.checks = m.counter("tracker.checks", "sink-range taint queries")
+        self.tainted_bytes = m.gauge(
+            "tracker.tainted_bytes", "current tainted bytes"
+        )
+        self.range_count = m.gauge(
+            "tracker.range_count", "current taint-state range count"
+        )
 
 
 class PIFTTracker:
@@ -110,6 +179,13 @@ class PIFTTracker:
         record_timeline: when True, every taint/untaint operation appends a
             :class:`TimelinePoint` (needed for the Figure 15/16 curves;
             off by default to keep tracking cheap).
+        telemetry: optional :class:`~repro.telemetry.Telemetry` hub.  When
+            absent (or disabled) the observe loop is untouched — the
+            instrumented variants are only *bound over* ``observe`` /
+            ``taint_source`` / ``check`` (as instance attributes) when a
+            live hub is supplied, so the disabled path costs nothing.
+            When active, per-event counters, taint-state gauges, and
+            per-mutation JSONL events are recorded.
     """
 
     def __init__(
@@ -117,6 +193,7 @@ class PIFTTracker:
         config: PIFTConfig,
         state_factory: StateFactory = RangeSet,
         record_timeline: bool = False,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.config = config
         self._state_factory = state_factory
@@ -124,6 +201,14 @@ class PIFTTracker:
         self._windows: Dict[int, _WindowState] = {}
         self.stats = TrackerStats()
         self._record_timeline = record_timeline
+        self._tel: Optional["Telemetry"] = None
+        self._instruments: Optional[_TrackerInstruments] = None
+        if telemetry is not None and telemetry.enabled:
+            self._tel = telemetry
+            self._instruments = _TrackerInstruments(telemetry)
+            self.observe = self._observe_with_telemetry
+            self.taint_source = self._taint_source_with_telemetry
+            self.check = self._check_with_telemetry
 
     # -- taint state access ------------------------------------------------
 
@@ -142,6 +227,17 @@ class PIFTTracker:
     def check(self, address_range: AddressRange, pid: int = 0) -> bool:
         """Sink query: is any byte of ``address_range`` tainted?"""
         return self.state(pid).overlaps(address_range)
+
+    def reset(self) -> None:
+        """Clear windows, taint states, and stats for reuse across runs.
+
+        Configuration, state factory, and telemetry wiring are preserved;
+        only the accumulated tracking state is discarded, so one tracker
+        (and its attached instruments) can serve many runs.
+        """
+        self._states.clear()
+        self._windows.clear()
+        self.stats = TrackerStats()
 
     @property
     def tainted_bytes(self) -> int:
@@ -195,6 +291,105 @@ class PIFTTracker:
             self.observe(event)
         return self.stats
 
+    # -- telemetry shadow methods ---------------------------------------
+    #
+    # Bound over the plain methods (as instance attributes) only when a
+    # live telemetry hub is attached.  They delegate to the unmodified
+    # Algorithm-1 code above and derive what happened from the stats
+    # deltas, so the algorithm exists exactly once and the disabled hot
+    # path carries no telemetry branches at all.
+
+    def _observe_with_telemetry(self, event: MemoryAccess) -> None:
+        stats = self.stats
+        before_tainted_loads = stats.tainted_loads
+        before_taints = stats.taint_operations
+        before_untaints = stats.untaint_operations
+        type(self).observe(self, event)
+        ins = self._instruments
+        ins.events.inc()
+        k = event.instruction_index
+        window = self._windows[event.pid]
+        if event.is_load:
+            ins.loads.inc()
+            if stats.tainted_loads != before_tainted_loads:
+                ins.tainted_loads.inc()
+                if not window.telemetry_open:
+                    window.telemetry_open = True
+                    ins.windows_opened.inc()
+                    self._tel.event(
+                        "window_open",
+                        pid=event.pid,
+                        index=k,
+                        start=event.address_range.start,
+                        size=event.address_range.size,
+                    )
+            return
+        ins.stores.inc()
+        mutated = True
+        if stats.taint_operations != before_taints:
+            ins.taint_ops.inc()
+            self._tel.event(
+                "taint",
+                pid=event.pid,
+                index=k,
+                start=event.address_range.start,
+                size=event.address_range.size,
+                propagation=window.propagations,
+            )
+        elif stats.untaint_operations != before_untaints:
+            ins.untaint_ops.inc()
+            self._tel.event(
+                "untaint",
+                pid=event.pid,
+                index=k,
+                start=event.address_range.start,
+                size=event.address_range.size,
+            )
+        else:
+            mutated = False
+        in_window = (
+            window.last_tainted_load is not None
+            and k <= window.last_tainted_load + self.config.window_size
+        )
+        if not in_window and window.telemetry_open:
+            # First out-of-window store after a live window: close it.  (A
+            # window can also lapse with no further store; such windows
+            # are only closed — and counted — when store traffic resumes.)
+            window.telemetry_open = False
+            ins.windows_closed.inc()
+            self._tel.event(
+                "window_close",
+                pid=event.pid,
+                index=k,
+                opened_at=window.last_tainted_load,
+                propagations=window.propagations,
+            )
+        if mutated:
+            ins.tainted_bytes.set(self.tainted_bytes)
+            ins.range_count.set(self.range_count)
+
+    def _taint_source_with_telemetry(
+        self, address_range: AddressRange, pid: int = 0
+    ) -> None:
+        type(self).taint_source(self, address_range, pid=pid)
+        ins = self._instruments
+        ins.sources.inc()
+        ins.tainted_bytes.set(self.tainted_bytes)
+        ins.range_count.set(self.range_count)
+        self._tel.event(
+            "source_taint",
+            pid=pid,
+            index=self.stats.instructions_observed,
+            start=address_range.start,
+            size=address_range.size,
+        )
+
+    def _check_with_telemetry(
+        self, address_range: AddressRange, pid: int = 0
+    ) -> bool:
+        self._instruments.checks.inc()
+        return type(self).check(self, address_range, pid=pid)
+
     # -- bookkeeping -----------------------------------------------------
 
     def _after_mutation(self, pid: int, instruction_index: int) -> None:
@@ -220,9 +415,12 @@ def track_trace(
     sources: Iterable[Tuple[AddressRange, int]],
     config: PIFTConfig,
     record_timeline: bool = False,
+    telemetry: Optional["Telemetry"] = None,
 ) -> PIFTTracker:
     """One-shot helper: taint ``sources`` (range, pid pairs), run ``events``."""
-    tracker = PIFTTracker(config, record_timeline=record_timeline)
+    tracker = PIFTTracker(
+        config, record_timeline=record_timeline, telemetry=telemetry
+    )
     for address_range, pid in sources:
         tracker.taint_source(address_range, pid=pid)
     tracker.run(events)

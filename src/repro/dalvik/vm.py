@@ -154,12 +154,31 @@ class DalvikVM:
     POOL_CAPACITY = 4096
     STATICS_BYTES = 64 * 1024
 
-    def __init__(self, cpu: CPU, fused_dispatch: bool = False) -> None:
+    def __init__(
+        self, cpu: CPU, fused_dispatch: bool = False, telemetry=None
+    ) -> None:
         """``fused_dispatch=True`` models Dalvik's trace JIT: translated
         bytecodes chain directly, dropping the GET_INST_OPCODE /
         GOTO_OPCODE pair from every routine (paper §4.1's JIT discussion).
+
+        ``telemetry`` defaults to the hosting CPU's hub, so wiring the
+        device's CPU is enough to get VM method spans as well.
         """
         self.cpu = cpu
+        self._tel = None
+        telemetry = telemetry if telemetry is not None else cpu.telemetry
+        if telemetry is not None and telemetry.enabled:
+            self._tel = telemetry
+            m = telemetry.metrics
+            self._m_method_calls = m.counter(
+                "vm.method_calls", "entry-point method calls"
+            )
+            self._m_invokes = m.counter(
+                "vm.invokes", "bytecode-level method invocations"
+            )
+            self._m_bytecodes = m.counter(
+                "vm.bytecodes", "bytecodes interpreted"
+            )
         self.space = cpu.address_space
         self.heap = Heap(self.space)
         self.translator = MterpTranslator()
@@ -438,7 +457,12 @@ class DalvikVM:
         self.cpu.registers["rPC"] = method.instruction_offsets[0]
         self.emit(self.translator.refetch())
         base_depth = len(self._frames) - 1
-        self._run_until(base_depth)
+        if self._tel is not None:
+            self._m_method_calls.inc()
+            with self._tel.span("vm.method", method=method_name):
+                self._run_until(base_depth)
+        else:
+            self._run_until(base_depth)
         return self.retval
 
     def _push_activation(self, method: Method) -> Activation:
@@ -475,6 +499,8 @@ class DalvikVM:
     def _step(self, frame: Activation, instr: Instr, base_depth: int) -> None:
         for observer in self.step_observers:
             observer(self, frame, instr)
+        if self._tel is not None:
+            self._m_bytecodes.inc()
         category = instr.op.category
         handler = self._DISPATCH.get(category)
         if handler is None:
@@ -921,6 +947,8 @@ class DalvikVM:
         if instr.symbol is None:
             raise VMError("invoke needs a method symbol")
         name = instr.symbol
+        if self._tel is not None:
+            self._m_invokes.inc()
         self.emit(self.translator.invoke_prologue(instr))
         argument_registers = list(instr.args)
         if name in self.intrinsics:

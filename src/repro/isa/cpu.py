@@ -10,12 +10,16 @@ per-process instruction index.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Optional
+import time
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from repro.core.events import EventTrace, MemoryAccess
 from repro.isa.instructions import ExecutionRecord, Instruction
 from repro.isa.memory import AddressSpace
 from repro.isa.registers import RegisterFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry import Telemetry
 
 #: Observer signature: (record, per-process instruction index, pid).
 Observer = Callable[[ExecutionRecord, int, int], None]
@@ -35,6 +39,7 @@ class CPU:
         self,
         address_space: Optional[AddressSpace] = None,
         render_text: bool = False,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.address_space = address_space or AddressSpace()
         self.registers = RegisterFile()
@@ -44,6 +49,25 @@ class CPU:
         #: When True, every ExecutionRecord carries the instruction's full
         #: assembly text (for disassembly listings; costs a str() each).
         self.render_text = render_text
+        #: Telemetry is recorded per :meth:`run` batch, never per retired
+        #: instruction, so :meth:`execute` stays untouched either way.
+        self.telemetry: Optional["Telemetry"] = None
+        self._batches_seen = 0
+        if telemetry is not None and telemetry.enabled:
+            self.telemetry = telemetry
+            m = telemetry.metrics
+            self._m_instructions = m.counter(
+                "cpu.instructions", "instructions retired"
+            )
+            self._m_batches = m.counter(
+                "cpu.batches", "instruction batches executed"
+            )
+            self._m_batch_seconds = m.histogram(
+                "cpu.batch_seconds", "instruction batch wall time"
+            )
+            self._m_throughput = m.gauge(
+                "cpu.instructions_per_second", "throughput of the last batch"
+            )
 
     # -- process context -----------------------------------------------------
 
@@ -81,10 +105,31 @@ class CPU:
 
     def run(self, instructions: Iterable[Instruction]) -> int:
         """Execute a sequence; returns the number of instructions retired."""
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         count = 0
         for instruction in instructions:
             self.execute(instruction)
             count += 1
+        if tel is not None and count:
+            elapsed = time.perf_counter() - started
+            self._m_instructions.inc(count)
+            self._m_batches.inc()
+            self._m_batch_seconds.observe(elapsed)
+            if elapsed > 0:
+                self._m_throughput.set(count / elapsed)
+            # A VM run emits one batch per translated bytecode, so batch
+            # events are sampled (counters above stay exact).
+            self._batches_seen += 1
+            if self._batches_seen % tel.cpu_batch_sample == 0:
+                tel.event(
+                    "cpu_batch",
+                    pid=self._pid,
+                    instructions=count,
+                    duration_us=round(elapsed * 1e6, 3),
+                    batches_total=self._batches_seen,
+                    index=self._counters.get(self._pid, 0),
+                )
         return count
 
 

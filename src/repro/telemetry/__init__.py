@@ -1,0 +1,64 @@
+"""``repro.telemetry`` — metrics, spans, and structured event tracing.
+
+The observability layer for the PIFT stack:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms, and the :class:`MetricsRegistry` that owns them;
+* :mod:`repro.telemetry.spans` — nested wall-time spans (context manager
+  and :func:`timed` decorator);
+* :mod:`repro.telemetry.writer` — the buffered JSONL event sink;
+* :mod:`repro.telemetry.exporters` — JSON snapshot and Prometheus text
+  format;
+* :mod:`repro.telemetry.hub` — the :class:`Telemetry` facade threaded
+  through the stack, and the :func:`active` disabled-path contract.
+
+Telemetry is **off by default** everywhere: every instrumented component
+takes ``telemetry=None`` and its hot path degenerates to a single
+``is not None`` branch (measured <5% on the tracker's event loop; see
+``benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from repro.telemetry.exporters import (
+    snapshot,
+    snapshot_json,
+    to_prometheus_text,
+)
+from repro.telemetry.hub import Telemetry, active
+from repro.telemetry.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+)
+from repro.telemetry.spans import Span, SpanContext, timed
+from repro.telemetry.writer import TelemetryWriter, iter_events, read_events
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "Span",
+    "SpanContext",
+    "Telemetry",
+    "TelemetryWriter",
+    "active",
+    "iter_events",
+    "read_events",
+    "snapshot",
+    "snapshot_json",
+    "timed",
+    "to_prometheus_text",
+]

@@ -1,0 +1,78 @@
+"""Snapshot exporters: JSON-ready dicts and Prometheus text format.
+
+Two consumers are served:
+
+* machines — :func:`snapshot` nests every instrument under its family and
+  is ``json.dumps``-able as-is (the CLI's ``--metrics-dump json``);
+* scrapers — :func:`to_prometheus_text` renders the Prometheus text
+  exposition format (``--metrics-dump prom``), with dotted metric names
+  mapped to underscore form (``tracker.taint_ops`` →
+  ``pift_tracker_taint_ops``) and histograms expanded to the standard
+  ``_bucket``/``_sum``/``_count`` series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+PROMETHEUS_PREFIX = "pift"
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """``{family: {metric_name: {kind, value, ...}}}`` for JSON output."""
+    return registry.as_dict()
+
+
+def snapshot_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str) -> str:
+    return f"{PROMETHEUS_PREFIX}_" + name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and value == float("inf"):
+        return "+Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    lines = []
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for le, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(float(le))}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += metric.counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(metric.value)}")
+        elif isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {metric.value}")
+        else:  # pragma: no cover - registry only creates the above
+            continue
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,104 @@
+"""Wall-time spans: context-manager and decorator timing with nesting.
+
+A span measures one logical operation (a drain, a VM method call, a whole
+suite evaluation).  Closing a span
+
+* observes its duration into the histogram ``span.<name>`` of the hub's
+  registry (fixed time buckets, so percentiles come for free), and
+* emits a ``span`` event to the hub's JSONL writer (when one is attached)
+  carrying name, duration, nesting depth and parent span name.
+
+Nesting is tracked per hub with an explicit stack, so a span opened while
+another is active records its parent — enough to reconstruct the call
+tree from the event stream (events close in LIFO order).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import DEFAULT_TIME_BUCKETS
+
+
+@dataclass
+class Span:
+    """One timed operation; ``duration`` is valid once the span closed."""
+
+    name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    parent: Optional[str] = None
+    depth: int = 0
+    start: float = 0.0
+    duration: float = 0.0
+
+
+class SpanContext:
+    """Context manager produced by :meth:`Telemetry.span`."""
+
+    __slots__ = ("_hub", "span")
+
+    def __init__(self, hub, name: str, attributes: Dict[str, object]) -> None:
+        self._hub = hub
+        self.span = Span(name=name, attributes=attributes)
+
+    def __enter__(self) -> Span:
+        stack = self._hub._span_stack
+        if stack:
+            self.span.parent = stack[-1].name
+            self.span.depth = len(stack)
+        stack.append(self.span)
+        self.span.start = time.perf_counter()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self.span
+        span.duration = time.perf_counter() - span.start
+        stack = self._hub._span_stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # defensive: out-of-order close, drop up to this span
+            while stack:
+                if stack.pop() is span:
+                    break
+        self._hub.metrics.histogram(
+            f"span.{span.name}", buckets=DEFAULT_TIME_BUCKETS
+        ).observe(span.duration)
+        writer = self._hub.writer
+        if writer is not None:
+            writer.emit(
+                "span",
+                name=span.name,
+                duration_us=round(span.duration * 1e6, 3),
+                depth=span.depth,
+                parent=span.parent,
+                error=exc_type.__name__ if exc_type else None,
+                **span.attributes,
+            )
+
+
+def timed(hub_or_getter, name: Optional[str] = None):
+    """Decorator: run the wrapped callable inside a telemetry span.
+
+    ``hub_or_getter`` is either a :class:`~repro.telemetry.hub.Telemetry`
+    instance or a zero-argument callable returning one (or ``None``, in
+    which case the call is not timed) — the callable form lets a module
+    bind the decorator before its hub exists.
+    """
+
+    def decorate(func):
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            hub = hub_or_getter() if callable(hub_or_getter) else hub_or_getter
+            if hub is None or not hub.enabled:
+                return func(*args, **kwargs)
+            with hub.span(span_name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
