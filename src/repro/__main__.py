@@ -8,6 +8,7 @@ Commands:
 * ``table1``   — regenerate the bytecode-distance table
 * ``trace``    — record the LGRoot trace to a file (for offline analysis)
 * ``analyze``  — replay a recorded trace file under a given (NI, NT)
+* ``faults``   — graceful-degradation sweep under deterministic faults
 """
 
 from __future__ import annotations
@@ -229,6 +230,89 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.core import OverflowPolicy, parse_fault_spec
+    from repro.analysis.degradation import (
+        degradation_curve,
+        detection_latency_table,
+        record_malware_runs,
+    )
+    from repro.apps.malware import record_lgroot_trace
+
+    config = _config(args)
+    base_rates = parse_fault_spec(args.faults)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    policy = OverflowPolicy(args.policy)
+
+    apps = []
+    malware_runs = []
+    if args.suite in ("droidbench", "both"):
+        from repro.apps.droidbench import record_suite
+
+        apps = record_suite()
+    if args.suite in ("malware", "both"):
+        malware_runs = record_malware_runs(work=args.work)
+
+    telemetry = _make_telemetry(args)
+    curve = degradation_curve(
+        apps,
+        config,
+        rates=rates,
+        seed=args.fault_seed,
+        site=args.site,
+        base_rates=base_rates,
+        malware_runs=malware_runs,
+    )
+    latency = detection_latency_table(
+        record_lgroot_trace(work=args.work),
+        config,
+        rates=rates,
+        seed=args.fault_seed,
+        site=args.site,
+        base_rates=base_rates,
+        policy=policy,
+        capacity=args.capacity,
+        drain_batch=args.drain_batch,
+    )
+    if args.json:
+        payload = {
+            "command": "faults",
+            "config": _config_dict(config),
+            "site": args.site,
+            "seed": args.fault_seed,
+            "base_rates": args.faults,
+            "policy": policy.value,
+            "curve": curve.as_dict(),
+            "accuracy_non_increasing": curve.accuracy_non_increasing(),
+            "latency": [row.as_dict() for row in latency],
+        }
+        _finish_telemetry(args, telemetry, payload)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{config}, site={args.site}, seed={args.fault_seed}, "
+          f"policy={policy.value}")
+    for point in curve.points:
+        parts = [f"rate={point.rate:<8g}"]
+        if point.report is not None:
+            parts.append(f"accuracy={point.report.accuracy * 100:5.1f}%")
+        if point.malware_total is not None:
+            parts.append(
+                f"malware={point.malware_detected}/{point.malware_total}"
+            )
+        parts.append(f"injections={point.fault_stats.total_injections}")
+        print("  " + "  ".join(parts))
+    print("detection latency under loss (LGRoot, immediate checks):")
+    for row in latency:
+        print(
+            f"  rate={row.rate:<8g} late={row.late_detections} "
+            f"mean_behind={row.mean_events_behind:.1f} "
+            f"max_behind={row.max_events_behind} missed={row.missed} "
+            f"forced_drops={row.forced_drops} degraded={row.degraded_checks}"
+        )
+    _finish_telemetry(args, telemetry)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -263,6 +347,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_window_arguments(analyze)
     _add_telemetry_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    faults = commands.add_parser(
+        "faults", help="graceful-degradation sweep under injected faults"
+    )
+    _add_window_arguments(faults)
+    faults.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="base fault rates for every point, e.g. "
+             "'dup=1e-4,corrupt=1e-5' (keys: loss, dup, reorder, window, "
+             "corrupt, bits, drop, storm, storm_size, stall, stall_cycles)",
+    )
+    faults.add_argument("--fault-seed", type=int, default=1,
+                        help="deterministic fault seed (default 1)")
+    faults.add_argument(
+        "--site", default="event_loss",
+        choices=["event_loss", "event_duplication", "event_reorder",
+                 "address_corruption", "state_drop", "eviction_storm",
+                 "storage_stall"],
+        help="which fault site's rate the sweep varies (default event_loss)",
+    )
+    faults.add_argument(
+        "--rates", default="0,1e-4,1e-3,1e-2,1e-1",
+        help="comma-separated rates to sweep (default 0,1e-4,1e-3,1e-2,1e-1)",
+    )
+    faults.add_argument(
+        "--suite", default="both",
+        choices=["droidbench", "malware", "both"],
+        help="which suite(s) to evaluate at each rate (default both)",
+    )
+    faults.add_argument(
+        "--policy", default="block",
+        choices=["block", "drop_oldest", "drop_newest", "spill"],
+        help="buffer overflow policy for the latency table (default block)",
+    )
+    faults.add_argument("--capacity", type=int, default=256,
+                        help="buffer capacity for the latency table")
+    faults.add_argument("--drain-batch", type=int, default=64,
+                        help="buffer drain batch for the latency table")
+    faults.add_argument("--work", type=int, default=16,
+                        help="malware background workload size (default 16)")
+    _add_telemetry_arguments(faults, with_json=True)
+    faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -16,14 +16,28 @@ Layering, top to bottom (Figure 3):
   :class:`~repro.core.taint_storage.BoundedRangeCache`.
 """
 
-from repro.core.buffered import BufferedPIFT, BufferStats, LateDetection
+from repro.core.buffered import (
+    BufferedPIFT,
+    BufferStats,
+    ImmediateVerdict,
+    LateDetection,
+)
 from repro.core.config import (
     PAPER_DEFAULT,
     PAPER_MALWARE_MINIMUM,
     PAPER_PERFECT,
+    BufferConfig,
+    OverflowPolicy,
     PIFTConfig,
 )
 from repro.core.events import AccessKind, EventTrace, MemoryAccess, load, store
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    FaultStats,
+    parse_fault_spec,
+)
 from repro.core.hw import (
     Command,
     CommandRequest,
@@ -57,6 +71,7 @@ __all__ = [
     "AddressRange",
     "AddressTranslationError",
     "BoundedRangeCache",
+    "BufferConfig",
     "BufferStats",
     "BufferedPIFT",
     "Command",
@@ -66,10 +81,16 @@ __all__ = [
     "ENTRY_BYTES_WITH_PID",
     "EventTrace",
     "EvictionPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
+    "ImmediateVerdict",
     "LabeledLeak",
     "LateDetection",
     "LeakEvent",
     "MemoryAccess",
+    "OverflowPolicy",
     "PAPER_DEFAULT",
     "PAPER_MALWARE_MINIMUM",
     "PAPER_PERFECT",
@@ -90,6 +111,7 @@ __all__ = [
     "entry_capacity",
     "load",
     "paper_default_storage",
+    "parse_fault_spec",
     "store",
     "track_trace",
 ]

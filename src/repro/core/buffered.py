@@ -20,21 +20,40 @@ answered two ways:
 The model quantifies the trade the paper mentions: how often an immediate
 answer disagrees with the post-drain truth, versus how many events a
 blocking check had to wait for.
+
+Overflow and backpressure
+-------------------------
+
+What happens when the FIFO is *full* is an :class:`~repro.core.config
+.OverflowPolicy`: ``BLOCK`` (drain a batch in place — today's default),
+``DROP_OLDEST`` / ``DROP_NEWEST`` (a ring / guarded FIFO; dropped events
+are counted in ``stats.forced_drops`` and degrade later answers), or
+``SPILL`` (burst-write the oldest batch to an unbounded secondary queue
+in main memory).  Watermarks expose *backpressure*: when the FIFO depth
+crosses ``high_watermark`` the ``backpressure`` flag raises (and is
+counted) until depth falls back to ``low_watermark``.
+
+Once any event has been force-dropped — by an overflow policy or by an
+injected fault (:mod:`repro.core.faults`) — the taint state is no longer
+trustworthy: immediate answers carry a ``degraded`` flag
+(:class:`ImmediateVerdict`), so a 'clean' verdict under loss is reported
+as *known-loss* rather than silently clean.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Deque, List, Optional
 
-from repro.core.config import PIFTConfig
-from repro.core.events import MemoryAccess
+from repro.core.config import BufferConfig, OverflowPolicy, PIFTConfig
+from repro.core.events import AccessKind, MemoryAccess
 from repro.core.ranges import AddressRange
-from repro.core.tracker import PIFTTracker
+from repro.core.tracker import PIFTTracker, TrackerStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.faults import FaultPlan
     from repro.telemetry import Telemetry
 
 
@@ -45,16 +64,24 @@ class BufferStats:
     events_buffered: int = 0
     drains: int = 0
     events_drained: int = 0
-    forced_drops: int = 0  # buffer overflow with drop policy
+    forced_drops: int = 0  # buffer overflow with a drop policy
+    spilled_events: int = 0  # overflow bursts written to secondary memory
+    backpressure_engagements: int = 0  # high-watermark crossings
     max_queue_depth: int = 0
     blocking_checks: int = 0
     blocking_drain_events: int = 0  # events processed while a check waited
     immediate_checks: int = 0
+    degraded_checks: int = 0  # checks answered after forced/faulted loss
     stale_negatives: int = 0  # immediate 'clean' that turned tainted
 
     def as_dict(self) -> dict:
         """JSON-ready form (feeds the telemetry/CLI exporters)."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BufferStats":
+        """Inverse of :meth:`as_dict` (checkpoint restore)."""
+        return cls(**{key: int(value) for key, value in payload.items()})
 
 
 @dataclass(frozen=True)
@@ -64,6 +91,22 @@ class LateDetection:
     sink_name: str
     address_range: AddressRange
     events_behind: int  # how many buffered events the answer was behind
+    degraded: bool = False  # events had been force-dropped by then
+
+
+@dataclass(frozen=True)
+class ImmediateVerdict:
+    """The full answer to an immediate (detection-semantics) sink check.
+
+    ``degraded`` marks a *known-loss* answer: events were force-dropped
+    (overflow policy) or lost to injected faults before this check, so
+    a clean verdict cannot be trusted at full confidence.
+    """
+
+    tainted: bool
+    degraded: bool
+    forced_drops: int  # overflow-policy drops at answer time
+    fault_drops: int  # injected event losses at answer time
 
 
 class BufferedPIFT:
@@ -71,10 +114,21 @@ class BufferedPIFT:
 
     Args:
         config: the tainting-window parameters.
-        capacity: maximum buffered events.  When full, the buffer drains a
-            batch automatically (modelling a hardware FIFO watermark) —
-            taint state lags the CPU by at most ``capacity`` events.
+        capacity: maximum buffered events.  When full, the configured
+            :class:`~repro.core.config.OverflowPolicy` applies — the
+            default ``BLOCK`` drains a batch automatically (modelling a
+            hardware FIFO watermark), so taint state lags the CPU by at
+            most ``capacity`` events.
         drain_batch: events processed per drain step.
+        policy: overflow behaviour when the FIFO is full.
+        high_watermark / low_watermark: backpressure thresholds (defaults:
+            ``capacity`` and half of it).
+        faults: optional :class:`~repro.core.faults.FaultPlan`.  When
+            absent the event path is byte-identical to a fault-free
+            build — the faulted variant is only *bound over*
+            ``on_memory_event`` (as an instance attribute) when a plan
+            is supplied, mirroring the telemetry shadow-method pattern.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` hub.
     """
 
     def __init__(
@@ -83,16 +137,42 @@ class BufferedPIFT:
         capacity: int = 1024,
         drain_batch: int = 256,
         telemetry: Optional["Telemetry"] = None,
+        policy: OverflowPolicy = OverflowPolicy.BLOCK,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if capacity < 1 or drain_batch < 1:
             raise ValueError("capacity and drain_batch must be >= 1")
         self.tracker = PIFTTracker(config, telemetry=telemetry)
         self.capacity = capacity
         self.drain_batch = drain_batch
+        self.policy = policy
+        self._high_watermark = capacity if high_watermark is None else high_watermark
+        if not 1 <= self._high_watermark <= capacity:
+            raise ValueError("high_watermark must be in [1, capacity]")
+        self._low_watermark = (
+            self._high_watermark // 2 if low_watermark is None else low_watermark
+        )
+        if not 0 <= self._low_watermark < self._high_watermark:
+            raise ValueError("low_watermark must be in [0, high_watermark)")
         self.stats = BufferStats()
         self.late_detections: List[LateDetection] = []
         self._queue: Deque[MemoryAccess] = deque()
+        self._spill: Deque[MemoryAccess] = deque()
         self._pending_immediate: List[tuple] = []
+        self._backpressure = False
+        # FIFO sequence accounting: every accepted event gets the next
+        # enqueue ordinal; it is *retired* when drained into the tracker
+        # or force-dropped from the queue.  Events retire in FIFO order,
+        # so a pending immediate check settles once the retire counter
+        # reaches the enqueue counter it saw at answer time.
+        self._enqueue_seq = 0
+        self._retired_seq = 0
+        self._injector = None
+        if faults is not None:
+            self._injector = faults.injector(telemetry=telemetry)
+            self.on_memory_event = self._on_memory_event_with_faults
         self._tel: Optional["Telemetry"] = None
         if telemetry is not None and telemetry.enabled:
             self._tel = telemetry
@@ -108,20 +188,104 @@ class BufferedPIFT:
             self._m_drain_seconds = m.histogram(
                 "buffer.drain_seconds", "drain batch wall time"
             )
+            self._m_forced_drops = m.counter(
+                "buffer.forced_drops", "events lost to the overflow policy"
+            )
+            self._m_spilled = m.counter(
+                "buffer.spilled_events", "events spilled to secondary memory"
+            )
+            self._m_backpressure = m.counter(
+                "buffer.backpressure_engagements", "high-watermark crossings"
+            )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: PIFTConfig,
+        buffer: BufferConfig,
+        telemetry: Optional["Telemetry"] = None,
+        faults: Optional["FaultPlan"] = None,
+    ) -> "BufferedPIFT":
+        """Build from a :class:`~repro.core.config.BufferConfig` bundle."""
+        return cls(
+            config,
+            capacity=buffer.capacity,
+            drain_batch=buffer.drain_batch,
+            telemetry=telemetry,
+            policy=buffer.policy,
+            high_watermark=buffer.effective_high_watermark,
+            low_watermark=buffer.effective_low_watermark,
+            faults=faults,
+        )
 
     # -- front-end side ----------------------------------------------------------
 
     def on_memory_event(self, event: MemoryAccess) -> None:
-        """Append one event; drain a batch when the FIFO hits capacity."""
+        """Append one event; apply the overflow policy when the FIFO is full."""
+        if (
+            self.policy is not OverflowPolicy.BLOCK
+            and len(self._queue) >= self.capacity
+        ):
+            if not self._make_room():
+                return  # DROP_NEWEST refused the incoming event
         self._queue.append(event)
+        self._enqueue_seq += 1
         self.stats.events_buffered += 1
         if len(self._queue) > self.stats.max_queue_depth:
             self.stats.max_queue_depth = len(self._queue)
         if self._tel is not None:
             self._m_events.inc()
             self._m_depth.set(len(self._queue))
-        if len(self._queue) >= self.capacity:
+        self._update_backpressure()
+        if (
+            self.policy is OverflowPolicy.BLOCK
+            and len(self._queue) >= self.capacity
+        ):
             self.drain(self.drain_batch)
+
+    def _on_memory_event_with_faults(self, event: MemoryAccess) -> None:
+        """Fault-path shadow of :meth:`on_memory_event` (instance-bound)."""
+        for delivered in self._injector.feed(event):
+            type(self).on_memory_event(self, delivered)
+
+    def _make_room(self) -> bool:
+        """Apply a non-blocking overflow policy; False rejects the event."""
+        if self.policy is OverflowPolicy.DROP_NEWEST:
+            self.stats.forced_drops += 1
+            if self._tel is not None:
+                self._m_forced_drops.inc()
+                self._tel.event("forced_drop", policy=self.policy.value)
+            return False
+        if self.policy is OverflowPolicy.DROP_OLDEST:
+            self._queue.popleft()
+            self._retired_seq += 1
+            self.stats.forced_drops += 1
+            if self._tel is not None:
+                self._m_forced_drops.inc()
+                self._tel.event("forced_drop", policy=self.policy.value)
+            return True
+        # SPILL: burst-write the oldest drain_batch events to main memory.
+        burst = min(self.drain_batch, len(self._queue))
+        for _ in range(burst):
+            self._spill.append(self._queue.popleft())
+        self.stats.spilled_events += burst
+        if self._tel is not None:
+            self._m_spilled.inc(burst)
+            self._tel.event("spill", events=burst, spill_depth=len(self._spill))
+        return True
+
+    def _update_backpressure(self) -> None:
+        depth = len(self._queue)
+        if not self._backpressure and depth >= self._high_watermark:
+            self._backpressure = True
+            self.stats.backpressure_engagements += 1
+            if self._tel is not None:
+                self._m_backpressure.inc()
+                self._tel.event("backpressure_on", depth=depth)
+        elif self._backpressure and depth <= self._low_watermark:
+            self._backpressure = False
+            if self._tel is not None:
+                self._tel.event("backpressure_off", depth=depth)
 
     def taint_source(self, address_range: AddressRange, pid: int = 0) -> None:
         """Source registration is synchronous (it is rare — paper §3.3)."""
@@ -134,12 +298,50 @@ class BufferedPIFT:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def spill_depth(self) -> int:
+        """Events waiting in the secondary (main-memory) spill queue."""
+        return len(self._spill)
+
+    @property
+    def backpressure(self) -> bool:
+        """True while the FIFO sits above the high watermark."""
+        return self._backpressure
+
+    @property
+    def degraded(self) -> bool:
+        """True once taint information was lost — to the overflow policy
+        (forced drops) or to a lossy fault (event drop, address
+        corruption, state drop, eviction storm)."""
+        if self.stats.forced_drops:
+            return True
+        injector = self._injector
+        return injector is not None and injector.stats.information_lost
+
+    @property
+    def fault_stats(self):
+        """The injector's :class:`~repro.core.faults.FaultStats`, or None."""
+        return self._injector.stats if self._injector is not None else None
+
     def drain(self, batch: Optional[int] = None) -> int:
-        """Process up to ``batch`` queued events (all of them if None)."""
-        limit = len(self._queue) if batch is None else min(batch, len(self._queue))
+        """Process up to ``batch`` queued events (all of them if None).
+
+        Spilled events are worked through first — they are the oldest,
+        and FIFO order must hold for reconciliation.
+        """
+        available = len(self._spill) + len(self._queue)
+        limit = available if batch is None else min(batch, available)
         started = time.perf_counter() if self._tel is not None else 0.0
+        injector = self._injector
+        spill = self._spill
+        queue = self._queue
+        observe = self.tracker.observe
         for _ in range(limit):
-            self.tracker.observe(self._queue.popleft())
+            event = spill.popleft() if spill else queue.popleft()
+            observe(event)
+            self._retired_seq += 1
+            if injector is not None:
+                injector.state_faults(self.tracker, event.pid)
         if limit:
             self.stats.drains += 1
             self.stats.events_drained += limit
@@ -155,6 +357,7 @@ class BufferedPIFT:
                 remaining=len(self._queue),
                 duration_us=round(elapsed * 1e6, 3),
             )
+        self._update_backpressure()
         self._reconcile_immediate_checks()
         return limit
 
@@ -166,8 +369,10 @@ class BufferedPIFT:
     def check_blocking(self, address_range: AddressRange, pid: int = 0) -> bool:
         """Prevention semantics: wait for the buffer, then answer."""
         self.stats.blocking_checks += 1
-        self.stats.blocking_drain_events += len(self._queue)
+        self.stats.blocking_drain_events += len(self._queue) + len(self._spill)
         self.drain_all()
+        if self.degraded:
+            self.stats.degraded_checks += 1
         return self.tracker.check(address_range, pid=pid)
 
     def check_immediate(
@@ -176,25 +381,127 @@ class BufferedPIFT:
         """Detection semantics: answer now from possibly-stale state.
 
         A 'clean' answer is provisional: if the drained events turn the
-        range tainted, a :class:`LateDetection` is recorded.
+        range tainted, a :class:`LateDetection` is recorded.  See
+        :meth:`check_immediate_verdict` for the degraded-confidence
+        (known-loss) variant of the answer.
         """
+        return self.check_immediate_verdict(
+            address_range, pid=pid, sink_name=sink_name
+        ).tainted
+
+    def check_immediate_verdict(
+        self, address_range: AddressRange, pid: int = 0, sink_name: str = ""
+    ) -> ImmediateVerdict:
+        """Like :meth:`check_immediate`, with loss-awareness attached."""
         self.stats.immediate_checks += 1
+        degraded = self.degraded
+        if degraded:
+            self.stats.degraded_checks += 1
         answer = self.tracker.check(address_range, pid=pid)
         if not answer:
+            behind = len(self._queue) + len(self._spill)
             self._pending_immediate.append(
-                (sink_name, address_range, pid, len(self._queue))
+                (sink_name, address_range, pid, behind, self._enqueue_seq)
             )
-        return answer
+        injector = self._injector
+        return ImmediateVerdict(
+            tainted=answer,
+            degraded=degraded,
+            forced_drops=self.stats.forced_drops,
+            fault_drops=injector.stats.events_dropped if injector else 0,
+        )
 
     def _reconcile_immediate_checks(self) -> None:
-        if not self._pending_immediate or self._queue:
-            return  # reconcile only once fully drained
-        still_pending = []
-        for sink_name, address_range, pid, behind in self._pending_immediate:
+        """Settle provisional 'clean' answers whose events have retired.
+
+        A check recorded the enqueue ordinal it saw; once that many
+        events have been drained *or force-dropped* (retirement is FIFO),
+        everything that was in flight at answer time has been resolved
+        and the answer can be settled — even on a partial drain.
+        """
+        if not self._pending_immediate:
+            return
+        retired = self._retired_seq
+        still_pending: List[tuple] = []
+        for pending in self._pending_immediate:
+            sink_name, address_range, pid, behind, barrier = pending
+            if barrier > retired:
+                still_pending.append(pending)
+                continue
             if self.tracker.check(address_range, pid=pid):
                 self.stats.stale_negatives += 1
                 self.late_detections.append(
-                    LateDetection(sink_name, address_range, behind)
+                    LateDetection(
+                        sink_name, address_range, behind, degraded=self.degraded
+                    )
                 )
             # Either way the provisional answer is now settled.
         self._pending_immediate = still_pending
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible checkpoint: tracker + queues + pending checks.
+
+        Captures everything a faulted run needs to resume: the wrapped
+        tracker (delegating to :meth:`PIFTTracker.snapshot`), the FIFO
+        and spill contents, buffer stats, backpressure state, and the
+        provisional immediate checks with their sequence barriers.
+        """
+        def pack(event: MemoryAccess) -> list:
+            return [
+                event.kind.value,
+                event.address_range.start,
+                event.address_range.end,
+                event.instruction_index,
+                event.pid,
+            ]
+
+        return {
+            "tracker": self.tracker.snapshot(),
+            "queue": [pack(event) for event in self._queue],
+            "spill": [pack(event) for event in self._spill],
+            "stats": self.stats.as_dict(),
+            "pending": [
+                [sink, rng.start, rng.end, pid, behind, barrier]
+                for sink, rng, pid, behind, barrier in self._pending_immediate
+            ],
+            "late_detections": [
+                [d.sink_name, d.address_range.start, d.address_range.end,
+                 d.events_behind, d.degraded]
+                for d in self.late_detections
+            ],
+            "backpressure": self._backpressure,
+            "enqueue_seq": self._enqueue_seq,
+            "retired_seq": self._retired_seq,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot` exactly (construction params aside)."""
+        def unpack(packed) -> MemoryAccess:
+            kind, start, end, index, pid = packed
+            return MemoryAccess(
+                AccessKind(kind), AddressRange(int(start), int(end)),
+                int(index), int(pid),
+            )
+
+        self.tracker.restore(snapshot["tracker"])
+        self._queue = deque(unpack(packed) for packed in snapshot["queue"])
+        self._spill = deque(unpack(packed) for packed in snapshot["spill"])
+        self.stats = BufferStats.from_dict(snapshot["stats"])
+        self._pending_immediate = [
+            (sink, AddressRange(int(start), int(end)), int(pid),
+             int(behind), int(barrier))
+            for sink, start, end, pid, behind, barrier in snapshot["pending"]
+        ]
+        self.late_detections = [
+            LateDetection(
+                sink, AddressRange(int(start), int(end)), int(behind),
+                degraded=bool(degraded),
+            )
+            for sink, start, end, behind, degraded
+            in snapshot["late_detections"]
+        ]
+        self._backpressure = bool(snapshot["backpressure"])
+        self._enqueue_seq = int(snapshot["enqueue_seq"])
+        self._retired_seq = int(snapshot["retired_seq"])

@@ -10,7 +10,9 @@ paper's §3.2 option that cuts tainted-region size ~26x (Figure 18).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,75 @@ class PIFTConfig:
     def __str__(self) -> str:
         tag = "untaint" if self.untainting else "no-untaint"
         return f"PIFT(NI={self.window_size}, NT={self.max_propagations}, {tag})"
+
+
+class OverflowPolicy(enum.Enum):
+    """What the buffered design point does when its event FIFO is full.
+
+    The paper's §1 buffered alternative never specifies the overflow
+    behaviour; these are the four realistic hardware responses:
+
+    * ``BLOCK`` — stall the front end and drain a batch (today's
+      drain-on-full; prevention-friendly, costs latency);
+    * ``DROP_OLDEST`` — overwrite the head of the FIFO (a ring buffer);
+      the tracker loses the *stalest* events;
+    * ``DROP_NEWEST`` — refuse the incoming event (a guarded FIFO); the
+      tracker loses the *freshest* events;
+    * ``SPILL`` — write a batch of the oldest events back to main
+      memory (unbounded secondary queue); nothing is lost, but drains
+      must also work through the spill.
+    """
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop_oldest"
+    DROP_NEWEST = "drop_newest"
+    SPILL = "spill"
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Parameters of the §1 buffered (off-critical-path) design point.
+
+    Attributes:
+        capacity: maximum buffered events in the hardware FIFO.
+        drain_batch: events processed per drain step (and per spill
+            burst under :attr:`OverflowPolicy.SPILL`).
+        policy: overflow behaviour when the FIFO is full.
+        high_watermark: FIFO depth at which backpressure engages
+            (default: ``capacity``).
+        low_watermark: depth at which backpressure releases (default:
+            half the high watermark).
+    """
+
+    capacity: int = 1024
+    drain_batch: int = 256
+    policy: OverflowPolicy = OverflowPolicy.BLOCK
+    high_watermark: Optional[int] = None
+    low_watermark: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1 or self.drain_batch < 1:
+            raise ValueError("capacity and drain_batch must be >= 1")
+        high = self.capacity if self.high_watermark is None else self.high_watermark
+        low = high // 2 if self.low_watermark is None else self.low_watermark
+        if not 1 <= high <= self.capacity:
+            raise ValueError(
+                f"high_watermark must be in [1, capacity], got {high}"
+            )
+        if not 0 <= low < high:
+            raise ValueError(
+                f"low_watermark must be in [0, high_watermark), got {low}"
+            )
+
+    @property
+    def effective_high_watermark(self) -> int:
+        return self.capacity if self.high_watermark is None else self.high_watermark
+
+    @property
+    def effective_low_watermark(self) -> int:
+        if self.low_watermark is None:
+            return self.effective_high_watermark // 2
+        return self.low_watermark
 
 
 #: The accuracy-optimal setting from the paper's Figure 11 discussion.

@@ -234,3 +234,31 @@ class RangeSet:
         clone._starts = list(self._starts)
         clone._ends = list(self._ends)
         return clone
+
+    # -- fault injection hook --------------------------------------------
+
+    def drop_nth_range(self, n: int) -> Optional[AddressRange]:
+        """Discard the ``n``-th stored range (modulo size); returns it.
+
+        The generic taint-state loss fault: a tainted range vanishes
+        wholesale, as when a bounded hardware storage drops an entry
+        (:mod:`repro.core.faults`).  Returns ``None`` on an empty set.
+        """
+        if not self._starts:
+            return None
+        idx = n % len(self._starts)
+        victim = AddressRange(self._starts[idx], self._ends[idx])
+        del self._starts[idx]
+        del self._ends[idx]
+        return victim
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible checkpoint of the exact stored ranges."""
+        return {"starts": list(self._starts), "ends": list(self._ends)}
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace contents with a :meth:`snapshot` payload, exactly."""
+        self._starts = [int(v) for v in snapshot["starts"]]
+        self._ends = [int(v) for v in snapshot["ends"]]

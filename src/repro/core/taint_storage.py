@@ -26,6 +26,7 @@ be plugged into :class:`repro.core.tracker.PIFTTracker` via its
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -170,6 +171,81 @@ class BoundedRangeCache:
     @property
     def spilled_range_count(self) -> int:
         return self._secondary.range_count
+
+    # -- fault injection hooks ----------------------------------------------
+
+    def drop_nth_entry(self, n: int) -> Optional[AddressRange]:
+        """Discard the ``n``-th on-chip entry (modulo size); returns it.
+
+        Models a spurious firing of the §3.3 drop policy (single-event
+        upset on a valid bit): the range is lost outright — it does
+        *not* reach secondary storage — and is accounted as a dropped
+        range.  Returns ``None`` when nothing is resident on chip.
+        """
+        entries = self._cache.overlapping(
+            AddressRange(0, (1 << 62))
+        )  # all on-chip entries, sorted
+        if not entries:
+            return None
+        victim = entries[n % len(entries)]
+        self._lru.pop((victim.start, victim.end), None)
+        self._cache.remove(victim)
+        self.stats.dropped_ranges += 1
+        self.stats.dropped_bytes += victim.size
+        return victim
+
+    def eviction_storm(self, count: int) -> int:
+        """Evict up to ``count`` LRU entries at once; returns how many.
+
+        Models burst write-back pressure (e.g. a context switch forcing
+        the range cache out).  Entries follow the configured policy:
+        spilled to secondary storage, or dropped.
+        """
+        evicted = 0
+        while evicted < count and self._cache.range_count:
+            self._evict_one()
+            evicted += 1
+        return evicted
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible checkpoint of cache, secondary, LRU, and stats."""
+        return {
+            "capacity_entries": self.capacity_entries,
+            "policy": self.policy.value,
+            "granularity_bits": self.granularity_bits,
+            "cache": self._cache.snapshot(),
+            "secondary": self._secondary.snapshot(),
+            "lru": [
+                [start, end, clock]
+                for (start, end), clock in self._lru.items()
+            ],
+            "clock": self._clock,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot` exactly (geometry must match)."""
+        if (
+            int(snapshot["capacity_entries"]) != self.capacity_entries
+            or snapshot["policy"] != self.policy.value
+            or int(snapshot["granularity_bits"]) != self.granularity_bits
+        ):
+            raise ValueError(
+                "snapshot geometry (capacity/policy/granularity) does not "
+                "match this storage instance"
+            )
+        self._cache.restore(snapshot["cache"])
+        self._secondary.restore(snapshot["secondary"])
+        self._lru = {
+            (int(start), int(end)): int(clock)
+            for start, end, clock in snapshot["lru"]
+        }
+        self._clock = int(snapshot["clock"])
+        self.stats = StorageStats(**{
+            key: int(value) for key, value in snapshot["stats"].items()
+        })
 
     # -- internals --------------------------------------------------------
 

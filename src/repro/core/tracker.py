@@ -51,6 +51,12 @@ class TaintStateLike:
     def range_count(self) -> int:  # pragma: no cover
         raise NotImplementedError
 
+    def snapshot(self) -> dict:  # pragma: no cover - checkpoint support
+        raise NotImplementedError
+
+    def restore(self, snapshot: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
 
 @dataclass
 class TimelinePoint:
@@ -86,6 +92,29 @@ class TrackerStats:
     @property
     def total_operations(self) -> int:
         return self.taint_operations + self.untaint_operations
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackerStats":
+        """Inverse of :meth:`as_dict` (checkpoint restore)."""
+        return cls(
+            instructions_observed=int(payload["instructions_observed"]),
+            loads_observed=int(payload["loads_observed"]),
+            stores_observed=int(payload["stores_observed"]),
+            tainted_loads=int(payload["tainted_loads"]),
+            taint_operations=int(payload["taint_operations"]),
+            untaint_operations=int(payload["untaint_operations"]),
+            max_tainted_bytes=int(payload["max_tainted_bytes"]),
+            max_range_count=int(payload["max_range_count"]),
+            timeline=[
+                TimelinePoint(
+                    instruction_index=int(p["instruction_index"]),
+                    tainted_bytes=int(p["tainted_bytes"]),
+                    range_count=int(p["range_count"]),
+                    cumulative_operations=int(p["cumulative_operations"]),
+                )
+                for p in payload["timeline"]
+            ],
+        )
 
     def as_dict(self) -> dict:
         """JSON-ready form (feeds the telemetry/CLI exporters)."""
@@ -238,6 +267,61 @@ class PIFTTracker:
         self._states.clear()
         self._windows.clear()
         self.stats = TrackerStats()
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible checkpoint of config, taint state, and stats.
+
+        Per-process taint states delegate to their own ``snapshot()``
+        (both :class:`~repro.core.ranges.RangeSet` and the bounded
+        :class:`~repro.core.taint_storage.BoundedRangeCache` implement
+        the pair), so a faulted run can be resumed, and long sweeps can
+        checkpoint mid-stream.  Restore with :meth:`restore` on a
+        tracker built with the *same* ``state_factory``.
+        """
+        return {
+            "config": {
+                "window_size": self.config.window_size,
+                "max_propagations": self.config.max_propagations,
+                "untainting": self.config.untainting,
+            },
+            "states": {
+                pid: state.snapshot() for pid, state in self._states.items()
+            },
+            "windows": {
+                pid: {
+                    "last_tainted_load": window.last_tainted_load,
+                    "propagations": window.propagations,
+                    "telemetry_open": window.telemetry_open,
+                }
+                for pid, window in self._windows.items()
+            },
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot` exactly, replacing current state."""
+        config = snapshot["config"]
+        self.config = PIFTConfig(
+            window_size=int(config["window_size"]),
+            max_propagations=int(config["max_propagations"]),
+            untainting=bool(config["untainting"]),
+        )
+        self._states = {}
+        self._windows = {}
+        for pid, payload in snapshot["states"].items():
+            state = self._state_factory()
+            state.restore(payload)
+            self._states[int(pid)] = state
+        for pid, payload in snapshot["windows"].items():
+            last = payload["last_tainted_load"]
+            self._windows[int(pid)] = _WindowState(
+                last_tainted_load=None if last is None else int(last),
+                propagations=int(payload["propagations"]),
+                telemetry_open=bool(payload["telemetry_open"]),
+            )
+        self.stats = TrackerStats.from_dict(snapshot["stats"])
 
     @property
     def tainted_bytes(self) -> int:

@@ -116,9 +116,10 @@ class Telemetry:
         """Create the standard instrument families up front.
 
         Guarantees that a snapshot taken after any run contains at least
-        the ``tracker``, ``buffer``, ``cpu``, ``vm`` and ``manager``
-        families, even for workloads that never exercise a subsystem
-        (e.g. a pure-replay run never builds a ``BufferedPIFT``).
+        the ``tracker``, ``buffer``, ``faults``, ``cpu``, ``vm`` and
+        ``manager`` families, even for workloads that never exercise a
+        subsystem (e.g. a pure-replay run never builds a
+        ``BufferedPIFT``, and most runs inject no faults).
         """
         m = self.metrics
         m.counter("tracker.events", "memory events observed")
@@ -139,6 +140,18 @@ class Telemetry:
         m.gauge("buffer.queue_depth", "current FIFO depth")
         m.histogram("buffer.drain_seconds", "drain batch wall time",
                     buckets=DEFAULT_TIME_BUCKETS)
+        m.counter("buffer.forced_drops", "events lost to the overflow policy")
+        m.counter("buffer.spilled_events", "events spilled to secondary memory")
+        m.counter("buffer.backpressure_engagements", "high-watermark crossings")
+        m.counter("faults.events_dropped", "events lost in flight")
+        m.counter("faults.events_duplicated", "events delivered twice")
+        m.counter("faults.events_reordered", "events released out of order")
+        m.counter("faults.addresses_corrupted",
+                  "events with a flipped address bit")
+        m.counter("faults.state_entries_dropped",
+                  "taint ranges discarded from storage")
+        m.counter("faults.eviction_storms", "bulk LRU evictions injected")
+        m.counter("faults.stall_events", "secondary-storage stalls injected")
         m.counter("cpu.instructions", "instructions retired")
         m.counter("cpu.batches", "instruction batches executed")
         m.histogram("cpu.batch_seconds", "instruction batch wall time",
