@@ -1,0 +1,183 @@
+"""Extension — parallel sweep engine scaling and batch fast-path speedup.
+
+Measures the two performance claims the ``repro.sweep`` engine makes:
+
+1. **Batch fast path** — replaying a recorded suite through
+   ``observe_columns`` is measurably faster than the per-event
+   ``observe`` loop, with identical results.
+2. **Parallel scaling** — fanning a grid across ``--jobs N`` worker
+   processes beats the serial run wall-clock while staying bit-identical.
+
+Runnable two ways:
+
+* under pytest-benchmark (tier-2): ``pytest benchmarks/bench_sweep_scaling.py``
+* standalone: ``PYTHONPATH=src python benchmarks/bench_sweep_scaling.py
+  [--smoke] [--json BENCH_sweep.json]`` — the CI smoke job runs
+  ``--smoke``; the default output file is ``BENCH_sweep.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import PIFTConfig
+from repro.sweep import GridSpec, TraceCache, run_sweep
+
+#: The full measurement grid: 4x4 configs x 2 rates = 32 cells.
+FULL_GRID = GridSpec(
+    window_sizes=(1, 5, 13, 20),
+    propagation_caps=(1, 3, 6, 10),
+    rates=(0.0, 1e-2),
+    seed=1,
+)
+
+#: Reduced grid for the CI smoke job.
+SMOKE_GRID = GridSpec(
+    window_sizes=(5, 13),
+    propagation_caps=(2, 3),
+    rates=(0.0,),
+    seed=1,
+)
+
+
+def primed_cache() -> TraceCache:
+    cache = TraceCache()
+    cache.prime(droidbench=True)
+    cache.prime_replay_state()
+    return cache
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+
+def test_batch_replay_beats_per_event(benchmark, suite_runs):
+    """The column fast path outruns per-event observe on the same work."""
+    from repro.core.events import EventColumns
+    from repro.core.tracker import PIFTTracker
+
+    config = PIFTConfig(13, 3)
+    runs = suite_runs
+    columns = [EventColumns.from_events(app.recorded.trace) for app in runs]
+
+    def per_event():
+        total = 0
+        for app in runs:
+            tracker = PIFTTracker(config)
+            for event in app.recorded.trace:
+                tracker.observe(event)
+            total += tracker.stats.instructions_observed
+        return total
+
+    def batched():
+        total = 0
+        for encoded in columns:
+            tracker = PIFTTracker(config)
+            tracker.observe_batch(encoded)
+            total += tracker.stats.instructions_observed
+        return total
+
+    started = time.perf_counter()
+    baseline = per_event()
+    per_event_seconds = time.perf_counter() - started
+    fast = benchmark.pedantic(batched, rounds=3, iterations=1)
+    assert fast == baseline  # identical accounting, only faster
+    batched_seconds = benchmark.stats.stats.mean
+    speedup = per_event_seconds / batched_seconds
+    print(f"\nbatch fast path: {per_event_seconds:.3f}s per-event vs "
+          f"{batched_seconds:.3f}s batched ({speedup:.2f}x)")
+    benchmark.extra_info["per_event_seconds"] = per_event_seconds
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup > 1.0
+
+
+def test_parallel_sweep_matches_serial(benchmark, suite_runs):
+    """jobs=2 returns byte-identical cells to jobs=1 on a real grid."""
+    cache = TraceCache(droidbench=suite_runs)
+    cache.prime_replay_state()
+    serial = run_sweep(SMOKE_GRID, cache=cache, jobs=1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(SMOKE_GRID, cache=cache, jobs=2),
+        rounds=1, iterations=1,
+    )
+    assert json.dumps(serial.as_dict(), sort_keys=True) == json.dumps(
+        parallel.as_dict(), sort_keys=True
+    )
+
+
+# -- standalone mode ---------------------------------------------------------
+
+
+def measure(grid: GridSpec, jobs_axis, cache: TraceCache) -> dict:
+    """Run the grid at each worker count; verify parity; report timings."""
+    runs = []
+    reference = None
+    for jobs in jobs_axis:
+        result = run_sweep(grid, cache=cache, jobs=jobs)
+        digest = json.dumps(result.as_dict(), sort_keys=True)
+        if reference is None:
+            reference = digest
+        timings = result.timings()
+        timings["identical_to_serial"] = digest == reference
+        runs.append(timings)
+        print(
+            f"jobs={jobs}: {timings['wall_seconds']:.2f}s wall, "
+            f"{len(timings['workers'])} worker pids, "
+            f"identical={timings['identical_to_serial']}",
+            file=sys.stderr,
+        )
+    serial_wall = runs[0]["wall_seconds"]
+    for row in runs:
+        row["speedup_vs_serial"] = (
+            serial_wall / row["wall_seconds"] if row["wall_seconds"] else 0.0
+        )
+    return {
+        "grid_cells": len(grid),
+        "jobs_axis": list(jobs_axis),
+        "runs": runs,
+        "all_identical": all(row["identical_to_serial"] for row in runs),
+        "best_speedup": max(row["speedup_vs_serial"] for row in runs),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PIFT sweep-engine scaling benchmark (standalone mode)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced grid for CI (fewer cells, jobs 1-2)")
+    parser.add_argument("--json", metavar="PATH", default="BENCH_sweep.json",
+                        help="write results here (default BENCH_sweep.json)")
+    args = parser.parse_args(argv)
+
+    cache = primed_cache()
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count() or 1
+    if args.smoke:
+        grid, jobs_axis = SMOKE_GRID, (1, 2)
+    else:
+        grid, jobs_axis = FULL_GRID, (1, 2, min(8, max(2, cpus)))
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "available_cpus": cpus,
+        "scaling": measure(grid, jobs_axis, cache),
+    }
+    print(json.dumps(payload, indent=2))
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    ok = payload["scaling"]["all_identical"]
+    if not args.smoke and cpus > 1:
+        # With real cores available, parallel must beat serial wall-clock.
+        # (On a single-CPU box the pool can only add overhead; parity is
+        # still asserted, the speedup claim is not testable.)
+        ok = ok and payload["scaling"]["best_speedup"] > 1.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

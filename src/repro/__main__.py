@@ -3,7 +3,7 @@
 Commands:
 
 * ``suite``    — run the 57-app DroidBench-style suite at a given (NI, NT)
-* ``sweep``    — the Figure 11 accuracy grid
+* ``sweep``    — parallel experiment grid (Figure 11 by default; ``--jobs N``)
 * ``malware``  — the seven-sample malware scan
 * ``table1``   — regenerate the bytecode-distance table
 * ``trace``    — record the LGRoot trace to a file (for offline analysis)
@@ -129,15 +129,93 @@ def cmd_suite(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    from repro.analysis.accuracy import sweep
-    from repro.apps.droidbench import record_suite
+def _parse_axis(spec: str) -> list:
+    """``'1:21'`` (half-open range) or ``'5,13'`` (explicit values)."""
+    if ":" in spec:
+        low, high = spec.split(":", 1)
+        return list(range(int(low), int(high)))
+    return [int(value) for value in spec.split(",") if value.strip()]
 
-    grid = sweep(record_suite())
-    print("accuracy (%) over NI (columns) x NT (rows):")
-    print(grid.render())
-    window, cap, best = grid.best()
-    print(f"best cell: NI={window}, NT={cap} -> {best * 100:.1f}%")
+
+def cmd_sweep(args) -> int:
+    import numpy as np
+
+    from repro.analysis.accuracy import AccuracyGrid
+    from repro.apps.droidbench import record_suite
+    from repro.sweep import GridSpec, TraceCache, run_sweep
+
+    windows = _parse_axis(args.windows)
+    caps = _parse_axis(args.caps)
+    rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    spec = GridSpec(
+        window_sizes=tuple(windows),
+        propagation_caps=tuple(caps),
+        rates=tuple(rates),
+        site=args.site,
+        untainting=not args.no_untainting,
+        seed=args.fault_seed,
+        seed_policy=args.seed_policy,
+    )
+    telemetry = _make_telemetry(args)
+
+    progress = None
+    if args.progress:
+        def progress(result, done, total):
+            print(
+                f"  [{done}/{total}] NI={result.config.window_size} "
+                f"NT={result.config.max_propagations} rate={result.rate:g} "
+                f"worker={result.worker}",
+                file=sys.stderr,
+            )
+
+    result = run_sweep(
+        spec,
+        cache=TraceCache(droidbench=record_suite(telemetry=telemetry)),
+        jobs=args.jobs,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    if args.json:
+        payload = {
+            "command": "sweep",
+            "site": args.site,
+            "seed": args.fault_seed,
+            **result.as_dict(),
+            "timings": result.timings(),
+        }
+        _finish_telemetry(args, telemetry, payload)
+        print(json.dumps(payload, indent=2))
+        return 0
+    if rates == [0.0]:
+        # The classic Figure 11 heatmap (fault-free grid).
+        grid_values = np.zeros((len(caps), len(windows)))
+        for cell in result.cells:
+            grid_values.flat[cell.index] = cell.accuracy
+        grid = AccuracyGrid(
+            window_sizes=windows, propagation_caps=caps,
+            accuracy=grid_values,
+        )
+        print("accuracy (%) over NI (columns) x NT (rows):")
+        print(grid.render())
+        window, cap, best = grid.best()
+        print(f"best cell: NI={window}, NT={cap} -> {best * 100:.1f}%")
+    else:
+        for cell in result.cells:
+            print(
+                f"  NI={cell.config.window_size:<3d} "
+                f"NT={cell.config.max_propagations:<3d} "
+                f"rate={cell.rate:<8g} "
+                f"accuracy={cell.accuracy * 100:5.1f}%  "
+                f"injections={cell.fault_stats.total_injections}"
+            )
+    timings = result.timings()
+    print(
+        f"{timings['cells']} cells, jobs={timings['jobs']}, "
+        f"{timings['wall_seconds']:.2f}s wall, "
+        f"{timings['events_tracked']} events re-tracked",
+        file=sys.stderr,
+    )
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -262,6 +340,7 @@ def cmd_faults(args) -> int:
         site=args.site,
         base_rates=base_rates,
         malware_runs=malware_runs,
+        jobs=args.jobs,
     )
     latency = detection_latency_table(
         record_lgroot_trace(work=args.work),
@@ -325,7 +404,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(suite, with_json=True)
     suite.set_defaults(func=cmd_suite)
 
-    sweep_cmd = commands.add_parser("sweep", help="Figure 11 accuracy grid")
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="parallel experiment grid (Figure 11 by default)",
+        description="Expand an (NI, NT) x fault-rate grid to cells and "
+                    "evaluate them on the repro.sweep engine; --jobs N "
+                    "fans cells across worker processes with bit-identical "
+                    "results to a serial run.",
+    )
+    sweep_cmd.add_argument(
+        "--windows", default="1:21", metavar="AXIS",
+        help="NI axis: 'lo:hi' half-open range or comma list "
+             "(default 1:21)",
+    )
+    sweep_cmd.add_argument(
+        "--caps", default="1:11", metavar="AXIS",
+        help="NT axis: 'lo:hi' half-open range or comma list "
+             "(default 1:11)",
+    )
+    sweep_cmd.add_argument(
+        "--rates", default="0",
+        help="comma-separated fault rates per (NI, NT) cell (default 0: "
+             "the fault-free Figure 11 grid)",
+    )
+    sweep_cmd.add_argument(
+        "--site", default="event_loss",
+        choices=["event_loss", "event_duplication", "event_reorder",
+                 "address_corruption", "state_drop", "eviction_storm",
+                 "storage_stall"],
+        help="fault site the --rates axis varies (default event_loss)",
+    )
+    sweep_cmd.add_argument("--no-untainting", action="store_true",
+                           help="disable untainting of out-of-window stores")
+    sweep_cmd.add_argument("--fault-seed", type=int, default=1,
+                           help="deterministic fault seed (default 1)")
+    sweep_cmd.add_argument(
+        "--seed-policy", default="shared", choices=["shared", "per_cell"],
+        help="'shared' couples fault draws across cells (common random "
+             "numbers, smooth curves); 'per_cell' derives independent "
+             "seeds (default shared)",
+    )
+    sweep_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: run inline; results are "
+             "identical at any N)",
+    )
+    sweep_cmd.add_argument("--progress", action="store_true",
+                           help="print per-cell progress to stderr")
+    _add_telemetry_arguments(sweep_cmd, with_json=True)
     sweep_cmd.set_defaults(func=cmd_sweep)
 
     malware = commands.add_parser("malware", help="seven-sample malware scan")
@@ -387,6 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="buffer drain batch for the latency table")
     faults.add_argument("--work", type=int, default=16,
                         help="malware background workload size (default 16)")
+    faults.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the degradation sweep (default 1; "
+             "results are identical at any N)",
+    )
     _add_telemetry_arguments(faults, with_json=True)
     faults.set_defaults(func=cmd_faults)
     return parser

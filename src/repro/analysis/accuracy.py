@@ -33,6 +33,19 @@ class AccuracyReport:
     missed_apps: List[str] = field(default_factory=list)
     false_alarm_apps: List[str] = field(default_factory=list)
 
+    def record(self, name: str, leaks: bool, predicted: bool) -> None:
+        """Classify one app's verdict against its ground truth."""
+        if leaks and predicted:
+            self.true_positives += 1
+        elif leaks and not predicted:
+            self.false_negatives += 1
+            self.missed_apps.append(name)
+        elif not leaks and predicted:
+            self.false_positives += 1
+            self.false_alarm_apps.append(name)
+        else:
+            self.true_negatives += 1
+
     @property
     def total(self) -> int:
         return (
@@ -88,17 +101,9 @@ def evaluate_suite(
     """Confusion matrix of PIFT verdicts against ground truth."""
     report = AccuracyReport()
     for app in apps:
-        predicted = evaluate_app(app, config, telemetry=telemetry)
-        if app.leaks and predicted:
-            report.true_positives += 1
-        elif app.leaks and not predicted:
-            report.false_negatives += 1
-            report.missed_apps.append(app.name)
-        elif not app.leaks and predicted:
-            report.false_positives += 1
-            report.false_alarm_apps.append(app.name)
-        else:
-            report.true_negatives += 1
+        report.record(
+            app.name, app.leaks, evaluate_app(app, config, telemetry=telemetry)
+        )
     return report
 
 
@@ -107,15 +112,34 @@ def sweep(
     window_sizes: Sequence[int] = range(1, 21),
     propagation_caps: Sequence[int] = range(1, 11),
     untainting: bool = True,
+    jobs: int = 1,
+    telemetry=None,
+    progress=None,
 ) -> "AccuracyGrid":
-    """The Figure 11 heatmap: accuracy over NI x NT."""
+    """The Figure 11 heatmap: accuracy over NI x NT.
+
+    Runs on the :mod:`repro.sweep` engine: the grid is expanded to cells
+    and evaluated inline (``jobs=1``) or across a worker pool — with
+    identical accuracies either way, since every cell replays the same
+    recorded runs.
+    """
+    from repro.sweep import GridSpec, TraceCache, run_sweep
+
+    spec = GridSpec(
+        window_sizes=tuple(window_sizes),
+        propagation_caps=tuple(propagation_caps),
+        untainting=untainting,
+    )
+    result = run_sweep(
+        spec,
+        cache=TraceCache(droidbench=list(apps)),
+        jobs=jobs,
+        telemetry=telemetry,
+        progress=progress,
+    )
     grid = np.zeros((len(propagation_caps), len(window_sizes)))
-    for row, cap in enumerate(propagation_caps):
-        for column, window in enumerate(window_sizes):
-            config = PIFTConfig(
-                window_size=window, max_propagations=cap, untainting=untainting
-            )
-            grid[row, column] = evaluate_suite(apps, config).accuracy
+    for cell in result.cells:
+        grid.flat[cell.index] = cell.accuracy
     return AccuracyGrid(
         window_sizes=list(window_sizes),
         propagation_caps=list(propagation_caps),

@@ -50,9 +50,9 @@ def faulted_replay(
     """Replay a recorded run with the event stream fed through a fault plan.
 
     Source registrations and sink checks fire at their *recorded*
-    instruction indices — the software stack's view is pristine; only
-    the hardware event stream between the front end and the tracker is
-    perturbed, which is where the fault sites physically live.
+    instruction indices and PIDs — the software stack's view is pristine;
+    only the hardware event stream between the front end and the tracker
+    is perturbed, which is where the fault sites physically live.
     """
     tracker = PIFTTracker(config, state_factory=state_factory, telemetry=telemetry)
     injector = plan.injector(telemetry=telemetry)
@@ -68,7 +68,8 @@ def faulted_replay(
             source_i < len(sources)
             and sources[source_i].instruction_index <= upto_index
         ):
-            tracker.taint_source(sources[source_i].address_range)
+            source = sources[source_i]
+            tracker.taint_source(source.address_range, pid=source.pid)
             source_i += 1
         while (
             check_i < len(checks)
@@ -80,7 +81,8 @@ def faulted_replay(
                     sink_name=check.sink_name,
                     channel=check.channel,
                     instruction_index=check.instruction_index,
-                    tainted=tracker.check(check.address_range),
+                    tainted=tracker.check(check.address_range, pid=check.pid),
+                    pid=check.pid,
                 )
             )
             check_i += 1
@@ -124,17 +126,7 @@ def evaluate_suite_with_faults(
     for app in apps:
         result, stats = faulted_replay(app.recorded, config, plan)
         _accumulate(total, stats)
-        predicted = result.alarm
-        if app.leaks and predicted:
-            report.true_positives += 1
-        elif app.leaks and not predicted:
-            report.false_negatives += 1
-            report.missed_apps.append(app.name)
-        elif not app.leaks and predicted:
-            report.false_positives += 1
-            report.false_alarm_apps.append(app.name)
-        else:
-            report.true_negatives += 1
+        report.record(app.name, app.leaks, result.alarm)
     return report, total
 
 
@@ -232,6 +224,9 @@ def degradation_curve(
     site: str = "event_loss",
     base_rates: Optional[FaultRates] = None,
     malware_runs: Optional[Sequence[AppRun]] = None,
+    jobs: int = 1,
+    telemetry=None,
+    progress=None,
 ) -> DegradationCurve:
     """Sweep one fault site's rate; evaluate the suite at each point.
 
@@ -239,26 +234,48 @@ def degradation_curve(
     by default); ``base_rates`` seeds the other sites (all-zero when
     omitted).  When ``malware_runs`` is given, each point also counts how
     many of those (all-leaky) runs still raise an alarm.
+
+    Points are evaluated by the :mod:`repro.sweep` engine — pass
+    ``jobs > 1`` to fan rates across worker processes; results are
+    identical at any worker count.  (A zero-rate point replays through
+    the batched fast path instead of the fault injector, so its
+    ``fault_stats`` report zero events seen — injections are impossible
+    at rate 0 either way.)
     """
+    from repro.sweep import SweepCell, TraceCache, run_sweep
+
+    cells = [
+        SweepCell(
+            index=index,
+            config=config,
+            rate=rate,
+            site=site,
+            seed=seed,
+            base_rates=base_rates,
+            droidbench=bool(apps),
+            malware=bool(malware_runs),
+        )
+        for index, rate in enumerate(rates)
+    ]
+    cache = TraceCache(
+        droidbench=list(apps) if apps else None,
+        malware=list(malware_runs) if malware_runs else None,
+    )
+    result = run_sweep(
+        cells, cache=cache, jobs=jobs, telemetry=telemetry, progress=progress
+    )
     curve = DegradationCurve(config=config, site=site, seed=seed)
-    base = base_rates or FaultRates()
-    for rate in rates:
-        plan = FaultPlan(seed=seed, rates=base).with_rates(**{site: rate})
-        point = DegradationPoint(rate=rate, config=config)
-        if apps:
-            point.report, point.fault_stats = evaluate_suite_with_faults(
-                apps, config, plan
+    for cell in result.cells:
+        curve.points.append(
+            DegradationPoint(
+                rate=cell.rate,
+                config=config,
+                report=cell.report,
+                malware_detected=cell.malware_detected,
+                malware_total=cell.malware_total,
+                fault_stats=cell.fault_stats,
             )
-        if malware_runs:
-            detected = 0
-            for run in malware_runs:
-                result, stats = faulted_replay(run.recorded, config, plan)
-                detected += int(result.alarm)
-                if not apps:
-                    _accumulate(point.fault_stats, stats)
-            point.malware_detected = detected
-            point.malware_total = len(malware_runs)
-        curve.points.append(point)
+        )
     return curve
 
 
@@ -268,14 +285,48 @@ def degradation_grid(
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = 1,
     site: str = "event_loss",
+    jobs: int = 1,
 ) -> Dict[Tuple[int, int], DegradationCurve]:
-    """One degradation curve per ``(NI, NT)`` cell."""
-    return {
-        (config.window_size, config.max_propagations): degradation_curve(
-            apps, config, rates=rates, seed=seed, site=site
+    """One degradation curve per ``(NI, NT)`` cell.
+
+    The whole ``configs × rates`` product is flattened into a single
+    sweep, so ``jobs`` parallelises across cells of *all* curves at once.
+    """
+    from repro.sweep import SweepCell, TraceCache, run_sweep
+
+    configs = list(configs)
+    rates = list(rates)
+    cells = [
+        SweepCell(
+            index=index,
+            config=config,
+            rate=rate,
+            site=site,
+            seed=seed,
         )
-        for config in configs
-    }
+        for index, (config, rate) in enumerate(
+            (config, rate) for config in configs for rate in rates
+        )
+    ]
+    result = run_sweep(
+        cells, cache=TraceCache(droidbench=list(apps)), jobs=jobs
+    )
+    grid: Dict[Tuple[int, int], DegradationCurve] = {}
+    for position, config in enumerate(configs):
+        curve = DegradationCurve(config=config, site=site, seed=seed)
+        for cell in result.cells[
+            position * len(rates):(position + 1) * len(rates)
+        ]:
+            curve.points.append(
+                DegradationPoint(
+                    rate=cell.rate,
+                    config=config,
+                    report=cell.report,
+                    fault_stats=cell.fault_stats,
+                )
+            )
+        grid[(config.window_size, config.max_propagations)] = curve
+    return grid
 
 
 @dataclass
@@ -353,7 +404,8 @@ def detection_latency_table(
                 source_i < len(sources)
                 and sources[source_i].instruction_index <= upto_index
             ):
-                buffered.taint_source(sources[source_i].address_range)
+                source = sources[source_i]
+                buffered.taint_source(source.address_range, pid=source.pid)
                 source_i += 1
             while (
                 check_i < len(checks)
@@ -361,7 +413,8 @@ def detection_latency_table(
             ):
                 check = checks[check_i]
                 verdict = buffered.check_immediate_verdict(
-                    check.address_range, sink_name=check.sink_name
+                    check.address_range, pid=check.pid,
+                    sink_name=check.sink_name,
                 )
                 immediate_positives += int(verdict.tainted)
                 check_i += 1

@@ -4,12 +4,21 @@ The paper's methodology (§5): app executions are traced once on the
 simulator, and "the PIFT analysis code" consumes the trace together with
 the source/sink address ranges.  That makes parameter sweeps cheap — the
 200-point Figure 11/14/17 grids re-run the *tracker*, not the app.
+
+Replay is the sweep hot path, so it is batched: a :class:`ReplayPlan`
+(computed once per recorded run, cached on the run) pre-segments the event
+stream at the instruction indices where source registrations or sink
+checks interleave, and each segment is fed through
+:meth:`~repro.core.tracker.PIFTTracker.observe_columns` over the trace's
+cached column encoding.  Re-tracking the same run under another
+``(NI, NT)`` cell reuses both the plan and the columns — record once,
+replay many.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import PIFTConfig
 from repro.core.ranges import RangeSet
@@ -25,6 +34,7 @@ class SinkOutcome:
     channel: str
     instruction_index: int
     tainted: bool
+    pid: int = 0
 
 
 @dataclass
@@ -39,6 +49,86 @@ class ReplayResult:
     def alarm(self) -> bool:
         """Did any sink check come back tainted (the app-level verdict)?"""
         return any(outcome.tainted for outcome in self.sink_outcomes)
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Config-independent segmentation of a recorded run.
+
+    ``boundaries`` holds ``(event_position, sources_due, checks_due)``
+    triples: before observing the event at ``event_position``, drain that
+    many pending source registrations and sink checks (both in recorded
+    instruction order, sources first — exactly the order the per-event
+    replay loop used).  ``final_sources`` / ``final_checks`` drain after
+    the last event, bounded by the run's total instruction count.
+    """
+
+    sources: Tuple
+    checks: Tuple
+    boundaries: Tuple[Tuple[int, int, int], ...]
+    final_sources: int
+    final_checks: int
+
+
+def build_replay_plan(recorded: RecordedRun) -> ReplayPlan:
+    """Segment ``recorded`` once; every config replays the same plan."""
+    sources = tuple(
+        sorted(recorded.sources, key=lambda s: s.instruction_index)
+    )
+    checks = tuple(
+        sorted(recorded.sink_checks, key=lambda c: c.instruction_index)
+    )
+    boundaries: List[Tuple[int, int, int]] = []
+    source_i = check_i = 0
+    for position, event in enumerate(recorded.trace):
+        upto = event.instruction_index
+        sources_due = checks_due = 0
+        while (
+            source_i < len(sources)
+            and sources[source_i].instruction_index <= upto
+        ):
+            sources_due += 1
+            source_i += 1
+        while (
+            check_i < len(checks)
+            and checks[check_i].instruction_index <= upto
+        ):
+            checks_due += 1
+            check_i += 1
+        if sources_due or checks_due:
+            boundaries.append((position, sources_due, checks_due))
+    upto = recorded.instruction_count
+    final_sources = final_checks = 0
+    while (
+        source_i < len(sources)
+        and sources[source_i].instruction_index <= upto
+    ):
+        final_sources += 1
+        source_i += 1
+    while check_i < len(checks) and checks[check_i].instruction_index <= upto:
+        final_checks += 1
+        check_i += 1
+    return ReplayPlan(
+        sources=sources,
+        checks=checks,
+        boundaries=tuple(boundaries),
+        final_sources=final_sources,
+        final_checks=final_checks,
+    )
+
+
+def replay_plan_for(recorded: RecordedRun) -> ReplayPlan:
+    """The run's cached plan, rebuilt if the run grew since last use."""
+    cached = getattr(recorded, "_replay_plan", None)
+    key = (
+        len(recorded.sources),
+        len(recorded.sink_checks),
+        len(recorded.trace),
+    )
+    if cached is None or cached[0] != key:
+        recorded._replay_plan = (key, build_replay_plan(recorded))
+        cached = recorded._replay_plan
+    return cached[1]
 
 
 def replay_with_provenance(
@@ -67,7 +157,9 @@ def replay_with_provenance(
             and sources[source_i].instruction_index <= upto_index
         ):
             source = sources[source_i]
-            tracker.taint_source(source.source_name, source.address_range)
+            tracker.taint_source(
+                source.source_name, source.address_range, pid=source.pid
+            )
             source_i += 1
         while (
             check_i < len(checks)
@@ -75,7 +167,7 @@ def replay_with_provenance(
         ):
             check = checks[check_i]
             outcomes[order[id(check)]] = tracker.check(
-                check.address_range, sink_name=check.sink_name
+                check.address_range, pid=check.pid, sink_name=check.sink_name
             )
             check_i += 1
 
@@ -96,7 +188,9 @@ def replay(
     """Feed a recorded run through a fresh tracker in instruction order.
 
     Source registrations and sink checks interleave with the memory-event
-    stream at the instruction indices they originally occurred at.
+    stream at the instruction indices (and PIDs) they originally occurred
+    at; the event segments between them run through the batched column
+    path.
     """
     tracker = PIFTTracker(
         config,
@@ -105,36 +199,38 @@ def replay(
         telemetry=telemetry,
     )
     result = ReplayResult(config=config, stats=tracker.stats)
-    sources = sorted(recorded.sources, key=lambda s: s.instruction_index)
-    checks = sorted(recorded.sink_checks, key=lambda c: c.instruction_index)
-    source_i = 0
-    check_i = 0
+    plan = replay_plan_for(recorded)
+    sources = plan.sources
+    checks = plan.checks
+    taint_source = tracker.taint_source
+    check_taint = tracker.check
+    outcomes = result.sink_outcomes
+    source_i = check_i = 0
 
-    def drain_pending(upto_index: int) -> None:
+    def drain(sources_due: int, checks_due: int) -> None:
         nonlocal source_i, check_i
-        while (
-            source_i < len(sources)
-            and sources[source_i].instruction_index <= upto_index
-        ):
-            tracker.taint_source(sources[source_i].address_range)
-            source_i += 1
-        while (
-            check_i < len(checks)
-            and checks[check_i].instruction_index <= upto_index
-        ):
-            check = checks[check_i]
-            result.sink_outcomes.append(
+        for source in sources[source_i:source_i + sources_due]:
+            taint_source(source.address_range, pid=source.pid)
+        source_i += sources_due
+        for check in checks[check_i:check_i + checks_due]:
+            outcomes.append(
                 SinkOutcome(
                     sink_name=check.sink_name,
                     channel=check.channel,
                     instruction_index=check.instruction_index,
-                    tainted=tracker.check(check.address_range),
+                    tainted=check_taint(check.address_range, pid=check.pid),
+                    pid=check.pid,
                 )
             )
-            check_i += 1
+        check_i += checks_due
 
-    for event in recorded.trace:
-        drain_pending(event.instruction_index)
-        tracker.observe(event)
-    drain_pending(recorded.instruction_count)
+    columns = recorded.trace.columns()
+    position = 0
+    for boundary, sources_due, checks_due in plan.boundaries:
+        if boundary > position:
+            tracker.observe_columns(columns, position, boundary)
+            position = boundary
+        drain(sources_due, checks_due)
+    tracker.observe_columns(columns, position, len(columns))
+    drain(plan.final_sources, plan.final_checks)
     return result

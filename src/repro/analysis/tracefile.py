@@ -20,7 +20,11 @@ from repro.core.ranges import AddressRange
 from repro.android.device import RecordedRun, SinkCheck, SourceRegistration
 
 FORMAT_NAME = "pift-trace"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Older versions this reader still accepts.  Version 2 lacks ``pid``
+#: fields on sources/sink checks (implicitly PID 0).
+COMPATIBLE_VERSIONS = (2, FORMAT_VERSION)
 
 
 class TraceFormatError(ValueError):
@@ -86,6 +90,7 @@ def save_recorded_run(recorded: RecordedRun, path: Union[str, Path]) -> Path:
                 "size": source.address_range.size,
                 "index": source.instruction_index,
                 "name": source.source_name,
+                "pid": source.pid,
             }
             for source in recorded.sources
         ],
@@ -96,6 +101,7 @@ def save_recorded_run(recorded: RecordedRun, path: Union[str, Path]) -> Path:
                 "index": check.instruction_index,
                 "name": check.sink_name,
                 "channel": check.channel,
+                "pid": check.pid,
             }
             for check in recorded.sink_checks
         ],
@@ -115,10 +121,10 @@ def load_recorded_run(path: Union[str, Path]) -> RecordedRun:
         raise TraceFormatError(f"cannot read {path}: {error}") from error
     if document.get("format") != FORMAT_NAME:
         raise TraceFormatError(f"{path} is not a {FORMAT_NAME} file")
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in COMPATIBLE_VERSIONS:
         raise TraceFormatError(
             f"{path} has version {document.get('version')}, "
-            f"expected {FORMAT_VERSION}"
+            f"expected one of {COMPATIBLE_VERSIONS}"
         )
     recorded = RecordedRun(trace=_decode_events(document["events"]))
     for source in document["sources"]:
@@ -127,6 +133,7 @@ def load_recorded_run(path: Union[str, Path]) -> RecordedRun:
                 AddressRange.from_base_size(source["start"], source["size"]),
                 source["index"],
                 source["name"],
+                pid=source.get("pid", 0),
             )
         )
     for check in document["sink_checks"]:
@@ -136,6 +143,7 @@ def load_recorded_run(path: Union[str, Path]) -> RecordedRun:
                 check["index"],
                 check["name"],
                 check["channel"],
+                pid=check.get("pid", 0),
             )
         )
     return recorded

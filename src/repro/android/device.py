@@ -44,11 +44,16 @@ from repro.android.framework import (
 
 @dataclass(frozen=True)
 class SourceRegistration:
-    """One tainted range, with the instruction index it appeared at."""
+    """One tainted range, with the instruction index it appeared at.
+
+    ``pid`` is the process the registration targeted; replay paths must
+    forward it, or multi-process runs collapse onto PID 0's taint state.
+    """
 
     address_range: AddressRange
     instruction_index: int
     source_name: str
+    pid: int = 0
 
 
 @dataclass(frozen=True)
@@ -59,6 +64,7 @@ class SinkCheck:
     instruction_index: int
     sink_name: str
     channel: str
+    pid: int = 0
 
 
 @dataclass
@@ -157,8 +163,9 @@ class AndroidDevice:
                     device.recorded.sources.append(
                         SourceRegistration(
                             address_range,
-                            device.cpu.instruction_count(),
+                            device.cpu.instruction_count(pid),
                             source_name,
+                            pid=pid,
                         )
                     )
                 super().register_source(source_name, value, pid=pid)
@@ -168,9 +175,10 @@ class AndroidDevice:
                     device.recorded.sink_checks.append(
                         SinkCheck(
                             address_range,
-                            device.cpu.instruction_count(),
+                            device.cpu.instruction_count(pid),
                             sink_name,
                             _channel_of(sink_name),
+                            pid=pid,
                         )
                     )
                 return super().check_sink(sink_name, value, pid=pid)

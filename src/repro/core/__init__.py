@@ -30,7 +30,14 @@ from repro.core.config import (
     OverflowPolicy,
     PIFTConfig,
 )
-from repro.core.events import AccessKind, EventTrace, MemoryAccess, load, store
+from repro.core.events import (
+    AccessKind,
+    EventColumns,
+    EventTrace,
+    MemoryAccess,
+    load,
+    store,
+)
 from repro.core.faults import (
     FaultInjector,
     FaultPlan,
@@ -79,6 +86,7 @@ __all__ = [
     "CommandResponse",
     "ENTRY_BYTES_WITHOUT_PID",
     "ENTRY_BYTES_WITH_PID",
+    "EventColumns",
     "EventTrace",
     "EvictionPolicy",
     "FaultInjector",

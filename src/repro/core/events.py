@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.ranges import AddressRange
 
@@ -62,21 +62,92 @@ def store(start: int, end: int, instruction_index: int, pid: int = 0) -> MemoryA
     return MemoryAccess(AccessKind.STORE, AddressRange(start, end), instruction_index, pid)
 
 
+class EventColumns:
+    """A pre-encoded column view of an event stream — the batch fast path.
+
+    ``PIFTTracker.observe_columns`` iterates these parallel lists instead
+    of per-event attribute chains (``event.pid``, ``event.is_load``, ...),
+    which is where most of the per-event Python overhead lives.  Encode
+    once (``EventTrace.columns()`` caches the encoding), replay many times
+    — the record-once/replay-many shape every ``(NI, NT)`` sweep has.
+    """
+
+    __slots__ = ("events", "is_loads", "ranges", "indices", "pids")
+
+    def __init__(
+        self,
+        events: Sequence[MemoryAccess],
+        is_loads: List[bool],
+        ranges: List[AddressRange],
+        indices: List[int],
+        pids: List[int],
+    ) -> None:
+        self.events = events
+        self.is_loads = is_loads
+        self.ranges = ranges
+        self.indices = indices
+        self.pids = pids
+
+    @classmethod
+    def from_events(cls, events: Iterable[MemoryAccess]) -> "EventColumns":
+        materialised = list(events)
+        is_loads: List[bool] = []
+        ranges: List[AddressRange] = []
+        indices: List[int] = []
+        pids: List[int] = []
+        for event in materialised:
+            is_loads.append(event.kind is AccessKind.LOAD)
+            ranges.append(event.address_range)
+            indices.append(event.instruction_index)
+            pids.append(event.pid)
+        return cls(materialised, is_loads, ranges, indices, pids)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
 class EventTrace:
     """A materialised sequence of memory events plus the total instruction count.
 
     The total count matters because metrics such as the paper's Figure 2c
     (distance between consecutive loads) and the tainting window itself are
     measured in *instructions*, of which memory events are a strict subset.
+
+    Instruction indices are *per process* (§3.3), so the total instruction
+    count of a multi-process trace is the **sum of per-PID maxima**, not the
+    single highest index seen; a per-PID high-water dict keeps the sum
+    exact.  Non-memory instructions (which generate no event) are accounted
+    via :meth:`note_instruction`.
     """
 
     def __init__(self, events: Iterable[MemoryAccess] = (), instruction_count: int = 0) -> None:
         self.events: List[MemoryAccess] = list(events)
-        if self.events:
-            highest = max(e.instruction_index for e in self.events) + 1
-        else:
-            highest = 0
-        self.instruction_count = max(instruction_count, highest)
+        self._retired: Dict[int, int] = {}
+        for event in self.events:
+            if event.instruction_index >= self._retired.get(event.pid, 0):
+                self._retired[event.pid] = event.instruction_index + 1
+        self._floor = instruction_count
+        self._columns: Optional[EventColumns] = None
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions across all processes (sum of per-PID maxima)."""
+        return max(self._floor, sum(self._retired.values()))
+
+    @instruction_count.setter
+    def instruction_count(self, value: int) -> None:
+        # Legacy direct assignment acts as a floor on the derived total.
+        self._floor = value
+
+    @property
+    def per_pid_instruction_counts(self) -> Dict[int, int]:
+        """Instructions retired per PID (max index + 1 for each process)."""
+        return dict(self._retired)
+
+    def note_instruction(self, instruction_index: int, pid: int = 0) -> None:
+        """Account a non-memory instruction (advances the PID's counter)."""
+        if instruction_index >= self._retired.get(pid, 0):
+            self._retired[pid] = instruction_index + 1
 
     def __len__(self) -> int:
         return len(self.events)
@@ -86,8 +157,22 @@ class EventTrace:
 
     def append(self, event: MemoryAccess) -> None:
         self.events.append(event)
-        if event.instruction_index >= self.instruction_count:
-            self.instruction_count = event.instruction_index + 1
+        if event.instruction_index >= self._retired.get(event.pid, 0):
+            self._retired[event.pid] = event.instruction_index + 1
+        self._columns = None
+
+    def columns(self) -> EventColumns:
+        """The cached column encoding (rebuilt after any :meth:`append`)."""
+        if self._columns is None or len(self._columns) != len(self.events):
+            self._columns = EventColumns.from_events(self.events)
+        return self._columns
+
+    def __getstate__(self) -> dict:
+        # The column cache is derived data; drop it so pickled traces
+        # (sweep-worker payloads) don't carry it twice.
+        state = self.__dict__.copy()
+        state["_columns"] = None
+        return state
 
     @property
     def load_count(self) -> int:

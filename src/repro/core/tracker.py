@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import PIFTConfig
-from repro.core.events import MemoryAccess
+from repro.core.events import EventColumns, EventTrace, MemoryAccess
 from repro.core.ranges import AddressRange, RangeSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
@@ -77,6 +77,10 @@ class TrackerStats:
     Figure 14/15/18's metric and ``max_range_count`` Figure 17/19's.
     An untaint is only counted as an operation when it actually removed
     tainted bytes (a store over never-tainted memory is a no-op).
+
+    ``instructions_observed`` sums the per-PID instruction high-water
+    marks (instruction indices are per process, §3.3), so multi-process
+    traces count every process's instructions, not just the busiest one's.
     """
 
     instructions_observed: int = 0
@@ -146,6 +150,11 @@ class _WindowState:
 
     last_tainted_load: Optional[int] = None  # LTLT; None encodes -infinity
     propagations: int = 0  # n_t
+    #: Per-PID instruction high-water mark (max index + 1).  Instruction
+    #: indices are per process (§3.3), so the tracker-wide
+    #: ``stats.instructions_observed`` is the *sum* of these, never a
+    #: single global high-water mark.
+    instructions_retired: int = 0
     #: Telemetry-only bookkeeping: has a window_open event been emitted for
     #: the currently live window?  Never touched when telemetry is off.
     telemetry_open: bool = False
@@ -293,6 +302,7 @@ class PIFTTracker:
                 pid: {
                     "last_tainted_load": window.last_tainted_load,
                     "propagations": window.propagations,
+                    "instructions_retired": window.instructions_retired,
                     "telemetry_open": window.telemetry_open,
                 }
                 for pid, window in self._windows.items()
@@ -319,9 +329,18 @@ class PIFTTracker:
             self._windows[int(pid)] = _WindowState(
                 last_tainted_load=None if last is None else int(last),
                 propagations=int(payload["propagations"]),
+                instructions_retired=int(payload.get("instructions_retired", 0)),
                 telemetry_open=bool(payload["telemetry_open"]),
             )
         self.stats = TrackerStats.from_dict(snapshot["stats"])
+
+    @property
+    def instructions_per_pid(self) -> Dict[int, int]:
+        """Instructions retired per PID (max index + 1 for each process)."""
+        return {
+            pid: window.instructions_retired
+            for pid, window in self._windows.items()
+        }
 
     @property
     def tainted_bytes(self) -> int:
@@ -342,8 +361,9 @@ class PIFTTracker:
         state = self.state(event.pid)
         window = self._windows[event.pid]
         k = event.instruction_index
-        if k >= self.stats.instructions_observed:
-            self.stats.instructions_observed = k + 1
+        if k >= window.instructions_retired:
+            self.stats.instructions_observed += k + 1 - window.instructions_retired
+            window.instructions_retired = k + 1
 
         if event.is_load:
             self.stats.loads_observed += 1
@@ -370,10 +390,144 @@ class PIFTTracker:
                     self._after_mutation(event.pid, k)
 
     def run(self, events: Iterable[MemoryAccess]) -> TrackerStats:
-        """Feed a whole event stream through :meth:`observe`."""
-        for event in events:
-            self.observe(event)
+        """Feed a whole event stream through the batch fast path."""
+        self.observe_batch(events)
         return self.stats
+
+    # -- batch fast path --------------------------------------------------
+
+    def observe_batch(self, events: Iterable[MemoryAccess]) -> None:
+        """Process a whole event run with per-event overhead hoisted out.
+
+        Semantically identical to calling :meth:`observe` per event
+        (parity-tested, ``tests/property/test_batch_parity.py``), but the
+        attribute lookups, per-PID dict probes, and window-bound reads are
+        lifted out of the loop, which makes replay-heavy ``(NI, NT)``
+        sweeps measurably faster.  With a live telemetry hub attached the
+        per-event instrumented path is used instead, so event streams and
+        counters stay exact.
+        """
+        if "observe" in self.__dict__:
+            # Telemetry (or another shadow) is bound over observe; the
+            # batch loop would bypass it.  Fall back to per-event calls.
+            observe = self.observe
+            for event in events:
+                observe(event)
+            return
+        if isinstance(events, EventTrace):
+            columns = events.columns()
+        elif isinstance(events, EventColumns):
+            columns = events
+        else:
+            columns = EventColumns.from_events(events)
+        self.observe_columns(columns)
+
+    def observe_columns(
+        self, columns: EventColumns, start: int = 0, stop: Optional[int] = None
+    ) -> None:
+        """Algorithm 1 over a pre-encoded column slice (``[start, stop)``).
+
+        This is the replay hot loop: one Python frame for the whole slice,
+        locals for the config bounds and stats counters, and taint-state
+        methods re-bound only on PID switches.  Mutation bookkeeping
+        (high-water marks, optional timeline) matches
+        :meth:`_after_mutation` exactly.
+        """
+        if "observe" in self.__dict__:
+            observe = self.observe
+            for event in columns.events[start:stop]:
+                observe(event)
+            return
+        if stop is None:
+            stop = len(columns)
+        window_size = self.config.window_size
+        max_propagations = self.config.max_propagations
+        untainting = self.config.untainting
+        stats = self.stats
+        states = self._states
+        windows = self._windows
+        state_values = states.values()
+        record_timeline = self._record_timeline
+        timeline = stats.timeline
+        is_loads = columns.is_loads
+        ranges = columns.ranges
+        indices = columns.indices
+        pids = columns.pids
+        loads = stats.loads_observed
+        stores = stats.stores_observed
+        tainted_loads = stats.tainted_loads
+        taints = stats.taint_operations
+        untaints = stats.untaint_operations
+        instructions = stats.instructions_observed
+        max_tainted = stats.max_tainted_bytes
+        max_ranges = stats.max_range_count
+        current_pid: Optional[int] = None
+        window: _WindowState = None  # type: ignore[assignment]
+        overlaps = add = remove = None
+        try:
+            for i in range(start, stop):
+                pid = pids[i]
+                if pid != current_pid:
+                    state = states.get(pid)
+                    if state is None:
+                        state = states[pid] = self._state_factory()
+                        windows[pid] = _WindowState()
+                    window = windows[pid]
+                    overlaps = state.overlaps
+                    add = state.add
+                    remove = state.remove
+                    current_pid = pid
+                k = indices[i]
+                if k >= window.instructions_retired:
+                    instructions += k + 1 - window.instructions_retired
+                    window.instructions_retired = k + 1
+                address_range = ranges[i]
+                if is_loads[i]:
+                    loads += 1
+                    if overlaps(address_range):
+                        window.last_tainted_load = k
+                        window.propagations = 0
+                        tainted_loads += 1
+                    continue
+                stores += 1
+                last = window.last_tainted_load
+                if (
+                    last is not None
+                    and k <= last + window_size
+                    and window.propagations < max_propagations
+                ):
+                    add(address_range)
+                    window.propagations += 1
+                    taints += 1
+                elif untainting and overlaps(address_range):
+                    remove(address_range)
+                    untaints += 1
+                else:
+                    continue
+                size = sum(s.total_size for s in state_values)
+                count = sum(s.range_count for s in state_values)
+                if size > max_tainted:
+                    max_tainted = size
+                if count > max_ranges:
+                    max_ranges = count
+                if record_timeline:
+                    timeline.append(
+                        TimelinePoint(
+                            instruction_index=k,
+                            tainted_bytes=size,
+                            range_count=count,
+                            cumulative_operations=taints + untaints,
+                        )
+                    )
+        finally:
+            stats.loads_observed = loads
+            stats.stores_observed = stores
+            stats.tainted_loads = tainted_loads
+            stats.taint_operations = taints
+            stats.untaint_operations = untaints
+            stats.instructions_observed = instructions
+            stats.max_tainted_bytes = max_tainted
+            stats.max_range_count = max_ranges
 
     # -- telemetry shadow methods ---------------------------------------
     #

@@ -145,8 +145,8 @@ class TraceRecorder:
             self.trace.append(
                 MemoryAccess(record.kind, record.address_range, index, pid)
             )
-        elif index >= self.trace.instruction_count:
-            self.trace.instruction_count = index + 1
+        else:
+            self.trace.note_instruction(index, pid)
 
 
 class FullTraceRecorder:

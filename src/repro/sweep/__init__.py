@@ -1,0 +1,39 @@
+"""repro.sweep — the parallel experiment engine.
+
+Declarative experiment grids (:class:`GridSpec` → :class:`SweepCell`)
+evaluated over a record-once/replay-many :class:`TraceCache`, inline or
+across a ``multiprocessing`` pool (:func:`run_sweep`).  Results are
+bit-identical at any worker count; ``--jobs`` only changes wall-clock
+time.  The ``analysis.accuracy`` / ``analysis.degradation`` entry points
+and the ``python -m repro sweep`` CLI are built on this engine.
+"""
+
+from repro.sweep.cache import TraceCache
+from repro.sweep.engine import (
+    CellResult,
+    SweepResult,
+    run_cell,
+    run_sweep,
+)
+from repro.sweep.specs import (
+    STATE_FACTORIES,
+    GridSpec,
+    SweepCell,
+    derive_seed,
+    register_state_factory,
+    resolve_state_factory,
+)
+
+__all__ = [
+    "CellResult",
+    "GridSpec",
+    "STATE_FACTORIES",
+    "SweepCell",
+    "SweepResult",
+    "TraceCache",
+    "derive_seed",
+    "register_state_factory",
+    "resolve_state_factory",
+    "run_cell",
+    "run_sweep",
+]

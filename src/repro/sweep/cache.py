@@ -1,0 +1,105 @@
+"""Record-once / replay-many trace cache for sweep workers.
+
+Simulating an app (spinning up a whole ``AndroidDevice``) is orders of
+magnitude more expensive than re-tracking its recorded event stream, and
+a grid multiplies the replay count, not the simulation count.  The cache
+records each suite exactly once — in the parent process, before any
+worker starts — and every cell replays those same
+:class:`~repro.analysis.accuracy.AppRun` objects, so grid results cannot
+diverge between serial and parallel runs via re-recording.
+
+The cache crosses into pool workers as a plain picklable payload
+(:meth:`payload` / :meth:`from_payload`); under a fork start method the
+pickle cost is skipped entirely and workers share the parent's pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class TraceCache:
+    """Lazily-recorded, shareable store of suite recordings.
+
+    Args:
+        droidbench: pre-recorded DroidBench runs to serve (skips
+            recording); ``None`` records the full 57-app suite on first
+            use.
+        malware: pre-recorded malware runs; ``None`` records the seven
+            samples on first use.
+        malware_work: background workload size used when the cache has
+            to record the malware samples itself.
+    """
+
+    def __init__(
+        self,
+        droidbench: Optional[Sequence] = None,
+        malware: Optional[Sequence] = None,
+        malware_work: int = 16,
+    ) -> None:
+        self._droidbench: Optional[List] = (
+            list(droidbench) if droidbench is not None else None
+        )
+        self._malware: Optional[List] = (
+            list(malware) if malware is not None else None
+        )
+        self.malware_work = malware_work
+        #: How many recording passes this cache performed (observability /
+        #: the record-once regression test).
+        self.recordings = 0
+
+    def droidbench_runs(self) -> List:
+        """The DroidBench suite's recorded runs, recorded at most once."""
+        if self._droidbench is None:
+            from repro.apps.droidbench import record_suite
+
+            self._droidbench = record_suite()
+            self.recordings += 1
+        return self._droidbench
+
+    def malware_runs(self) -> List:
+        """The malware samples' recorded runs, recorded at most once."""
+        if self._malware is None:
+            from repro.analysis.degradation import record_malware_runs
+
+            self._malware = record_malware_runs(work=self.malware_work)
+            self.recordings += 1
+        return self._malware
+
+    def prime(self, droidbench: bool = False, malware: bool = False) -> None:
+        """Force the named suites to be recorded now (parent-side)."""
+        if droidbench:
+            self.droidbench_runs()
+        if malware:
+            self.malware_runs()
+
+    def prime_replay_state(self) -> None:
+        """Pre-build every run's replay plan and column encoding.
+
+        Called once in the parent before forking, so workers inherit the
+        derived structures instead of each rebuilding them.
+        """
+        from repro.analysis.replay import replay_plan_for
+
+        for runs in (self._droidbench, self._malware):
+            for app in runs or ():
+                replay_plan_for(app.recorded)
+                app.recorded.trace.columns()
+
+    # -- worker transfer --------------------------------------------------
+
+    def payload(self) -> Dict:
+        """The picklable form handed to pool-worker initializers."""
+        return {
+            "droidbench": self._droidbench,
+            "malware": self._malware,
+            "malware_work": self.malware_work,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "TraceCache":
+        return cls(
+            droidbench=payload["droidbench"],
+            malware=payload["malware"],
+            malware_work=payload["malware_work"],
+        )

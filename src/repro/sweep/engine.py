@@ -1,0 +1,297 @@
+"""The parallel experiment engine: fan sweep cells across a process pool.
+
+``run_sweep`` takes an iterable of :class:`~repro.sweep.specs.SweepCell`
+(or a :class:`~repro.sweep.specs.GridSpec`) and evaluates every cell,
+either inline (``jobs=1``) or across a ``multiprocessing`` pool.  The
+contract is *bit-identical results at any worker count*: cells are pure
+functions of ``(cell, trace cache)``, the cache is recorded once in the
+parent, per-cell seeds are fixed in the specs, and results are collected
+in submission order — so ``--jobs 8`` may only change wall-clock time,
+never a verdict, a stat, or a fault draw.
+
+Worker-side evaluation mirrors :func:`repro.analysis.degradation
+.degradation_curve`'s per-point logic exactly (the rewired analysis entry
+points delegate here), with one fast path: a cell whose fault plan cannot
+fire replays through the batched
+:func:`~repro.analysis.replay.replay` instead of the per-event injector
+loop — parity between the two is covered by
+``tests/unit/test_faults.py`` and ``tests/property/test_batch_parity.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.core.config import PIFTConfig
+from repro.core.faults import FaultPlan, FaultRates, FaultStats
+from repro.sweep.cache import TraceCache
+from repro.sweep.specs import GridSpec, SweepCell, resolve_state_factory
+
+ProgressCallback = Callable[["CellResult", int, int], None]
+
+
+@dataclass
+class CellResult:
+    """Everything one cell produced.
+
+    ``as_dict`` contains only the deterministic payload — verdicts,
+    stats, fault draws — and is what serial-vs-parallel equality checks
+    compare.  Timing fields (``duration_seconds``, ``worker``) vary run
+    to run and are reported separately.
+    """
+
+    index: int
+    config: PIFTConfig
+    rate: float
+    site: str
+    seed: int
+    state_spec: str
+    report: Optional[object] = None  # AccuracyReport
+    malware_detected: Optional[int] = None
+    malware_total: Optional[int] = None
+    fault_stats: FaultStats = field(default_factory=FaultStats)
+    events_tracked: int = 0
+    operations: int = 0
+    duration_seconds: float = 0.0
+    worker: int = 0
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        return self.report.accuracy if self.report is not None else None
+
+    def as_dict(self) -> dict:
+        payload: dict = {
+            "index": self.index,
+            "ni": self.config.window_size,
+            "nt": self.config.max_propagations,
+            "untainting": self.config.untainting,
+            "rate": self.rate,
+            "site": self.site,
+            "seed": self.seed,
+            "state_spec": self.state_spec,
+            "events_tracked": self.events_tracked,
+            "operations": self.operations,
+            "faults": self.fault_stats.as_dict(),
+        }
+        if self.report is not None:
+            payload["accuracy"] = self.report.accuracy
+            payload["report"] = self.report.as_dict()
+        if self.malware_total is not None:
+            payload["malware_detected"] = self.malware_detected
+            payload["malware_total"] = self.malware_total
+        return payload
+
+
+@dataclass
+class SweepResult:
+    """All cell results plus run-level engine accounting."""
+
+    cells: List[CellResult]
+    jobs: int
+    wall_seconds: float
+
+    def as_dict(self) -> dict:
+        """Deterministic payload only (timings live in :meth:`timings`)."""
+        return {"cells": [cell.as_dict() for cell in self.cells]}
+
+    def timings(self) -> dict:
+        """Non-deterministic run accounting: wall clock and per-worker load."""
+        per_worker: dict = {}
+        for cell in self.cells:
+            row = per_worker.setdefault(
+                cell.worker, {"cells": 0, "events": 0, "busy_seconds": 0.0}
+            )
+            row["cells"] += 1
+            row["events"] += cell.events_tracked
+            row["busy_seconds"] += cell.duration_seconds
+        for row in per_worker.values():
+            row["events_per_second"] = (
+                row["events"] / row["busy_seconds"]
+                if row["busy_seconds"] > 0
+                else 0.0
+            )
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cells": len(self.cells),
+            "events_tracked": sum(c.events_tracked for c in self.cells),
+            "workers": per_worker,
+        }
+
+
+def run_cell(cell: SweepCell, cache: TraceCache) -> CellResult:
+    """Evaluate one cell against the cached recordings (pure, per-seed)."""
+    from repro.analysis.accuracy import AccuracyReport
+    from repro.analysis.degradation import _accumulate, faulted_replay
+    from repro.analysis.replay import replay
+
+    started = time.perf_counter()
+    state_factory = resolve_state_factory(cell.state_spec)
+    plan = FaultPlan(
+        seed=cell.seed, rates=cell.base_rates or FaultRates()
+    ).with_rates(**{cell.site: cell.rate})
+    result = CellResult(
+        index=cell.index,
+        config=cell.config,
+        rate=cell.rate,
+        site=cell.site,
+        seed=cell.seed,
+        state_spec=cell.state_spec,
+    )
+
+    def track(recorded):
+        if plan.enabled:
+            replayed, stats = faulted_replay(
+                recorded, cell.config, plan, state_factory=state_factory
+            )
+        else:
+            replayed = replay(recorded, cell.config, state_factory=state_factory)
+            stats = None
+        result.events_tracked += (
+            replayed.stats.loads_observed + replayed.stats.stores_observed
+        )
+        result.operations += replayed.stats.total_operations
+        return replayed, stats
+
+    if cell.droidbench:
+        report = AccuracyReport()
+        for app in cache.droidbench_runs():
+            replayed, stats = track(app.recorded)
+            if stats is not None:
+                _accumulate(result.fault_stats, stats)
+            report.record(app.name, app.leaks, replayed.alarm)
+        result.report = report
+    if cell.malware:
+        runs = cache.malware_runs()
+        detected = 0
+        for run in runs:
+            replayed, stats = track(run.recorded)
+            detected += int(replayed.alarm)
+            if stats is not None and not cell.droidbench:
+                _accumulate(result.fault_stats, stats)
+        result.malware_detected = detected
+        result.malware_total = len(runs)
+    result.duration_seconds = time.perf_counter() - started
+    result.worker = os.getpid()
+    return result
+
+
+# -- pool plumbing -----------------------------------------------------------
+
+_WORKER_CACHE: Optional[TraceCache] = None
+
+
+def _init_worker(payload: dict) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = TraceCache.from_payload(payload)
+
+
+def _run_cell_in_worker(cell: SweepCell) -> CellResult:
+    assert _WORKER_CACHE is not None, "worker initializer did not run"
+    return run_cell(cell, _WORKER_CACHE)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    return multiprocessing.get_context(method)
+
+
+class _EngineInstruments:
+    """Parent-side telemetry for a sweep run (workers stay silent)."""
+
+    def __init__(self, telemetry) -> None:
+        m = telemetry.metrics
+        self.telemetry = telemetry
+        self.cells = m.counter("sweep.cells", "sweep cells completed")
+        self.events = m.counter(
+            "sweep.events_tracked", "events re-tracked across all cells"
+        )
+        self.cell_seconds = m.histogram(
+            "sweep.cell_seconds", "per-cell evaluation wall time"
+        )
+        self.workers = m.gauge("sweep.jobs", "worker processes in use")
+
+
+def run_sweep(
+    work: Union[GridSpec, Iterable[SweepCell]],
+    cache: Optional[TraceCache] = None,
+    jobs: int = 1,
+    telemetry=None,
+    progress: Optional[ProgressCallback] = None,
+    chunksize: int = 1,
+) -> SweepResult:
+    """Evaluate every cell of ``work``; identical results at any ``jobs``.
+
+    The trace cache is primed (suites recorded, replay plans built) in
+    the parent before any worker exists, then shipped to workers once via
+    the pool initializer.  Results stream back in submission order, so
+    ``progress`` / telemetry see cells as they finish and the returned
+    list is deterministically ordered.
+    """
+    cells = list(work.cells() if isinstance(work, GridSpec) else work)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache = cache or TraceCache()
+    cache.prime(
+        droidbench=any(c.droidbench for c in cells),
+        malware=any(c.malware for c in cells),
+    )
+    cache.prime_replay_state()
+    instruments = None
+    if telemetry is not None and telemetry.enabled:
+        instruments = _EngineInstruments(telemetry)
+        instruments.workers.set(jobs)
+    started = time.perf_counter()
+    results: List[CellResult] = []
+
+    def note(result: CellResult) -> None:
+        results.append(result)
+        if instruments is not None:
+            instruments.cells.inc()
+            instruments.events.inc(result.events_tracked)
+            instruments.cell_seconds.observe(result.duration_seconds)
+            instruments.telemetry.event(
+                "sweep_cell",
+                index=result.index,
+                ni=result.config.window_size,
+                nt=result.config.max_propagations,
+                rate=result.rate,
+                accuracy=result.accuracy,
+                events=result.events_tracked,
+                worker=result.worker,
+                duration_us=round(result.duration_seconds * 1e6, 3),
+            )
+        if progress is not None:
+            progress(result, len(results), len(cells))
+
+    if jobs > 1 and len(cells) > 1:
+        context = _pool_context()
+        with context.Pool(
+            processes=min(jobs, len(cells)),
+            initializer=_init_worker,
+            initargs=(cache.payload(),),
+        ) as pool:
+            for result in pool.imap(
+                _run_cell_in_worker, cells, chunksize=chunksize
+            ):
+                note(result)
+    else:
+        for cell in cells:
+            note(run_cell(cell, cache))
+    wall = time.perf_counter() - started
+    if instruments is not None:
+        instruments.telemetry.event(
+            "sweep_done",
+            cells=len(results),
+            jobs=jobs,
+            duration_us=round(wall * 1e6, 3),
+        )
+    return SweepResult(cells=results, jobs=jobs, wall_seconds=wall)

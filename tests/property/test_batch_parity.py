@@ -1,0 +1,144 @@
+"""Property: the batched tracker fast path is observationally identical
+to per-event ``observe`` — stats, taint state, and sink verdicts — over
+random multi-PID streams, with and without live telemetry."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PIFTConfig
+from repro.core.events import AccessKind, EventColumns, EventTrace, MemoryAccess
+from repro.core.ranges import AddressRange
+from repro.core.tracker import PIFTTracker
+
+SOURCE = AddressRange(0, 15)
+
+events = st.builds(
+    lambda kind, start, size, gap, pid: (kind, start, size, gap, pid),
+    st.sampled_from([AccessKind.LOAD, AccessKind.STORE]),
+    st.integers(0, 400),
+    st.integers(1, 8),
+    st.integers(1, 6),
+    st.integers(0, 3),
+)
+
+configs = st.builds(
+    PIFTConfig,
+    st.integers(1, 20),
+    st.integers(1, 8),
+    st.booleans(),
+)
+
+
+def materialise(raw_events):
+    """Per-PID increasing instruction indices, interleaved arbitrarily."""
+    cursors = {}
+    output = []
+    for kind, start, size, gap, pid in raw_events:
+        cursors[pid] = cursors.get(pid, 0) + gap
+        output.append(
+            MemoryAccess(
+                kind,
+                AddressRange.from_base_size(start, size),
+                cursors[pid],
+                pid,
+            )
+        )
+    return output
+
+
+CHECKS = [
+    (SOURCE, 0), (SOURCE, 2),
+    (AddressRange(0, 500), 1), (AddressRange(100, 140), 3),
+]
+
+
+def fingerprint(tracker: PIFTTracker) -> str:
+    """Byte-exact observable state: stats, taint snapshot, verdicts."""
+    return json.dumps(
+        {
+            "stats": tracker.stats.as_dict(),
+            "state": tracker.snapshot(),
+            "per_pid": tracker.instructions_per_pid,
+            "verdicts": [
+                tracker.check(check, pid=pid) for check, pid in CHECKS
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def run_serial(config, stream, telemetry=None):
+    tracker = PIFTTracker(config, telemetry=telemetry)
+    tracker.taint_source(SOURCE, pid=1)
+    tracker.taint_source(SOURCE, pid=2)
+    for event in stream:
+        tracker.observe(event)
+    return tracker
+
+
+def run_batched(config, stream, telemetry=None, encode=None):
+    tracker = PIFTTracker(config, telemetry=telemetry)
+    tracker.taint_source(SOURCE, pid=1)
+    tracker.taint_source(SOURCE, pid=2)
+    tracker.observe_batch(encode(stream) if encode else stream)
+    return tracker
+
+
+@given(st.lists(events, max_size=120), configs)
+@settings(max_examples=150, deadline=None)
+def test_batch_equals_per_event(raw, config):
+    stream = materialise(raw)
+    assert fingerprint(run_batched(config, stream)) == fingerprint(
+        run_serial(config, stream)
+    )
+
+
+@given(st.lists(events, max_size=80), configs)
+@settings(max_examples=75, deadline=None)
+def test_batch_accepts_every_input_shape(raw, config):
+    """Raw lists, pre-encoded columns, and EventTrace all agree."""
+    stream = materialise(raw)
+    reference = fingerprint(run_serial(config, stream))
+    assert fingerprint(
+        run_batched(config, stream, encode=EventColumns.from_events)
+    ) == reference
+    assert fingerprint(run_batched(config, stream, encode=EventTrace)) == (
+        reference
+    )
+
+
+@given(st.lists(events, max_size=60), configs)
+@settings(max_examples=50, deadline=None)
+def test_batch_equals_per_event_under_telemetry(raw, config):
+    """A live hub rebinds observe(); the batch path must detect the
+    shadow method, fall back, and still match per-event byte-for-byte."""
+    from repro.telemetry import Telemetry
+
+    stream = materialise(raw)
+    serial_hub, batch_hub = Telemetry(), Telemetry()
+    serial = run_serial(config, stream, telemetry=serial_hub)
+    batched = run_batched(config, stream, telemetry=batch_hub)
+    assert fingerprint(batched) == fingerprint(serial)
+    assert json.dumps(batch_hub.snapshot(), sort_keys=True) == json.dumps(
+        serial_hub.snapshot(), sort_keys=True
+    )
+
+
+@given(st.lists(events, max_size=60), st.integers(0, 60), st.integers(0, 60))
+@settings(max_examples=75, deadline=None)
+def test_observe_columns_slices_compose(raw, cut_a, cut_b):
+    """Observing a stream in arbitrary segments equals one whole batch."""
+    config = PIFTConfig(8, 3)
+    stream = materialise(raw)
+    lo, hi = sorted((min(cut_a, len(stream)), min(cut_b, len(stream))))
+    columns = EventColumns.from_events(stream)
+    whole = run_batched(config, stream)
+    split = PIFTTracker(config)
+    split.taint_source(SOURCE, pid=1)
+    split.taint_source(SOURCE, pid=2)
+    split.observe_columns(columns, 0, lo)
+    split.observe_columns(columns, lo, hi)
+    split.observe_columns(columns, hi, len(columns))
+    assert fingerprint(split) == fingerprint(whole)

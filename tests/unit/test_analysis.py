@@ -104,6 +104,61 @@ def make_recorded(leaky: bool) -> RecordedRun:
     return recorded
 
 
+def make_two_pid_recorded() -> RecordedRun:
+    """A leak that only exists inside pid 1; pid 0 stays clean.
+
+    Regression guard: replay used to drop the recorded PIDs and pin every
+    source registration and sink check to pid 0, which both missed the
+    pid-1 leak and could false-alarm pid 0.
+    """
+    events = [
+        load(0x1000, 0x1003, 10, pid=1),
+        store(0x2000, 0x2003, 12, pid=1),
+        load(0x1000, 0x1003, 10, pid=0),   # same addresses, clean process
+        store(0x2000, 0x2003, 12, pid=0),
+    ]
+    recorded = RecordedRun(trace=EventTrace(events, instruction_count=60))
+    recorded.sources.append(
+        SourceRegistration(AddressRange(0x1000, 0x1003), 0, "src", pid=1)
+    )
+    recorded.sink_checks.append(
+        SinkCheck(AddressRange(0x2000, 0x2003), 20, "sink", "sms", pid=1)
+    )
+    recorded.sink_checks.append(
+        SinkCheck(AddressRange(0x2000, 0x2003), 20, "decoy", "sms", pid=0)
+    )
+    return recorded
+
+
+class TestPidPlumbing:
+    def test_replay_routes_sources_and_checks_by_pid(self):
+        result = replay(make_two_pid_recorded(), PIFTConfig(5, 2))
+        verdicts = {o.sink_name: o.tainted for o in result.sink_outcomes}
+        assert verdicts == {"sink": True, "decoy": False}
+        assert {o.pid for o in result.sink_outcomes} == {0, 1}
+
+    def test_faulted_replay_zero_plan_routes_pids_identically(self):
+        from repro.core.faults import FaultPlan
+        from repro.analysis.degradation import faulted_replay
+
+        recorded = make_two_pid_recorded()
+        baseline = replay(recorded, PIFTConfig(5, 2))
+        faulted, stats = faulted_replay(
+            recorded, PIFTConfig(5, 2), FaultPlan(seed=1)
+        )
+        assert stats.total_injections == 0
+        assert faulted.sink_outcomes == baseline.sink_outcomes
+
+    def test_provenance_replay_routes_pids(self):
+        from repro.analysis.replay import replay_with_provenance
+
+        outcomes = replay_with_provenance(
+            make_two_pid_recorded(), PIFTConfig(5, 2)
+        )
+        assert outcomes[0] == frozenset({"src"})  # pid-1 sink sees the leak
+        assert outcomes[1] == frozenset()         # pid-0 decoy stays clean
+
+
 class TestReplay:
     def test_leaky_run_alarms(self):
         result = replay(make_recorded(True), PIFTConfig(5, 2))

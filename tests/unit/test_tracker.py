@@ -190,6 +190,78 @@ class TestPerProcessIsolation:
         assert t.check(AddressRange(0x2000, 0x2003), pid=1)
 
 
+class TestMultiProcessAccounting:
+    """§3.3: instruction counters are per-process, so totals must sum
+    per-PID high-water marks — a single global high-water undercounts."""
+
+    def test_two_pid_instructions_sum_not_max(self):
+        t = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        t.observe(load(0x1000, 0x1003, 99, pid=1))   # pid 1 at k=99
+        t.observe(load(0x5000, 0x5003, 99, pid=2))   # pid 2 also at k=99
+        # 100 instructions retired in EACH process: the regression was
+        # reporting max(100, 100) == 100 instead of 200.
+        assert t.stats.instructions_observed == 200
+        assert t.instructions_per_pid == {1: 100, 2: 100}
+
+    def test_interleaved_pids_never_double_count(self):
+        t = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        for k in range(10):
+            t.observe(load(0x1000, 0x1003, k, pid=1))
+            t.observe(load(0x5000, 0x5003, k, pid=2))
+        assert t.stats.instructions_observed == 20
+        # Replaying an already-retired index must not re-count it.
+        t.observe(load(0x1000, 0x1003, 4, pid=1))
+        assert t.stats.instructions_observed == 20
+
+    def test_snapshot_restore_keeps_per_pid_counters(self):
+        t = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        t.observe(load(0x1000, 0x1003, 7, pid=1))
+        t.observe(load(0x5000, 0x5003, 3, pid=2))
+        payload = t.snapshot()
+        clone = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        clone.restore(payload)
+        assert clone.instructions_per_pid == t.instructions_per_pid
+
+    def test_event_trace_counts_sum_of_per_pid_maxima(self):
+        from repro.core.events import EventTrace
+
+        trace = EventTrace()
+        trace.append(load(0x1000, 0x1003, 49, pid=1))
+        trace.append(load(0x5000, 0x5003, 49, pid=2))
+        assert trace.instruction_count == 100
+        assert trace.per_pid_instruction_counts == {1: 50, 2: 50}
+
+    def test_event_trace_note_instruction_and_floor(self):
+        from repro.core.events import EventTrace
+
+        trace = EventTrace()
+        trace.note_instruction(9, pid=1)    # non-memory instructions
+        trace.note_instruction(4, pid=2)
+        assert trace.instruction_count == 15
+        trace.instruction_count = 40        # legacy assignment is a floor
+        assert trace.instruction_count == 40
+        trace.note_instruction(59, pid=2)
+        assert trace.instruction_count == 70
+
+    def test_batch_path_accounts_like_observe(self):
+        events = [
+            load(0x1000, 0x1003, 99, pid=1),
+            load(0x5000, 0x5003, 99, pid=2),
+            store(0x2000, 0x2003, 100, pid=1),
+        ]
+        serial = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        for event in events:
+            serial.observe(event)
+        batched = PIFTTracker(PIFTConfig(window_size=5, max_propagations=2))
+        batched.observe_batch(events)
+        assert batched.stats.instructions_observed == 201
+        assert (
+            batched.stats.instructions_observed
+            == serial.stats.instructions_observed
+        )
+        assert batched.instructions_per_pid == serial.instructions_per_pid
+
+
 class TestStatsAndTimeline:
     def test_counters(self):
         t = make_tracker(ni=5, nt=2)
