@@ -1,29 +1,46 @@
-"""Extension — parallel sweep engine scaling and batch fast-path speedup.
+"""Extension — sweep scaling, batch fast path, and the vectorised kernel.
 
-Measures the two performance claims the ``repro.sweep`` engine makes:
+Measures the three performance claims the replay stack makes:
 
 1. **Batch fast path** — replaying a recorded suite through
    ``observe_columns`` is measurably faster than the per-event
    ``observe`` loop, with identical results.
 2. **Parallel scaling** — fanning a grid across ``--jobs N`` worker
    processes beats the serial run wall-clock while staying bit-identical.
+3. **Vectorised kernel** — on a long mostly-untainted replay (the
+   regime PIFT targets), the numpy pre-filter kernel
+   (``repro.core.vectorized``) beats the scalar column loop by >= 5x
+   with bit-identical verdicts and stats.
 
 Runnable two ways:
 
 * under pytest-benchmark (tier-2): ``pytest benchmarks/bench_sweep_scaling.py``
 * standalone: ``PYTHONPATH=src python benchmarks/bench_sweep_scaling.py
-  [--smoke] [--json BENCH_sweep.json]`` — the CI smoke job runs
-  ``--smoke``; the default output file is ``BENCH_sweep.json``.
+  [--smoke] [--json BENCH_sweep.json] [--history BENCH_history.jsonl]
+  [--gate]`` — the CI smoke job runs ``--smoke --gate``; every
+  standalone run appends one JSON line to the history file, and
+  ``--gate`` exits non-zero if the kernel speedup regressed more than
+  :data:`REGRESSION_TOLERANCE` against the history baseline.  The gate
+  compares the *dimensionless* vectorised-vs-scalar speedup ratio, not
+  absolute throughput, so it is robust to CI machines of different
+  speeds.
 """
 
 import argparse
 import json
 import os
+import random
 import sys
 import time
+from dataclasses import replace
+from pathlib import Path
 
 from repro.core import PIFTConfig
 from repro.sweep import GridSpec, TraceCache, run_sweep
+
+#: --gate fails when the measured kernel speedup drops below
+#: ``(1 - REGRESSION_TOLERANCE)`` times the history baseline.
+REGRESSION_TOLERANCE = 0.25
 
 #: The full measurement grid: 4x4 configs x 2 rates = 32 cells.
 FULL_GRID = GridSpec(
@@ -47,6 +64,147 @@ def primed_cache() -> TraceCache:
     cache.prime(droidbench=True)
     cache.prime_replay_state()
     return cache
+
+
+# -- vectorised-kernel measurement -------------------------------------------
+
+
+def synthetic_recorded_run(events: int = 150_000, seed: int = 11):
+    """A long, mostly-untainted recorded run — the kernel's target regime.
+
+    One source, periodic tainted loads whose in-window stores land in a
+    small scratch region, periodic wide scratch stores that untaint, and
+    a sea of background accesses in a disjoint heap region.  Taint stays
+    small and localised, so the overwhelming majority of events are
+    irrelevant — exactly the shape of a real app trace between source
+    touches.
+    """
+    from repro.android.device import (
+        RecordedRun, SinkCheck, SourceRegistration,
+    )
+    from repro.core.events import load, store
+    from repro.core.ranges import AddressRange
+
+    rng = random.Random(seed)
+    run = RecordedRun()
+    run.sources.append(
+        SourceRegistration(AddressRange(1000, 1003), 0, "imei")
+    )
+    index = 0
+    for i in range(events):
+        index += rng.randint(1, 3)
+        if i % 5000 == 0:
+            run.trace.append(load(1000, 1003, index))
+        elif i % 5000 < 4:
+            a = 1000 + rng.randrange(0, 1000)
+            run.trace.append(store(a, a + 3, index))
+        elif i % 9000 == 8999:
+            run.trace.append(store(1000, 2000, index))
+        else:
+            a = 100_000 + rng.randrange(0, 1_000_000)
+            maker = load if rng.random() < 0.5 else store
+            run.trace.append(maker(a, a + 3, index))
+    run.trace.note_instruction(index + 1)
+    run.sink_checks.append(
+        SinkCheck(AddressRange(1000, 1063), index + 1, "network", "socket")
+    )
+    return run
+
+
+def _replay_fingerprint(result) -> str:
+    return json.dumps(
+        {
+            "stats": result.stats.as_dict(),
+            "verdicts": [
+                (o.sink_name, o.channel, o.instruction_index, o.pid,
+                 o.tainted)
+                for o in result.sink_outcomes
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def measure_vectorized(events: int = 150_000, rounds: int = 3) -> dict:
+    """Replay the synthetic run scalar vs vectorised; best-of-``rounds``."""
+    from repro.analysis.replay import replay
+
+    recorded = synthetic_recorded_run(events=events)
+    # Warm the one-time caches (column encoding + numpy arrays); both
+    # strategies share them, and best-of-rounds would hide the cost from
+    # whichever strategy runs second anyway.
+    recorded.trace.columns().arrays()
+    config = PIFTConfig(13, 3)
+    timings = {}
+    fingerprints = {}
+    for vectorized in (False, True):
+        cell = replace(config, vectorized=vectorized)
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = replay(recorded, cell)
+            best = min(best, time.perf_counter() - started)
+        timings[vectorized] = best
+        fingerprints[vectorized] = _replay_fingerprint(result)
+    identical = fingerprints[True] == fingerprints[False]
+    speedup = timings[False] / timings[True] if timings[True] else 0.0
+    return {
+        "events": len(recorded.trace),
+        "scalar_seconds": timings[False],
+        "vectorized_seconds": timings[True],
+        "scalar_events_per_second": len(recorded.trace) / timings[False],
+        "vectorized_events_per_second": len(recorded.trace) / timings[True],
+        "speedup": speedup,
+        "identical": identical,
+    }
+
+
+# -- BENCH_history.jsonl + regression gate -----------------------------------
+
+
+def load_history(path: Path) -> list:
+    """All prior records (malformed/foreign lines are skipped)."""
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "vectorized_speedup" in record:
+            records.append(record)
+    return records
+
+
+def append_history(path: Path, record: dict) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def baseline_speedup(history: list) -> float:
+    """The gate baseline: median speedup of the recorded history.
+
+    The median tolerates the odd noisy CI run on either side without
+    letting a slow drift ratchet the baseline downward the way
+    "compare to previous run" would.
+    """
+    speedups = sorted(r["vectorized_speedup"] for r in history)
+    middle = len(speedups) // 2
+    if len(speedups) % 2:
+        return speedups[middle]
+    return (speedups[middle - 1] + speedups[middle]) / 2
+
+
+def check_regression(history: list, current: float) -> tuple:
+    """(ok, baseline) — ok is False when current regressed > tolerance."""
+    if not history:
+        return True, None
+    baseline = baseline_speedup(history)
+    return current >= (1.0 - REGRESSION_TOLERANCE) * baseline, baseline
 
 
 # -- pytest-benchmark entry points ------------------------------------------
@@ -90,6 +248,37 @@ def test_batch_replay_beats_per_event(benchmark, suite_runs):
     benchmark.extra_info["per_event_seconds"] = per_event_seconds
     benchmark.extra_info["speedup"] = speedup
     assert speedup > 1.0
+
+
+def test_vectorized_kernel_speedup(benchmark):
+    """The numpy kernel must beat the scalar loop >= 5x on the synthetic
+    mostly-untainted replay, with bit-identical observable results."""
+    from repro.analysis.replay import replay
+
+    recorded = synthetic_recorded_run(events=120_000)
+    scalar_config = PIFTConfig(13, 3, vectorized=False)
+    vector_config = replace(scalar_config, vectorized=True)
+
+    # Warm the one-time caches (column encoding + numpy arrays) so the
+    # timed rounds compare the replay loops, not trace encoding.
+    recorded.trace.columns().arrays()
+
+    started = time.perf_counter()
+    scalar_result = replay(recorded, scalar_config)
+    scalar_seconds = time.perf_counter() - started
+    vector_result = benchmark.pedantic(
+        lambda: replay(recorded, vector_config), rounds=3, iterations=1
+    )
+    assert _replay_fingerprint(vector_result) == _replay_fingerprint(
+        scalar_result
+    )
+    vector_seconds = benchmark.stats.stats.mean
+    speedup = scalar_seconds / vector_seconds
+    print(f"\nvectorized kernel: {scalar_seconds:.3f}s scalar vs "
+          f"{vector_seconds:.3f}s vectorized ({speedup:.1f}x)")
+    benchmark.extra_info["scalar_seconds"] = scalar_seconds
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 5.0
 
 
 def test_parallel_sweep_matches_serial(benchmark, suite_runs):
@@ -149,6 +338,14 @@ def main(argv=None) -> int:
                         help="reduced grid for CI (fewer cells, jobs 1-2)")
     parser.add_argument("--json", metavar="PATH", default="BENCH_sweep.json",
                         help="write results here (default BENCH_sweep.json)")
+    parser.add_argument("--history", metavar="PATH",
+                        default="BENCH_history.jsonl",
+                        help="append one summary line per run here "
+                             "(default BENCH_history.jsonl)")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail if the vectorized speedup regressed "
+                             f">{REGRESSION_TOLERANCE:.0%} vs the history "
+                             "baseline (median of prior runs)")
     args = parser.parse_args(argv)
 
     cache = primed_cache()
@@ -161,16 +358,52 @@ def main(argv=None) -> int:
     else:
         grid, jobs_axis = FULL_GRID, (1, 2, min(8, max(2, cpus)))
 
+    # Same replay size in both modes, so smoke (CI) and full history
+    # records gate against each other like-for-like.  The measurement is
+    # cheap (~0.3s) — the grid scaling below dominates either way.
+    vectorized = measure_vectorized(events=200_000)
+    print(
+        f"vectorized kernel: {vectorized['speedup']:.1f}x over scalar "
+        f"on {vectorized['events']} events "
+        f"(identical={vectorized['identical']})",
+        file=sys.stderr,
+    )
     payload = {
         "mode": "smoke" if args.smoke else "full",
         "available_cpus": cpus,
+        "vectorized": vectorized,
         "scaling": measure(grid, jobs_axis, cache),
     }
     print(json.dumps(payload, indent=2))
     with open(args.json, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
 
-    ok = payload["scaling"]["all_identical"]
+    history_path = Path(args.history)
+    history = load_history(history_path)
+    gate_ok, baseline = check_regression(history, vectorized["speedup"])
+    append_history(history_path, {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": payload["mode"],
+        "vectorized_speedup": vectorized["speedup"],
+        "vectorized_events_per_second": (
+            vectorized["vectorized_events_per_second"]
+        ),
+        "scalar_events_per_second": vectorized["scalar_events_per_second"],
+        "events": vectorized["events"],
+        "sweep_best_speedup": payload["scaling"]["best_speedup"],
+        "identical": vectorized["identical"],
+    })
+    if baseline is not None:
+        print(
+            f"regression gate: current {vectorized['speedup']:.1f}x vs "
+            f"baseline {baseline:.1f}x (median of {len(history)} runs) "
+            f"-> {'ok' if gate_ok else 'REGRESSED'}",
+            file=sys.stderr,
+        )
+
+    ok = payload["scaling"]["all_identical"] and vectorized["identical"]
+    if args.gate:
+        ok = ok and gate_ok
     if not args.smoke and cpus > 1:
         # With real cores available, parallel must beat serial wall-clock.
         # (On a single-CPU box the pool can only add overhead; parity is

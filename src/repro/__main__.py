@@ -25,6 +25,9 @@ def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
                         help="max propagations per window NT (default 3)")
     parser.add_argument("--no-untainting", action="store_true",
                         help="disable untainting of out-of-window stores")
+    parser.add_argument("--no-vectorized", action="store_true",
+                        help="disable the numpy columnar fast path (force "
+                             "the scalar tracker loop; results identical)")
 
 
 def _add_telemetry_arguments(
@@ -50,7 +53,12 @@ def _add_telemetry_arguments(
 def _config(args):
     from repro.core import PIFTConfig
 
-    return PIFTConfig(args.ni, args.nt, untainting=not args.no_untainting)
+    return PIFTConfig(
+        args.ni,
+        args.nt,
+        untainting=not args.no_untainting,
+        vectorized=not getattr(args, "no_vectorized", False),
+    )
 
 
 def _config_dict(config) -> dict:
@@ -58,6 +66,7 @@ def _config_dict(config) -> dict:
         "ni": config.window_size,
         "nt": config.max_propagations,
         "untainting": config.untainting,
+        "vectorized": config.vectorized,
     }
 
 
@@ -155,6 +164,7 @@ def cmd_sweep(args) -> int:
         untainting=not args.no_untainting,
         seed=args.fault_seed,
         seed_policy=args.seed_policy,
+        vectorized=not args.no_vectorized,
     )
     telemetry = _make_telemetry(args)
 
@@ -436,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--no-untainting", action="store_true",
                            help="disable untainting of out-of-window stores")
+    sweep_cmd.add_argument("--no-vectorized", action="store_true",
+                           help="disable the numpy columnar fast path in "
+                                "every cell (results identical, slower)")
     sweep_cmd.add_argument("--fault-seed", type=int, default=1,
                            help="deterministic fault seed (default 1)")
     sweep_cmd.add_argument(

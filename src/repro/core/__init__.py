@@ -32,6 +32,7 @@ from repro.core.config import (
 )
 from repro.core.events import (
     AccessKind,
+    ColumnArrays,
     EventColumns,
     EventTrace,
     MemoryAccess,
@@ -81,6 +82,7 @@ __all__ = [
     "BufferConfig",
     "BufferStats",
     "BufferedPIFT",
+    "ColumnArrays",
     "Command",
     "CommandRequest",
     "CommandResponse",

@@ -27,11 +27,19 @@ class PIFTConfig:
         untainting: when True, a store that falls outside every tainting
             window (or past the NT cap) has its target range *removed* from
             the taint state, modelling overwrite with non-sensitive data.
+        vectorized: when True (the default) the tracker's batched column
+            path may use the numpy pre-filter kernel
+            (:mod:`repro.core.vectorized`) to skip runs of provably
+            irrelevant events.  An execution-strategy flag, not a
+            semantics knob — results are bit-identical either way
+            (``tests/property/test_batch_parity.py``); the CLI exposes
+            ``--no-vectorized`` as the escape hatch.
     """
 
     window_size: int = 13
     max_propagations: int = 3
     untainting: bool = True
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.window_size < 1:

@@ -62,6 +62,29 @@ def store(start: int, end: int, instruction_index: int, pid: int = 0) -> MemoryA
     return MemoryAccess(AccessKind.STORE, AddressRange(start, end), instruction_index, pid)
 
 
+class ColumnArrays:
+    """Contiguous numpy encodings of an :class:`EventColumns` instance.
+
+    ``starts``/``ends``/``indices``/``pids`` are int64 arrays, ``is_load``
+    is a bool array — the layout the vectorised pre-filter kernel
+    (:mod:`repro.core.vectorized`) runs its ``searchsorted`` overlap
+    tests over.  ``pid_values`` is the sorted tuple of distinct PIDs, so
+    the kernel's per-block classification skips the per-PID machinery
+    entirely on single-process traces.  Built once per column encoding
+    and cached (:meth:`EventColumns.arrays`).
+    """
+
+    __slots__ = ("starts", "ends", "is_load", "indices", "pids", "pid_values")
+
+    def __init__(self, starts, ends, is_load, indices, pids, pid_values) -> None:
+        self.starts = starts
+        self.ends = ends
+        self.is_load = is_load
+        self.indices = indices
+        self.pids = pids
+        self.pid_values = pid_values
+
+
 class EventColumns:
     """A pre-encoded column view of an event stream — the batch fast path.
 
@@ -72,7 +95,7 @@ class EventColumns:
     — the record-once/replay-many shape every ``(NI, NT)`` sweep has.
     """
 
-    __slots__ = ("events", "is_loads", "ranges", "indices", "pids")
+    __slots__ = ("events", "is_loads", "ranges", "indices", "pids", "_arrays")
 
     def __init__(
         self,
@@ -87,6 +110,7 @@ class EventColumns:
         self.ranges = ranges
         self.indices = indices
         self.pids = pids
+        self._arrays: Optional[ColumnArrays] = None
 
     @classmethod
     def from_events(cls, events: Iterable[MemoryAccess]) -> "EventColumns":
@@ -101,6 +125,27 @@ class EventColumns:
             indices.append(event.instruction_index)
             pids.append(event.pid)
         return cls(materialised, is_loads, ranges, indices, pids)
+
+    def arrays(self) -> ColumnArrays:
+        """The cached :class:`ColumnArrays` numpy view (built on first use)."""
+        if self._arrays is None:
+            import numpy
+
+            count = len(self.indices)
+            pids = numpy.fromiter(self.pids, numpy.int64, count)
+            self._arrays = ColumnArrays(
+                starts=numpy.fromiter(
+                    (r.start for r in self.ranges), numpy.int64, count
+                ),
+                ends=numpy.fromiter(
+                    (r.end for r in self.ranges), numpy.int64, count
+                ),
+                is_load=numpy.fromiter(self.is_loads, numpy.bool_, count),
+                indices=numpy.fromiter(self.indices, numpy.int64, count),
+                pids=pids,
+                pid_values=tuple(int(p) for p in numpy.unique(pids)),
+            )
+        return self._arrays
 
     def __len__(self) -> int:
         return len(self.indices)

@@ -122,6 +122,14 @@ class RangeSet:
     def __init__(self, ranges: Iterable[AddressRange] = ()) -> None:
         self._starts: List[int] = []
         self._ends: List[int] = []
+        #: Mutation counter; lets derived views (the numpy mirror used by
+        #: :mod:`repro.core.vectorized`) detect staleness without hashing.
+        self._version: int = 0
+        self._np_mirror: Optional[tuple] = None
+        #: Incrementally maintained byte total, so the per-mutation
+        #: high-water bookkeeping in the tracker hot loop is O(1) per
+        #: range set instead of O(ranges).
+        self._total: int = 0
         for item in ranges:
             self.add(item)
 
@@ -156,7 +164,7 @@ class RangeSet:
     @property
     def total_size(self) -> int:
         """Total number of tainted bytes (the paper's Figures 14/15/18)."""
-        return sum(end - start + 1 for start, end in zip(self._starts, self._ends))
+        return self._total
 
     @property
     def range_count(self) -> int:
@@ -180,6 +188,26 @@ class RangeSet:
     def covers_address(self, address: int) -> bool:
         return self.overlaps(AddressRange(address, address))
 
+    def as_arrays(self):
+        """Sorted ``(starts, ends)`` int64 numpy mirror of the stored ranges.
+
+        Built lazily and cached against :attr:`_version`, so replay code
+        that performs thousands of vectorised overlap tests between taint
+        mutations pays the array construction once per mutation, not once
+        per query (:mod:`repro.core.vectorized`).
+        """
+        mirror = self._np_mirror
+        if mirror is None or mirror[0] != self._version:
+            import numpy
+
+            mirror = (
+                self._version,
+                numpy.asarray(self._starts, dtype=numpy.int64),
+                numpy.asarray(self._ends, dtype=numpy.int64),
+            )
+            self._np_mirror = mirror
+        return mirror[1], mirror[2]
+
     def _candidate_index(self, query: AddressRange) -> Optional[int]:
         """Index of one stored range overlapping ``query``, or ``None``.
 
@@ -202,11 +230,16 @@ class RangeSet:
         # (overlap or adjacency), then replace them with one merged range.
         lo = bisect.bisect_left(self._ends, start - 1 if start else 0)
         hi = bisect.bisect_right(self._starts, end + 1)
+        absorbed = 0
         if lo < hi:
             start = min(start, self._starts[lo])
             end = max(end, self._ends[hi - 1])
+            for i in range(lo, hi):
+                absorbed += self._ends[i] - self._starts[i] + 1
         self._starts[lo:hi] = [start]
         self._ends[lo:hi] = [end]
+        self._total += end - start + 1 - absorbed
+        self._version += 1
 
     def remove(self, item: AddressRange) -> None:
         """Untaint ``item``, splitting stored ranges that straddle it."""
@@ -214,6 +247,9 @@ class RangeSet:
         hi = bisect.bisect_right(self._starts, item.end)
         if lo >= hi:
             return
+        removed = 0
+        for i in range(lo, hi):
+            removed += self._ends[i] - self._starts[i] + 1
         new_starts: List[int] = []
         new_ends: List[int] = []
         if self._starts[lo] < item.start:
@@ -224,15 +260,22 @@ class RangeSet:
             new_ends.append(self._ends[hi - 1])
         self._starts[lo:hi] = new_starts
         self._ends[lo:hi] = new_ends
+        self._total += sum(
+            e - s + 1 for s, e in zip(new_starts, new_ends)
+        ) - removed
+        self._version += 1
 
     def clear(self) -> None:
         self._starts.clear()
         self._ends.clear()
+        self._total = 0
+        self._version += 1
 
     def copy(self) -> "RangeSet":
         clone = RangeSet()
         clone._starts = list(self._starts)
         clone._ends = list(self._ends)
+        clone._total = self._total
         return clone
 
     # -- fault injection hook --------------------------------------------
@@ -250,6 +293,8 @@ class RangeSet:
         victim = AddressRange(self._starts[idx], self._ends[idx])
         del self._starts[idx]
         del self._ends[idx]
+        self._total -= victim.size
+        self._version += 1
         return victim
 
     # -- checkpoint / restore --------------------------------------------
@@ -262,3 +307,14 @@ class RangeSet:
         """Replace contents with a :meth:`snapshot` payload, exactly."""
         self._starts = [int(v) for v in snapshot["starts"]]
         self._ends = [int(v) for v in snapshot["ends"]]
+        self._total = sum(
+            e - s + 1 for s, e in zip(self._starts, self._ends)
+        )
+        self._version += 1
+
+    def __getstate__(self) -> dict:
+        # The numpy mirror is derived data; drop it so pickled range sets
+        # (sweep-worker payloads) don't carry the arrays twice.
+        state = self.__dict__.copy()
+        state["_np_mirror"] = None
+        return state

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.core import vectorized
 from repro.core.config import PIFTConfig
 from repro.core.events import EventColumns, EventTrace, MemoryAccess
 from repro.core.ranges import AddressRange, RangeSet
@@ -24,6 +25,13 @@ from repro.core.ranges import AddressRange, RangeSet
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.telemetry import Telemetry
 
+
+#: Below this many events the numpy kernel's per-call setup outweighs the
+#: scalar loop; short slices (tiny replay segments between source/sink
+#: boundaries, whole DroidBench-app traces) stay scalar.  Long traces —
+#: where skipping can amortise — go through the kernel, which itself
+#: bails back to scalar if the slice turns out to be taint-dense.
+_VECTORIZED_MIN_EVENTS = 512
 
 #: Any object with the RangeSet mutation/query surface can back the tracker —
 #: the software-reference ``RangeSet`` or a hardware model from
@@ -313,10 +321,14 @@ class PIFTTracker:
     def restore(self, snapshot: dict) -> None:
         """Restore a :meth:`snapshot` exactly, replacing current state."""
         config = snapshot["config"]
+        # ``vectorized`` is an execution-strategy flag, deliberately absent
+        # from snapshots (so checkpoints stay comparable across strategies);
+        # carry the current tracker's choice over.
         self.config = PIFTConfig(
             window_size=int(config["window_size"]),
             max_propagations=int(config["max_propagations"]),
             untainting=bool(config["untainting"]),
+            vectorized=self.config.vectorized,
         )
         self._states = {}
         self._windows = {}
@@ -411,6 +423,8 @@ class PIFTTracker:
             # Telemetry (or another shadow) is bound over observe; the
             # batch loop would bypass it.  Fall back to per-event calls.
             observe = self.observe
+            if isinstance(events, EventColumns):
+                events = events.events
             for event in events:
                 observe(event)
             return
@@ -427,11 +441,58 @@ class PIFTTracker:
     ) -> None:
         """Algorithm 1 over a pre-encoded column slice (``[start, stop)``).
 
-        This is the replay hot loop: one Python frame for the whole slice,
-        locals for the config bounds and stats counters, and taint-state
-        methods re-bound only on PID switches.  Mutation bookkeeping
-        (high-water marks, optional timeline) matches
-        :meth:`_after_mutation` exactly.
+        Dispatches between three observationally identical strategies
+        (parity-tested in ``tests/property/test_batch_parity.py``):
+
+        * a live telemetry hub binds a shadow over ``observe`` — fall
+          back to per-event calls so instrumentation stays exact;
+        * the vectorised pre-filter kernel (:mod:`repro.core.vectorized`)
+          when ``config.vectorized`` is on, the slice is long enough to
+          amortise the numpy setup, and the taint backend is the
+          unbounded :class:`~repro.core.ranges.RangeSet` (bounded
+          hardware models mutate on queries/eviction, so skipping their
+          calls would change behaviour);
+        * the scalar loop (:meth:`observe_columns_scalar`) otherwise.
+        """
+        if "observe" in self.__dict__:
+            observe = self.observe
+            for event in columns.events[start:stop]:
+                observe(event)
+            return
+        if stop is None:
+            stop = len(columns)
+        if (
+            self.config.vectorized
+            and stop - start >= _VECTORIZED_MIN_EVENTS
+            and self._state_factory is RangeSet
+            and vectorized.HAVE_NUMPY
+        ):
+            vectorized.observe_columns(self, columns, start, stop)
+            return
+        self.observe_columns_scalar(columns, start, stop)
+
+    def observe_columns_vectorized(
+        self, columns: EventColumns, start: int = 0, stop: Optional[int] = None
+    ) -> None:
+        """Force the numpy pre-filter kernel regardless of slice length.
+
+        Differential-test / benchmark hook; requires numpy and
+        :class:`~repro.core.ranges.RangeSet`-backed taint states.
+        """
+        if stop is None:
+            stop = len(columns)
+        vectorized.observe_columns(self, columns, start, stop)
+
+    def observe_columns_scalar(
+        self, columns: EventColumns, start: int = 0, stop: Optional[int] = None
+    ) -> None:
+        """The exact scalar replay loop over a column slice.
+
+        One Python frame for the whole slice, locals for the config
+        bounds and stats counters, and taint-state methods re-bound only
+        on PID switches.  Mutation bookkeeping (high-water marks,
+        optional timeline) matches :meth:`_after_mutation` exactly.  The
+        vectorised kernel drops into this loop around relevant events.
         """
         if "observe" in self.__dict__:
             observe = self.observe

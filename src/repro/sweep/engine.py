@@ -69,6 +69,7 @@ class CellResult:
             "ni": self.config.window_size,
             "nt": self.config.max_propagations,
             "untainting": self.config.untainting,
+            "vectorized": self.config.vectorized,
             "rate": self.rate,
             "site": self.site,
             "seed": self.seed,

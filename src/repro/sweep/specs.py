@@ -121,6 +121,10 @@ class GridSpec:
     state_spec: str = "rangeset"
     droidbench: bool = True
     malware: bool = False
+    #: Execution-strategy flag threaded into every cell's PIFTConfig;
+    #: results are bit-identical either way (the CLI's --no-vectorized
+    #: escape hatch flips it off for A/B timing runs).
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.seed_policy not in ("shared", "per_cell"):
@@ -146,6 +150,7 @@ class GridSpec:
                     window_size=window,
                     max_propagations=cap,
                     untainting=self.untainting,
+                    vectorized=self.vectorized,
                 )
                 for rate in self.rates:
                     seed = (

@@ -1,6 +1,10 @@
-"""Property: the batched tracker fast path is observationally identical
-to per-event ``observe`` — stats, taint state, and sink verdicts — over
-random multi-PID streams, with and without live telemetry."""
+"""Differential oracle: every ``observe_columns`` execution strategy is
+observationally identical to per-event ``observe``.
+
+Three-way parity over random multi-PID streams — per-event ``observe``
+== scalar ``observe_columns_scalar`` == the numpy pre-filter kernel
+(``observe_columns_vectorized``) — on stats, taint state, timeline,
+untainting on and off, and with the telemetry shadow fallback live."""
 
 import json
 
@@ -69,8 +73,10 @@ def fingerprint(tracker: PIFTTracker) -> str:
     )
 
 
-def run_serial(config, stream, telemetry=None):
-    tracker = PIFTTracker(config, telemetry=telemetry)
+def run_serial(config, stream, telemetry=None, record_timeline=False):
+    tracker = PIFTTracker(
+        config, record_timeline=record_timeline, telemetry=telemetry
+    )
     tracker.taint_source(SOURCE, pid=1)
     tracker.taint_source(SOURCE, pid=2)
     for event in stream:
@@ -83,6 +89,22 @@ def run_batched(config, stream, telemetry=None, encode=None):
     tracker.taint_source(SOURCE, pid=1)
     tracker.taint_source(SOURCE, pid=2)
     tracker.observe_batch(encode(stream) if encode else stream)
+    return tracker
+
+
+def run_scalar(config, stream, record_timeline=False):
+    tracker = PIFTTracker(config, record_timeline=record_timeline)
+    tracker.taint_source(SOURCE, pid=1)
+    tracker.taint_source(SOURCE, pid=2)
+    tracker.observe_columns_scalar(EventColumns.from_events(stream))
+    return tracker
+
+
+def run_vectorized(config, stream, record_timeline=False):
+    tracker = PIFTTracker(config, record_timeline=record_timeline)
+    tracker.taint_source(SOURCE, pid=1)
+    tracker.taint_source(SOURCE, pid=2)
+    tracker.observe_columns_vectorized(EventColumns.from_events(stream))
     return tracker
 
 
@@ -120,6 +142,99 @@ def test_batch_equals_per_event_under_telemetry(raw, config):
     serial_hub, batch_hub = Telemetry(), Telemetry()
     serial = run_serial(config, stream, telemetry=serial_hub)
     batched = run_batched(config, stream, telemetry=batch_hub)
+    assert fingerprint(batched) == fingerprint(serial)
+    assert json.dumps(batch_hub.snapshot(), sort_keys=True) == json.dumps(
+        serial_hub.snapshot(), sort_keys=True
+    )
+
+
+@given(st.lists(events, max_size=120), configs)
+@settings(max_examples=150, deadline=None)
+def test_three_way_parity(raw, config):
+    """Per-event == scalar columns == vectorised kernel, byte-for-byte.
+
+    ``configs`` draws untainting both on and off, so the kernel's
+    untaint-candidate classification is exercised in both modes.
+    """
+    stream = materialise(raw)
+    reference = fingerprint(run_serial(config, stream))
+    assert fingerprint(run_scalar(config, stream)) == reference
+    assert fingerprint(run_vectorized(config, stream)) == reference
+
+
+@given(st.lists(events, max_size=100), configs)
+@settings(max_examples=75, deadline=None)
+def test_three_way_parity_with_timeline(raw, config):
+    """Timeline recording survives all three strategies identically.
+
+    The kernel only skips mutation-free events, so every timeline point
+    (taken at taint/untaint ops inside the scalar runs) must land at the
+    same instruction index with the same taint-state sample.
+    """
+    stream = materialise(raw)
+    reference = fingerprint(run_serial(config, stream, record_timeline=True))
+    assert fingerprint(
+        run_scalar(config, stream, record_timeline=True)
+    ) == reference
+    assert fingerprint(
+        run_vectorized(config, stream, record_timeline=True)
+    ) == reference
+
+
+@given(st.lists(events, min_size=1, max_size=40), configs, st.integers(0, 7))
+@settings(max_examples=75, deadline=None)
+def test_dispatcher_parity_on_long_streams(raw, config, seed_shift):
+    """The public ``observe_columns`` dispatcher agrees with itself across
+    ``config.vectorized`` on streams long enough to actually enter the
+    numpy kernel (tiling the drawn stream past the dispatch threshold)."""
+    from dataclasses import replace
+
+    from repro.core.tracker import _VECTORIZED_MIN_EVENTS
+
+    base = materialise(raw)
+    stream = []
+    # Tile with strictly increasing per-PID indices so the stream stays
+    # well-formed while crossing the dispatch threshold.
+    offset = 0
+    while len(stream) < _VECTORIZED_MIN_EVENTS + seed_shift:
+        for event in base:
+            stream.append(
+                MemoryAccess(
+                    event.kind,
+                    event.address_range,
+                    event.instruction_index + offset,
+                    event.pid,
+                )
+            )
+        offset += max(e.instruction_index for e in base) + 1
+    on = run_batched(
+        replace(config, vectorized=True), stream,
+        encode=EventColumns.from_events,
+    )
+    off = run_batched(
+        replace(config, vectorized=False), stream,
+        encode=EventColumns.from_events,
+    )
+    assert fingerprint(on) == fingerprint(off)
+
+
+@given(st.lists(events, max_size=60), configs)
+@settings(max_examples=50, deadline=None)
+def test_vectorized_config_with_telemetry_falls_back(raw, config):
+    """``config.vectorized=True`` plus a live hub must take the exact
+    per-event fallback: fingerprints AND telemetry snapshots match the
+    per-event run."""
+    from dataclasses import replace
+
+    from repro.telemetry import Telemetry
+
+    stream = materialise(raw)
+    config = replace(config, vectorized=True)
+    serial_hub, batch_hub = Telemetry(), Telemetry()
+    serial = run_serial(config, stream, telemetry=serial_hub)
+    batched = run_batched(
+        config, stream, telemetry=batch_hub, encode=EventColumns.from_events
+    )
     assert fingerprint(batched) == fingerprint(serial)
     assert json.dumps(batch_hub.snapshot(), sort_keys=True) == json.dumps(
         serial_hub.snapshot(), sort_keys=True

@@ -1,0 +1,124 @@
+"""Schema freeze for the ``sweep`` and ``faults`` CLI ``--json`` output.
+
+Downstream tooling (the CI smoke checks, notebook loaders, the perf
+history) parses these documents; these tests pin the key structure so a
+refactor can't silently rename or drop fields.  Small grids / low work
+keep them tier-1 fast.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+_CACHE = {}
+
+
+def run_json(capsys, argv):
+    key = tuple(argv)
+    if key not in _CACHE:
+        capsys.readouterr()  # drop anything a previous call left buffered
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Every --json document must round-trip through the json module
+        # (no NaN/Inf literals, no non-string keys).
+        json.loads(json.dumps(payload, allow_nan=False))
+        _CACHE[key] = payload
+    return _CACHE[key]
+
+
+class TestSweepJson:
+    ARGS = ["sweep", "--windows", "5,13", "--caps", "2,3", "--json"]
+
+    def test_top_level_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        assert payload["command"] == "sweep"
+        assert {"site", "seed", "cells", "timings"} <= payload.keys()
+        assert len(payload["cells"]) == 4
+
+    def test_cell_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        for cell in payload["cells"]:
+            assert {
+                "index", "ni", "nt", "untainting", "vectorized", "rate",
+                "site", "seed", "state_spec", "events_tracked",
+                "operations", "faults", "accuracy", "report",
+            } <= cell.keys()
+            report = cell["report"]
+            assert {
+                "true_positives", "false_positives",
+                "true_negatives", "false_negatives",
+            } <= report.keys()
+            assert 0.0 <= cell["accuracy"] <= 1.0
+
+    def test_timings_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        timings = payload["timings"]
+        assert {
+            "jobs", "wall_seconds", "cells", "events_tracked", "workers",
+        } <= timings.keys()
+        assert timings["cells"] == 4
+        for worker in timings["workers"].values():
+            assert {
+                "cells", "events", "busy_seconds", "events_per_second",
+            } <= worker.keys()
+
+    def test_vectorized_flag_round_trips(self, capsys):
+        on = run_json(capsys, self.ARGS)
+        off = run_json(capsys, self.ARGS + ["--no-vectorized"])
+        assert all(c["vectorized"] for c in on["cells"])
+        assert not any(c["vectorized"] for c in off["cells"])
+        # Execution strategy must not leak into results: same cells
+        # modulo the flag itself and wall-clock bookkeeping.
+        def essence(payload):
+            return json.dumps(
+                [
+                    {k: v for k, v in cell.items() if k != "vectorized"}
+                    for cell in payload["cells"]
+                ],
+                sort_keys=True,
+            )
+
+        assert essence(on) == essence(off)
+
+
+class TestFaultsJson:
+    ARGS = [
+        "faults", "--suite", "malware", "--rates", "0,1e-1",
+        "--work", "8", "--json",
+    ]
+
+    def test_top_level_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        assert payload["command"] == "faults"
+        assert {
+            "config", "site", "seed", "base_rates", "policy",
+            "curve", "accuracy_non_increasing", "latency",
+        } <= payload.keys()
+        assert payload["config"]["vectorized"] is True
+
+    def test_curve_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        points = payload["curve"]["points"]
+        assert [p["rate"] for p in points] == [0.0, 0.1]
+        for point in points:
+            assert {"rate", "faults"} <= point.keys()
+            assert "total_injections" in point["faults"]
+        # Rate 0 must be fault-free.
+        assert points[0]["faults"]["total_injections"] == 0
+
+    def test_latency_schema(self, capsys):
+        payload = run_json(capsys, self.ARGS)
+        assert [row["rate"] for row in payload["latency"]] == [0.0, 0.1]
+        for row in payload["latency"]:
+            assert {
+                "rate", "late_detections", "mean_events_behind",
+                "max_events_behind", "missed", "forced_drops",
+                "degraded_checks",
+            } <= row.keys()
+
+    def test_no_vectorized_escape_hatch(self, capsys):
+        payload = run_json(capsys, self.ARGS + ["--no-vectorized"])
+        assert payload["config"]["vectorized"] is False

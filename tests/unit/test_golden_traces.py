@@ -1,0 +1,130 @@
+"""Golden-trace regression freeze.
+
+``tests/data/golden_v{2,3}.pift.gz`` are committed fixtures produced by
+``tests/data/make_golden_traces.py``.  These tests replay them and assert
+the *exact* observable outcome — sink verdicts, instruction counts, and
+tracker stats — so any drift in the tracefile codec, the replay
+scheduler, Algorithm 1, or the vectorised kernel is caught against a
+byte-frozen input.  Intentional semantic changes must regenerate the
+fixtures and update the expectations here, in the same commit.
+"""
+
+import gzip
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.replay import replay
+from repro.analysis.tracefile import load_recorded_run
+from repro.core.config import PAPER_DEFAULT
+
+DATA = Path(__file__).parent.parent / "data"
+
+#: (fixture name, expected instruction_count, expected event count,
+#:  expected [(sink, pid, tainted)] in replay order, expected stats).
+GOLDEN = {
+    "golden_v3": {
+        "instruction_count": 7550,
+        "events": 3015,
+        "verdicts": [
+            ("network", 2, False),
+            ("network", 2, False),
+            ("network", 1, True),
+            ("network", 1, False),
+            ("log", 1, False),
+        ],
+        "stats": {
+            "instructions_observed": 7540,
+            "loads_observed": 1524,
+            "stores_observed": 1491,
+            "tainted_loads": 5,
+            "taint_operations": 15,
+            "untaint_operations": 1,
+            "max_tainted_bytes": 136,
+            "max_range_count": 16,
+        },
+    },
+    "golden_v2": {
+        "instruction_count": 3979,
+        "events": 2008,
+        "verdicts": [
+            ("sms", 0, True),
+            ("sms", 0, True),
+            ("log", 0, False),
+        ],
+        "stats": {
+            "instructions_observed": 3976,
+            "loads_observed": 1000,
+            "stores_observed": 1008,
+            "tainted_loads": 4,
+            "taint_operations": 12,
+            "untaint_operations": 0,
+            "max_tainted_bytes": 117,
+            "max_range_count": 6,
+        },
+    },
+}
+
+
+def _load(name):
+    return load_recorded_run(DATA / f"{name}.pift.gz")
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vec", "scalar"])
+def test_golden_replay_is_frozen(name, vectorized):
+    expected = GOLDEN[name]
+    recorded = _load(name)
+    assert recorded.instruction_count == expected["instruction_count"]
+    assert len(recorded.trace) == expected["events"]
+    result = replay(recorded, replace(PAPER_DEFAULT, vectorized=vectorized))
+    assert [
+        (o.sink_name, o.pid, o.tainted) for o in result.sink_outcomes
+    ] == expected["verdicts"]
+    stats = result.stats.as_dict()
+    for key, value in expected["stats"].items():
+        assert stats[key] == value, f"{name}: stats[{key}]"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_strategies_bit_identical(name):
+    recorded = _load(name)
+    runs = {}
+    for vectorized in (True, False):
+        result = replay(
+            recorded, replace(PAPER_DEFAULT, vectorized=vectorized)
+        )
+        runs[vectorized] = json.dumps(
+            {
+                "stats": result.stats.as_dict(),
+                "verdicts": [
+                    (o.sink_name, o.channel, o.instruction_index, o.pid,
+                     o.tainted)
+                    for o in result.sink_outcomes
+                ],
+            },
+            sort_keys=True,
+        )
+    assert runs[True] == runs[False]
+
+
+def test_golden_v2_document_shape():
+    """The v2 fixture must stay a faithful version-2 document: version
+    field 2 and no pid keys anywhere (the v2 writer predates them)."""
+    with gzip.open(DATA / "golden_v2.pift.gz", "rt", encoding="utf-8") as fh:
+        document = json.load(fh)
+    assert document["version"] == 2
+    assert "pids" not in document["events"]
+    assert all("pid" not in s for s in document["sources"])
+    assert all("pid" not in c for c in document["sink_checks"])
+
+
+def test_golden_v3_document_shape():
+    with gzip.open(DATA / "golden_v3.pift.gz", "rt", encoding="utf-8") as fh:
+        document = json.load(fh)
+    assert document["version"] == 3
+    assert "pids" in document["events"]
+    assert {s["pid"] for s in document["sources"]} == {1}
+    assert {c["pid"] for c in document["sink_checks"]} == {1, 2}

@@ -397,7 +397,9 @@ class TestCLI:
         assert main(["suite", "--ni", "13", "--nt", "3", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "suite"
-        assert payload["config"] == {"ni": 13, "nt": 3, "untainting": True}
+        assert payload["config"] == {
+            "ni": 13, "nt": 3, "untainting": True, "vectorized": True,
+        }
         report = payload["report"]
         assert report["total"] == 57
         assert 0.0 <= report["accuracy"] <= 1.0
