@@ -11,6 +11,10 @@ Measures the three performance claims the replay stack makes:
    regime PIFT targets), the numpy pre-filter kernel
    (``repro.core.vectorized``) beats the scalar column loop by >= 5x
    with bit-identical verdicts and stats.
+4. **Digest payloads** — with an ``ArtifactStore`` backing the cache,
+   pool workers receive store digests instead of pickled suites; the
+   transfer saving (pickled payload bytes, with vs without a store)
+   must exceed 50%.
 
 Runnable two ways:
 
@@ -29,18 +33,23 @@ Runnable two ways:
 import argparse
 import json
 import os
+import pickle
 import random
 import sys
 import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro import perf
 from repro.core import PIFTConfig
 from repro.sweep import GridSpec, TraceCache, run_sweep
 
 #: --gate fails when the measured kernel speedup drops below
 #: ``(1 - REGRESSION_TOLERANCE)`` times the history baseline.
-REGRESSION_TOLERANCE = 0.25
+REGRESSION_TOLERANCE = perf.REGRESSION_TOLERANCE
+
+#: The history-record key this benchmark gates on.
+GATE_METRIC = "vectorized_speedup"
 
 #: The full measurement grid: 4x4 configs x 2 rates = 32 cells.
 FULL_GRID = GridSpec(
@@ -159,52 +168,51 @@ def measure_vectorized(events: int = 150_000, rounds: int = 3) -> dict:
     }
 
 
-# -- BENCH_history.jsonl + regression gate -----------------------------------
+# -- store payload transfer saving -------------------------------------------
+
+
+def measure_transfer_saving(cache: TraceCache, store_dir) -> dict:
+    """Pickled worker-payload bytes: full suites vs store path + digests.
+
+    Every pool worker receives ``cache.payload()`` under spawn; with a
+    backing store the payload carries content digests instead of the
+    recorded suites, and the workers read the store themselves.
+    """
+    from repro.store import ArtifactStore
+
+    without_store = len(pickle.dumps(cache.payload()))
+    store = ArtifactStore(store_dir)
+    backed = TraceCache(backing_store=store)
+    backed.droidbench_runs()  # records once, persists, then serves digests
+    with_store = len(pickle.dumps(backed.payload()))
+    saving = 1.0 - (with_store / without_store) if without_store else 0.0
+    return {
+        "payload_bytes_without_store": without_store,
+        "payload_bytes_with_store": with_store,
+        "transfer_saving": saving,
+    }
+
+
+# -- BENCH_history.jsonl + regression gate (delegates to repro.perf) ----------
 
 
 def load_history(path: Path) -> list:
-    """All prior records (malformed/foreign lines are skipped)."""
-    if not path.exists():
-        return []
-    records = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if isinstance(record, dict) and "vectorized_speedup" in record:
-            records.append(record)
-    return records
+    """All prior records for this benchmark's gate metric."""
+    return perf.load_history(path, GATE_METRIC)
 
 
 def append_history(path: Path, record: dict) -> None:
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    perf.append_history(path, record)
 
 
 def baseline_speedup(history: list) -> float:
-    """The gate baseline: median speedup of the recorded history.
-
-    The median tolerates the odd noisy CI run on either side without
-    letting a slow drift ratchet the baseline downward the way
-    "compare to previous run" would.
-    """
-    speedups = sorted(r["vectorized_speedup"] for r in history)
-    middle = len(speedups) // 2
-    if len(speedups) % 2:
-        return speedups[middle]
-    return (speedups[middle - 1] + speedups[middle]) / 2
+    """The gate baseline: median speedup of the recorded history."""
+    return perf.baseline(history, GATE_METRIC)
 
 
 def check_regression(history: list, current: float) -> tuple:
     """(ok, baseline) — ok is False when current regressed > tolerance."""
-    if not history:
-        return True, None
-    baseline = baseline_speedup(history)
-    return current >= (1.0 - REGRESSION_TOLERANCE) * baseline, baseline
+    return perf.check_regression(history, current, GATE_METRIC)
 
 
 # -- pytest-benchmark entry points ------------------------------------------
@@ -368,10 +376,21 @@ def main(argv=None) -> int:
         f"(identical={vectorized['identical']})",
         file=sys.stderr,
     )
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="pift-bench-store-") as store_dir:
+        transfer = measure_transfer_saving(cache, store_dir)
+    print(
+        f"store transfer saving: {transfer['transfer_saving']:.1%} "
+        f"({transfer['payload_bytes_without_store']:,} -> "
+        f"{transfer['payload_bytes_with_store']:,} payload bytes)",
+        file=sys.stderr,
+    )
     payload = {
         "mode": "smoke" if args.smoke else "full",
         "available_cpus": cpus,
         "vectorized": vectorized,
+        "transfer": transfer,
         "scaling": measure(grid, jobs_axis, cache),
     }
     print(json.dumps(payload, indent=2))
@@ -391,6 +410,7 @@ def main(argv=None) -> int:
         "scalar_events_per_second": vectorized["scalar_events_per_second"],
         "events": vectorized["events"],
         "sweep_best_speedup": payload["scaling"]["best_speedup"],
+        "transfer_saving": transfer["transfer_saving"],
         "identical": vectorized["identical"],
     })
     if baseline is not None:
@@ -402,6 +422,8 @@ def main(argv=None) -> int:
         )
 
     ok = payload["scaling"]["all_identical"] and vectorized["identical"]
+    # Digest payloads must actually shrink what each worker receives.
+    ok = ok and transfer["transfer_saving"] > 0.5
     if args.gate:
         ok = ok and gate_ok
     if not args.smoke and cpus > 1:

@@ -9,12 +9,33 @@ tracker configurations that matter:
 * the paper's 32KB cache-of-ranges hardware model,
 * untainting on vs off,
 * the full-DIFT baseline's per-record cost, for contrast.
+
+Runnable two ways:
+
+* under pytest-benchmark (tier-2): ``pytest benchmarks/bench_tracker_throughput.py``
+* standalone: ``PYTHONPATH=src python benchmarks/bench_tracker_throughput.py
+  [--smoke] [--json BENCH_tracker.json] [--history BENCH_history.jsonl]
+  [--gate]`` — appends one summary line to the shared history file and,
+  with ``--gate``, exits non-zero if the *normalised* tracker throughput
+  regressed more than 25% against the history median
+  (:mod:`repro.perf`).  The gated metric divides tracker events/s by a
+  plain-Python calibration loop's ops/s measured in the same process, so
+  it is dimensionless and robust to CI machines of different speeds.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
+from repro import perf
 from repro.core import PAPER_DEFAULT, PIFTConfig, PIFTTracker
 from repro.core.taint_storage import BoundedRangeCache, entry_capacity
+
+#: The history-record key this benchmark gates on.
+GATE_METRIC = "tracker_normalized"
 
 
 @pytest.fixture(scope="module")
@@ -113,3 +134,113 @@ def test_throughput_full_dift_baseline(benchmark):
     print(f"\nfull DIFT over {len(records)} records "
           f"({baseline.stats.instructions_processed} instructions)")
     assert baseline.stats.instructions_processed == len(records)
+
+
+# -- standalone mode: calibrated throughput + regression gate ----------------
+
+
+def calibration_rate(iterations: int = 1_000_000, rounds: int = 3) -> float:
+    """Machine-speed yardstick: plain-Python compare/add loop, ops/s.
+
+    The tracker hot path is interpreted Python (compares, attribute
+    walks, small-int arithmetic); a loop of the same species tracks the
+    interpreter speed of the machine, so events/s divided by this rate
+    is a dimensionless per-machine constant.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        acc = 0
+        started = time.perf_counter()
+        for i in range(iterations):
+            if acc <= i:
+                acc += 1
+        best = min(best, time.perf_counter() - started)
+    return iterations / best
+
+
+def measure_throughput(work: int = 160, rounds: int = 3) -> dict:
+    """RangeSet tracker events/s on the LGRoot stream, best-of-rounds."""
+    from repro.apps.malware import record_lgroot_trace
+
+    recorded = record_lgroot_trace(work=work)
+    events = list(recorded.trace)
+    sources = [s.address_range for s in recorded.sources]
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        tracker = _run_tracker(events, sources, PAPER_DEFAULT)
+        best = min(best, time.perf_counter() - started)
+    assert tracker.stats.loads_observed > 0
+    calibration = calibration_rate()
+    events_per_second = len(events) / best
+    return {
+        "work": work,
+        "events": len(events),
+        "tracker_seconds": best,
+        "events_per_second": events_per_second,
+        "calibration_ops_per_second": calibration,
+        GATE_METRIC: events_per_second / calibration,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PIFT tracker-throughput benchmark (standalone mode)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller LGRoot workload for CI")
+    parser.add_argument("--json", metavar="PATH",
+                        default="BENCH_tracker.json",
+                        help="write results here (default BENCH_tracker.json)")
+    parser.add_argument("--history", metavar="PATH",
+                        default="BENCH_history.jsonl",
+                        help="append one summary line per run here "
+                             "(default BENCH_history.jsonl)")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail if normalized tracker throughput "
+                             f"regressed >{perf.REGRESSION_TOLERANCE:.0%} "
+                             "vs the history baseline (median)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "throughput": measure_throughput(work=40 if args.smoke else 160),
+    }
+    throughput = payload["throughput"]
+    print(
+        f"tracker: {throughput['events_per_second']:,.0f} events/s over "
+        f"{throughput['events']} events; calibration "
+        f"{throughput['calibration_ops_per_second']:,.0f} ops/s; "
+        f"normalized {throughput[GATE_METRIC]:.3f}",
+        file=sys.stderr,
+    )
+    print(json.dumps(payload, indent=2))
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    history = perf.load_history(args.history, GATE_METRIC)
+    gate_ok, baseline = perf.check_regression(
+        history, throughput[GATE_METRIC], GATE_METRIC
+    )
+    perf.append_history(args.history, {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": payload["mode"],
+        GATE_METRIC: throughput[GATE_METRIC],
+        "events_per_second": throughput["events_per_second"],
+        "calibration_ops_per_second": (
+            throughput["calibration_ops_per_second"]
+        ),
+        "events": throughput["events"],
+    })
+    if baseline is not None:
+        print(
+            f"regression gate: current {throughput[GATE_METRIC]:.3f} vs "
+            f"baseline {baseline:.3f} (median of {len(history)} runs) "
+            f"-> {'ok' if gate_ok else 'REGRESSED'}",
+            file=sys.stderr,
+        )
+    return 0 if (gate_ok or not args.gate) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

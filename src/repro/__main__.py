@@ -9,6 +9,10 @@ Commands:
 * ``trace``    — record the LGRoot trace to a file (for offline analysis)
 * ``analyze``  — replay a recorded trace file under a given (NI, NT)
 * ``faults``   — graceful-degradation sweep under deterministic faults
+* ``store``    — artifact-store maintenance (``stats`` / ``prune`` /
+  ``verify``); ``sweep`` and ``faults`` take ``--store DIR`` to record
+  each suite once *ever* and ``--resume RUN_ID`` to continue a killed
+  grid from its journal
 """
 
 from __future__ import annotations
@@ -48,6 +52,61 @@ def _add_telemetry_arguments(
             "--json", action="store_true",
             help="emit the command's result as machine-readable JSON",
         )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent artifact store: suites are recorded once ever "
+             "(content-addressed, checksummed) and the run is journaled "
+             "for --resume",
+    )
+    parser.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="resume a journaled run: cells already checkpointed are not "
+             "re-evaluated; the final grid is bit-identical to an "
+             "uninterrupted run (requires --store)",
+    )
+    parser.add_argument(
+        "--run-id", metavar="ID", default=None,
+        help="name this run's journal explicitly (default: derived from "
+             "the grid fingerprint); requires --store",
+    )
+
+
+def _open_store(args, telemetry=None):
+    """The ArtifactStore named by --store, or None."""
+    if not getattr(args, "store", None):
+        if getattr(args, "resume", None) or getattr(args, "run_id", None):
+            raise SystemExit("--resume/--run-id require --store DIR")
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(args.store, telemetry=telemetry)
+
+
+def _open_journal(store, args, cells):
+    """Create (or, with --resume, reload) this invocation's run journal."""
+    from repro.store import RunJournal, cells_fingerprint, new_run_id
+
+    if args.resume:
+        journal = RunJournal.load(store.journal_path(args.resume))
+        return journal
+    run_id = args.run_id or new_run_id(
+        cells_fingerprint(cells), store.journal_ids()
+    )
+    return RunJournal.create(store.journal_path(run_id), cells, run_id)
+
+
+def _store_summary(store, journal, cache, result) -> dict:
+    """The --json ``store`` block / stderr summary for journaled runs."""
+    return {
+        "root": str(store.root),
+        "run_id": journal.run_id,
+        "resumed_cells": result.resumed,
+        "recordings": cache.recordings,
+        "store_hits": cache.store_hits,
+    }
 
 
 def _config(args):
@@ -167,6 +226,7 @@ def cmd_sweep(args) -> int:
         vectorized=not args.no_vectorized,
     )
     telemetry = _make_telemetry(args)
+    store = _open_store(args, telemetry)
 
     progress = None
     if args.progress:
@@ -178,13 +238,33 @@ def cmd_sweep(args) -> int:
                 file=sys.stderr,
             )
 
+    journal = None
+    if store is not None:
+        # Store-backed runs let the cache consult (and fill) the store
+        # instead of recording inline, and journal every finished cell.
+        cache = TraceCache(backing_store=store)
+        work = list(spec.cells())
+        journal = _open_journal(store, args, work)
+    else:
+        cache = TraceCache(droidbench=record_suite(telemetry=telemetry))
+        work = spec
     result = run_sweep(
-        spec,
-        cache=TraceCache(droidbench=record_suite(telemetry=telemetry)),
+        work,
+        cache=cache,
         jobs=args.jobs,
         telemetry=telemetry,
         progress=progress,
+        journal=journal,
     )
+    if journal is not None:
+        summary = _store_summary(store, journal, cache, result)
+        print(
+            f"store: run {summary['run_id']} "
+            f"({summary['resumed_cells']} resumed, "
+            f"{summary['recordings']} recordings, "
+            f"{summary['store_hits']} store hits) -> {summary['root']}",
+            file=sys.stderr,
+        )
     if args.json:
         payload = {
             "command": "sweep",
@@ -193,6 +273,8 @@ def cmd_sweep(args) -> int:
             **result.as_dict(),
             "timings": result.timings(),
         }
+        if journal is not None:
+            payload["store"] = _store_summary(store, journal, cache, result)
         _finish_telemetry(args, telemetry, payload)
         print(json.dumps(payload, indent=2))
         return 0
@@ -318,30 +400,75 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _lgroot_recorded(store, work: int):
+    """The LGRoot latency trace, store-backed when a store is configured."""
+    from repro.apps.malware import record_lgroot_trace
+
+    if store is None:
+        return record_lgroot_trace(work=work)
+    from repro.store import lgroot_key
+    from repro.analysis.accuracy import AppRun
+
+    key = lgroot_key(work)
+    runs = store.get_runs(key)
+    if runs is None:
+        recorded = record_lgroot_trace(work=work)
+        store.put_runs(
+            key,
+            [AppRun(name="LGRoot", recorded=recorded, leaks=True,
+                    category="malware")],
+        )
+        return recorded
+    return runs[0].recorded
+
+
 def cmd_faults(args) -> int:
     from repro.core import OverflowPolicy, parse_fault_spec
     from repro.analysis.degradation import (
+        degradation_cells,
         degradation_curve,
         detection_latency_table,
         record_malware_runs,
     )
-    from repro.apps.malware import record_lgroot_trace
 
     config = _config(args)
     base_rates = parse_fault_spec(args.faults)
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
     policy = OverflowPolicy(args.policy)
 
+    telemetry = _make_telemetry(args)
+    store = _open_store(args, telemetry)
+    cache = None
+    if store is not None:
+        from repro.sweep import TraceCache
+
+        cache = TraceCache(backing_store=store, malware_work=args.work)
+
     apps = []
     malware_runs = []
     if args.suite in ("droidbench", "both"):
-        from repro.apps.droidbench import record_suite
+        if cache is not None:
+            apps = cache.droidbench_runs()
+        else:
+            from repro.apps.droidbench import record_suite
 
-        apps = record_suite()
+            apps = record_suite()
     if args.suite in ("malware", "both"):
-        malware_runs = record_malware_runs(work=args.work)
+        malware_runs = (
+            cache.malware_runs() if cache is not None
+            else record_malware_runs(work=args.work)
+        )
 
-    telemetry = _make_telemetry(args)
+    journal = None
+    resumed_cells = 0
+    if store is not None:
+        cells = degradation_cells(
+            apps, config, rates=rates, seed=args.fault_seed, site=args.site,
+            base_rates=base_rates, malware_runs=malware_runs,
+        )
+        journal = _open_journal(store, args, cells)
+        resumed_cells = len(journal.completed)
+
     curve = degradation_curve(
         apps,
         config,
@@ -351,9 +478,11 @@ def cmd_faults(args) -> int:
         base_rates=base_rates,
         malware_runs=malware_runs,
         jobs=args.jobs,
+        cache=cache,
+        journal=journal,
     )
     latency = detection_latency_table(
-        record_lgroot_trace(work=args.work),
+        _lgroot_recorded(store, args.work),
         config,
         rates=rates,
         seed=args.fault_seed,
@@ -363,6 +492,13 @@ def cmd_faults(args) -> int:
         capacity=args.capacity,
         drain_batch=args.drain_batch,
     )
+    if journal is not None:
+        print(
+            f"store: run {journal.run_id} ({resumed_cells} resumed, "
+            f"{cache.recordings} recordings, {cache.store_hits} store hits)"
+            f" -> {store.root}",
+            file=sys.stderr,
+        )
     if args.json:
         payload = {
             "command": "faults",
@@ -375,6 +511,14 @@ def cmd_faults(args) -> int:
             "accuracy_non_increasing": curve.accuracy_non_increasing(),
             "latency": [row.as_dict() for row in latency],
         }
+        if journal is not None:
+            payload["store"] = {
+                "root": str(store.root),
+                "run_id": journal.run_id,
+                "resumed_cells": resumed_cells,
+                "recordings": cache.recordings,
+                "store_hits": cache.store_hits,
+            }
         _finish_telemetry(args, telemetry, payload)
         print(json.dumps(payload, indent=2))
         return 0
@@ -400,6 +544,57 @@ def cmd_faults(args) -> int:
         )
     _finish_telemetry(args, telemetry)
     return 0
+
+
+def cmd_store(args) -> int:
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.store_action == "stats":
+        payload = {"command": "store-stats", **store.stats()}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"store {payload['root']} (v{payload['store_version']})")
+        print(
+            f"  {payload['entries']} entries, "
+            f"{payload['payload_bytes']} payload bytes, "
+            f"{payload['quarantined']} quarantined, "
+            f"{len(payload['journals'])} journals"
+        )
+        for kind, row in sorted(payload["kinds"].items()):
+            print(
+                f"  {kind:<12} {row['entries']} entries, "
+                f"{row['payload_bytes']} bytes"
+            )
+        for run_id in payload["journals"]:
+            print(f"  journal: {run_id}")
+        return 0
+    if args.store_action == "verify":
+        result = store.verify()
+        payload = {"command": "store-verify", **result}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"checked {result['checked']} entries, "
+                f"{result['corrupt']} corrupt"
+                + (" (quarantined)" if result["corrupt"] else "")
+            )
+        return 1 if result["corrupt"] else 0
+    if args.store_action == "prune":
+        result = store.prune(max_bytes=args.max_bytes)
+        payload = {"command": "store-prune", **result}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"removed {result['removed_entries']} entries and "
+                f"{result['quarantine_files_removed']} quarantined files "
+                f"({result['removed_bytes']} bytes)"
+            )
+        return 0
+    raise SystemExit(f"unknown store action {args.store_action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--progress", action="store_true",
                            help="print per-cell progress to stderr")
+    _add_store_arguments(sweep_cmd)
     _add_telemetry_arguments(sweep_cmd, with_json=True)
     sweep_cmd.set_defaults(func=cmd_sweep)
 
@@ -531,8 +727,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the degradation sweep (default 1; "
              "results are identical at any N)",
     )
+    _add_store_arguments(faults)
     _add_telemetry_arguments(faults, with_json=True)
     faults.set_defaults(func=cmd_faults)
+
+    store_cmd = commands.add_parser(
+        "store",
+        help="artifact-store maintenance (stats / prune / verify)",
+        description="Inspect and maintain a --store directory: entry "
+                    "counts and bytes per suite kind, checksum "
+                    "verification (corrupt entries are quarantined), and "
+                    "size-budgeted pruning.",
+    )
+    store_actions = store_cmd.add_subparsers(dest="store_action",
+                                             required=True)
+    for action, text in (
+        ("stats", "entry/journal accounting for a store directory"),
+        ("prune", "clear quarantine and optionally shrink under a budget"),
+        ("verify", "re-hash every entry; quarantine corrupt ones"),
+    ):
+        sub = store_actions.add_parser(action, help=text)
+        sub.add_argument("--store", metavar="DIR", required=True,
+                         help="store directory")
+        if action == "prune":
+            sub.add_argument("--max-bytes", type=int, default=None,
+                             metavar="N",
+                             help="evict oldest entries until payload "
+                                  "bytes fit under N")
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+        sub.set_defaults(func=cmd_store)
     return parser
 
 

@@ -89,6 +89,18 @@ class AccuracyReport:
             "false_alarm_apps": list(self.false_alarm_apps),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AccuracyReport":
+        """Inverse of :meth:`as_dict` (derived rates are recomputed)."""
+        return cls(
+            true_positives=payload["true_positives"],
+            false_positives=payload["false_positives"],
+            true_negatives=payload["true_negatives"],
+            false_negatives=payload["false_negatives"],
+            missed_apps=list(payload.get("missed_apps", ())),
+            false_alarm_apps=list(payload.get("false_alarm_apps", ())),
+        )
+
 
 def evaluate_app(app: AppRun, config: PIFTConfig, telemetry=None) -> bool:
     """Replay one app under ``config``; True when PIFT raises an alarm."""

@@ -149,6 +149,39 @@ def record_malware_runs(work: int = 16, config: Optional[PIFTConfig] = None) -> 
     return runs
 
 
+def degradation_cells(
+    apps: Sequence[AppRun],
+    config: PIFTConfig,
+    rates: Sequence[float] = DEFAULT_RATES,
+    seed: int = 1,
+    site: str = "event_loss",
+    base_rates: Optional[FaultRates] = None,
+    malware_runs: Optional[Sequence[AppRun]] = None,
+) -> List:
+    """The exact sweep cells :func:`degradation_curve` evaluates.
+
+    Exposed separately so a caller that journals the run (the ``faults``
+    CLI with ``--store``) can fingerprint the same cells the curve will
+    submit — the journal's grid check then binds resume to this precise
+    parameterisation.
+    """
+    from repro.sweep import SweepCell
+
+    return [
+        SweepCell(
+            index=index,
+            config=config,
+            rate=rate,
+            site=site,
+            seed=seed,
+            base_rates=base_rates,
+            droidbench=bool(apps),
+            malware=bool(malware_runs),
+        )
+        for index, rate in enumerate(rates)
+    ]
+
+
 @dataclass
 class DegradationPoint:
     """One cell of a degradation curve: a fault rate and what it cost."""
@@ -227,6 +260,8 @@ def degradation_curve(
     jobs: int = 1,
     telemetry=None,
     progress=None,
+    cache=None,
+    journal=None,
 ) -> DegradationCurve:
     """Sweep one fault site's rate; evaluate the suite at each point.
 
@@ -241,28 +276,27 @@ def degradation_curve(
     the batched fast path instead of the fault injector, so its
     ``fault_stats`` report zero events seen — injections are impossible
     at rate 0 either way.)
-    """
-    from repro.sweep import SweepCell, TraceCache, run_sweep
 
-    cells = [
-        SweepCell(
-            index=index,
-            config=config,
-            rate=rate,
-            site=site,
-            seed=seed,
-            base_rates=base_rates,
-            droidbench=bool(apps),
-            malware=bool(malware_runs),
-        )
-        for index, rate in enumerate(rates)
-    ]
-    cache = TraceCache(
-        droidbench=list(apps) if apps else None,
-        malware=list(malware_runs) if malware_runs else None,
+    ``cache`` overrides the internally-built :class:`TraceCache` (the
+    CLI passes a store-backed one so recordings persist across
+    invocations); ``journal`` (:class:`repro.store.RunJournal`)
+    checkpoints each point and resumes a killed sweep — both forwarded
+    to :func:`repro.sweep.run_sweep`.
+    """
+    from repro.sweep import TraceCache, run_sweep
+
+    cells = degradation_cells(
+        apps, config, rates=rates, seed=seed, site=site,
+        base_rates=base_rates, malware_runs=malware_runs,
     )
+    if cache is None:
+        cache = TraceCache(
+            droidbench=list(apps) if apps else None,
+            malware=list(malware_runs) if malware_runs else None,
+        )
     result = run_sweep(
-        cells, cache=cache, jobs=jobs, telemetry=telemetry, progress=progress
+        cells, cache=cache, jobs=jobs, telemetry=telemetry,
+        progress=progress, journal=journal,
     )
     curve = DegradationCurve(config=config, site=site, seed=seed)
     for cell in result.cells:

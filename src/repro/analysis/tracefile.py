@@ -78,11 +78,14 @@ def _decode_events(payload: dict) -> EventTrace:
     return EventTrace(events, instruction_count=payload["instruction_count"])
 
 
-def save_recorded_run(recorded: RecordedRun, path: Union[str, Path]) -> Path:
-    """Serialise a recorded run to ``path`` (gzip JSON).  Returns the path."""
-    document = {
-        "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+def encode_recorded_run(recorded: RecordedRun) -> dict:
+    """The JSON-ready body of one recorded run (no format envelope).
+
+    Shared by the single-run tracefile format below and the
+    :mod:`repro.store` suite artifacts, so both persist runs with the
+    same (versioned) encoding.
+    """
+    return {
         "events": _encode_events(recorded.trace),
         "sources": [
             {
@@ -106,6 +109,40 @@ def save_recorded_run(recorded: RecordedRun, path: Union[str, Path]) -> Path:
             for check in recorded.sink_checks
         ],
     }
+
+
+def decode_recorded_run(body: dict) -> RecordedRun:
+    """Rebuild a :class:`RecordedRun` from :func:`encode_recorded_run`."""
+    recorded = RecordedRun(trace=_decode_events(body["events"]))
+    for source in body["sources"]:
+        recorded.sources.append(
+            SourceRegistration(
+                AddressRange.from_base_size(source["start"], source["size"]),
+                source["index"],
+                source["name"],
+                pid=source.get("pid", 0),
+            )
+        )
+    for check in body["sink_checks"]:
+        recorded.sink_checks.append(
+            SinkCheck(
+                AddressRange.from_base_size(check["start"], check["size"]),
+                check["index"],
+                check["name"],
+                check["channel"],
+                pid=check.get("pid", 0),
+            )
+        )
+    return recorded
+
+
+def save_recorded_run(recorded: RecordedRun, path: Union[str, Path]) -> Path:
+    """Serialise a recorded run to ``path`` (gzip JSON).  Returns the path."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        **encode_recorded_run(recorded),
+    }
     path = Path(path)
     with gzip.open(path, "wt", encoding="utf-8") as handle:
         json.dump(document, handle, separators=(",", ":"))
@@ -126,24 +163,4 @@ def load_recorded_run(path: Union[str, Path]) -> RecordedRun:
             f"{path} has version {document.get('version')}, "
             f"expected one of {COMPATIBLE_VERSIONS}"
         )
-    recorded = RecordedRun(trace=_decode_events(document["events"]))
-    for source in document["sources"]:
-        recorded.sources.append(
-            SourceRegistration(
-                AddressRange.from_base_size(source["start"], source["size"]),
-                source["index"],
-                source["name"],
-                pid=source.get("pid", 0),
-            )
-        )
-    for check in document["sink_checks"]:
-        recorded.sink_checks.append(
-            SinkCheck(
-                AddressRange.from_base_size(check["start"], check["size"]),
-                check["index"],
-                check["name"],
-                check["channel"],
-                pid=check.get("pid", 0),
-            )
-        )
-    return recorded
+    return decode_recorded_run(document)

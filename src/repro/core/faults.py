@@ -233,6 +233,12 @@ class FaultStats:
         d["total_injections"] = self.total_injections
         return d
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultStats":
+        """Inverse of :meth:`as_dict` (derived keys are ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
 
 @dataclass(frozen=True)
 class FaultPlan:

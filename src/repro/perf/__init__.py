@@ -1,0 +1,26 @@
+"""repro.perf — benchmark history persistence and regression gating.
+
+One shared ``BENCH_history.jsonl`` accumulates a summary line per
+benchmark run; :func:`check_regression` compares a freshly-measured
+metric against the *median* of the recorded history and fails when it
+regressed beyond tolerance.  Every gated benchmark
+(``bench_sweep_scaling.py``, ``bench_tracker_throughput.py``) rides this
+module so new benchmarks join the gate by naming a metric, not by
+re-implementing the bookkeeping.
+"""
+
+from repro.perf.history import (
+    REGRESSION_TOLERANCE,
+    append_history,
+    baseline,
+    check_regression,
+    load_history,
+)
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "append_history",
+    "baseline",
+    "check_regression",
+    "load_history",
+]

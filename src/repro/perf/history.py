@@ -1,0 +1,74 @@
+"""The benchmark history store and the median-regression gate.
+
+The history file is shared JSONL: each benchmark appends one record per
+run, and each gated *metric* filters the file down to the records that
+carry it — so several benchmarks coexist in one ``BENCH_history.jsonl``
+without schema coordination, and foreign/malformed lines never break a
+reader.
+
+The gate compares against the **median** of history rather than the
+previous run: the median tolerates the odd noisy CI run on either side
+without letting a slow drift ratchet the baseline downward the way
+"compare to previous" would.  Gated metrics should be *dimensionless
+ratios* (speedup over a scalar loop, throughput normalised by a
+calibration loop) so they are robust to CI machines of different speeds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+#: A gate fails when the measured metric drops below
+#: ``(1 - REGRESSION_TOLERANCE)`` times the history baseline.
+REGRESSION_TOLERANCE = 0.25
+
+
+def load_history(path: Union[str, Path], metric: str) -> List[dict]:
+    """All prior records carrying ``metric`` (malformed/foreign lines skip)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and metric in record:
+            records.append(record)
+    return records
+
+
+def append_history(path: Union[str, Path], record: dict) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def baseline(history: List[dict], metric: str) -> float:
+    """The gate baseline: median of ``metric`` across the history."""
+    values = sorted(record[metric] for record in history)
+    middle = len(values) // 2
+    if len(values) % 2:
+        return values[middle]
+    return (values[middle - 1] + values[middle]) / 2
+
+
+def check_regression(
+    history: List[dict],
+    current: float,
+    metric: str,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[bool, Optional[float]]:
+    """(ok, baseline) — ok is False when current regressed > tolerance.
+
+    An empty history always passes (the first run seeds the baseline).
+    """
+    if not history:
+        return True, None
+    value = baseline(history, metric)
+    return current >= (1.0 - tolerance) * value, value

@@ -1,0 +1,49 @@
+"""repro.store — persistent, content-addressed recording artifacts.
+
+The durability layer under the sweep stack: :class:`ArtifactStore`
+persists recorded suites keyed by a digest of their recording inputs
+(record each suite once *ever*, not once per process), and
+:class:`RunJournal` checkpoints finished sweep cells so a killed grid
+resumes — bit-identically — with ``--resume``.  ``TraceCache`` takes a
+``backing_store``, ``run_sweep`` takes a ``journal``, and the CLI grows
+``--store`` / ``--resume`` plus a ``repro store`` maintenance command.
+"""
+
+from repro.store.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    RunJournal,
+    cell_result_from_record,
+    cell_result_to_record,
+    cells_fingerprint,
+    new_run_id,
+)
+from repro.store.store import (
+    STORE_VERSION,
+    ArtifactStore,
+    StoreError,
+    StoreKey,
+    droidbench_key,
+    lgroot_key,
+    malware_key,
+)
+from repro.store.suitefile import dump_suite_bytes, load_suite_bytes
+
+__all__ = [
+    "ArtifactStore",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "RunJournal",
+    "STORE_VERSION",
+    "StoreError",
+    "StoreKey",
+    "cell_result_from_record",
+    "cell_result_to_record",
+    "cells_fingerprint",
+    "droidbench_key",
+    "dump_suite_bytes",
+    "lgroot_key",
+    "load_suite_bytes",
+    "malware_key",
+    "new_run_id",
+]

@@ -1,0 +1,84 @@
+"""Suite artifacts: a whole recorded suite as one deterministic blob.
+
+The :mod:`repro.analysis.tracefile` format persists *one* recorded run;
+the artifact store persists *suites* — the list of
+:class:`~repro.analysis.accuracy.AppRun` a recording pass produces —
+because that is the unit every sweep cell consumes.  The document reuses
+the tracefile event encoding (same ``FORMAT_VERSION``, so a trace-format
+bump invalidates store entries too, by design).
+
+Byte determinism matters here: two processes racing to record the same
+suite must produce *identical* payload bytes so the atomic-replace write
+protocol is last-writer-wins over equal content.  Hence ``sort_keys``,
+compact separators, and a zeroed gzip mtime.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import List, Sequence
+
+from repro.analysis.tracefile import (
+    FORMAT_VERSION,
+    TraceFormatError,
+    decode_recorded_run,
+    encode_recorded_run,
+)
+
+SUITE_FORMAT = "pift-suite"
+
+
+def dump_suite_bytes(runs: Sequence) -> bytes:
+    """Serialise ``runs`` (a list of ``AppRun``) to deterministic gzip bytes."""
+    document = {
+        "format": SUITE_FORMAT,
+        "version": FORMAT_VERSION,
+        "runs": [
+            {
+                "name": run.name,
+                "leaks": bool(run.leaks),
+                "category": run.category,
+                "run": encode_recorded_run(run.recorded),
+            }
+            for run in runs
+        ],
+    }
+    raw = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return gzip.compress(raw, mtime=0)
+
+
+def load_suite_bytes(payload: bytes) -> List:
+    """Rebuild the ``AppRun`` list from :func:`dump_suite_bytes` output.
+
+    Raises :class:`~repro.analysis.tracefile.TraceFormatError` on any
+    structural problem — the store treats that exactly like a checksum
+    mismatch (quarantine + re-record).
+    """
+    from repro.analysis.accuracy import AppRun
+
+    try:
+        document = json.loads(gzip.decompress(payload).decode("utf-8"))
+    except (OSError, ValueError) as error:
+        raise TraceFormatError(f"unreadable suite payload: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != SUITE_FORMAT:
+        raise TraceFormatError("payload is not a pift-suite document")
+    if document.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"suite payload has version {document.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    try:
+        return [
+            AppRun(
+                name=entry["name"],
+                recorded=decode_recorded_run(entry["run"]),
+                leaks=entry["leaks"],
+                category=entry.get("category", ""),
+            )
+            for entry in document["runs"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise TraceFormatError(f"malformed suite entry: {error}") from error

@@ -94,6 +94,9 @@ class SweepResult:
     cells: List[CellResult]
     jobs: int
     wall_seconds: float
+    #: Cells served from a resume journal instead of being evaluated
+    #: (bookkeeping only — the deterministic payload is unaffected).
+    resumed: int = 0
 
     def as_dict(self) -> dict:
         """Deterministic payload only (timings live in :meth:`timings`)."""
@@ -119,6 +122,7 @@ class SweepResult:
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "cells": len(self.cells),
+            "resumed": self.resumed,
             "events_tracked": sum(c.events_tracked for c in self.cells),
             "workers": per_worker,
         }
@@ -219,6 +223,9 @@ class _EngineInstruments:
             "sweep.cell_seconds", "per-cell evaluation wall time"
         )
         self.workers = m.gauge("sweep.jobs", "worker processes in use")
+        self.resumed = m.counter(
+            "sweep.resumed_cells", "cells served from a resume journal"
+        )
 
 
 def run_sweep(
@@ -228,6 +235,7 @@ def run_sweep(
     telemetry=None,
     progress: Optional[ProgressCallback] = None,
     chunksize: int = 1,
+    journal=None,
 ) -> SweepResult:
     """Evaluate every cell of ``work``; identical results at any ``jobs``.
 
@@ -236,25 +244,49 @@ def run_sweep(
     the pool initializer.  Results stream back in submission order, so
     ``progress`` / telemetry see cells as they finish and the returned
     list is deterministically ordered.
+
+    With a ``journal`` (:class:`repro.store.RunJournal`) every finished
+    cell is checkpointed — flushed and fsync'd — before it is reported,
+    and cells the journal already holds are *not* re-evaluated: their
+    recorded results splice back in at their grid positions, so a
+    killed-then-resumed run returns a result bit-identical to an
+    uninterrupted one.  The journal must have been created for this
+    exact grid (fingerprint-checked; :class:`repro.store.JournalError`
+    otherwise).
     """
     cells = list(work.cells() if isinstance(work, GridSpec) else work)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if len({cell.index for cell in cells}) != len(cells):
+        raise ValueError("cell indexes must be unique within one sweep")
+    done = {}
+    if journal is not None:
+        journal.check_matches(cells)
+        done = journal.completed_results()
+    pending = [cell for cell in cells if cell.index not in done]
     cache = cache or TraceCache()
-    cache.prime(
-        droidbench=any(c.droidbench for c in cells),
-        malware=any(c.malware for c in cells),
-    )
-    cache.prime_replay_state()
+    if pending:
+        # A fully-journaled grid needs no recordings at all.
+        cache.prime(
+            droidbench=any(c.droidbench for c in pending),
+            malware=any(c.malware for c in pending),
+        )
+        cache.prime_replay_state()
     instruments = None
     if telemetry is not None and telemetry.enabled:
         instruments = _EngineInstruments(telemetry)
         instruments.workers.set(jobs)
+        if done:
+            instruments.resumed.inc(len(done))
     started = time.perf_counter()
-    results: List[CellResult] = []
+    finished = 0
 
     def note(result: CellResult) -> None:
-        results.append(result)
+        nonlocal finished
+        if journal is not None:
+            journal.append(result)
+        done[result.index] = result
+        finished += 1
         if instruments is not None:
             instruments.cells.inc()
             instruments.events.inc(result.events_tracked)
@@ -271,28 +303,34 @@ def run_sweep(
                 duration_us=round(result.duration_seconds * 1e6, 3),
             )
         if progress is not None:
-            progress(result, len(results), len(cells))
+            progress(result, len(done), len(cells))
 
-    if jobs > 1 and len(cells) > 1:
+    if jobs > 1 and len(pending) > 1:
         context = _pool_context()
         with context.Pool(
-            processes=min(jobs, len(cells)),
+            processes=min(jobs, len(pending)),
             initializer=_init_worker,
             initargs=(cache.payload(),),
         ) as pool:
             for result in pool.imap(
-                _run_cell_in_worker, cells, chunksize=chunksize
+                _run_cell_in_worker, pending, chunksize=chunksize
             ):
                 note(result)
     else:
-        for cell in cells:
+        for cell in pending:
             note(run_cell(cell, cache))
     wall = time.perf_counter() - started
     if instruments is not None:
         instruments.telemetry.event(
             "sweep_done",
-            cells=len(results),
+            cells=finished,
+            resumed=len(cells) - len(pending),
             jobs=jobs,
             duration_us=round(wall * 1e6, 3),
         )
-    return SweepResult(cells=results, jobs=jobs, wall_seconds=wall)
+    return SweepResult(
+        cells=[done[cell.index] for cell in cells],
+        jobs=jobs,
+        wall_seconds=wall,
+        resumed=len(cells) - len(pending),
+    )

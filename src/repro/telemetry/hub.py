@@ -116,8 +116,8 @@ class Telemetry:
         """Create the standard instrument families up front.
 
         Guarantees that a snapshot taken after any run contains at least
-        the ``tracker``, ``buffer``, ``faults``, ``cpu``, ``vm`` and
-        ``manager`` families, even for workloads that never exercise a
+        the ``tracker``, ``buffer``, ``faults``, ``cpu``, ``vm``,
+        ``manager`` and ``store`` families, even for workloads that never exercise a
         subsystem (e.g. a pure-replay run never builds a
         ``BufferedPIFT``, and most runs inject no faults).
         """
@@ -163,6 +163,10 @@ class Telemetry:
         m.counter("manager.sources_registered", "framework source events")
         m.counter("manager.sink_checks", "framework sink checks")
         m.counter("manager.leaks", "sink checks that found taint")
+        m.counter("store.hits", "store entry hits")
+        m.counter("store.misses", "store entry misses")
+        m.counter("store.writes", "store entries written")
+        m.counter("store.corruptions", "corrupt entries quarantined")
         return self
 
 

@@ -122,3 +122,65 @@ class TestFaultsJson:
     def test_no_vectorized_escape_hatch(self, capsys):
         payload = run_json(capsys, self.ARGS + ["--no-vectorized"])
         assert payload["config"]["vectorized"] is False
+
+
+class TestStoreJson:
+    """Schema freeze for ``repro store stats --json`` and the ``store``
+    block the sweep/faults documents grow under ``--store``."""
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("cli-store"))
+
+    def test_stats_schema_on_fresh_store(self, capsys, store_dir):
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "store-stats"
+        assert set(payload) >= {
+            "command", "root", "store_version", "entries", "payload_bytes",
+            "kinds", "quarantined", "journals", "counters",
+        }
+        assert payload["entries"] == 0
+        assert set(payload["counters"]) == {
+            "hits", "misses", "writes", "corruptions",
+        }
+
+    def test_sweep_store_block_schema(self, capsys, store_dir):
+        argv = [
+            "sweep", "--windows", "5", "--caps", "2",
+            "--store", store_dir, "--json",
+        ]
+        capsys.readouterr()
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["store"]) == {
+            "root", "run_id", "resumed_cells", "recordings", "store_hits",
+        }
+        assert payload["store"]["root"] == store_dir
+        assert payload["store"]["recordings"] == 1
+
+        # Second run against the same store: zero recordings, same cells.
+        capsys.readouterr()
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["store"]["recordings"] == 0
+        assert warm["store"]["store_hits"] >= 1
+        assert json.dumps(warm["cells"], sort_keys=True) == json.dumps(
+            payload["cells"], sort_keys=True
+        )
+
+    def test_verify_and_prune_schemas(self, capsys, store_dir):
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_dir, "--json"]) == 0
+        verify = json.loads(capsys.readouterr().out)
+        assert set(verify) >= {"command", "checked", "corrupt", "digests"}
+        assert verify["corrupt"] == 0
+
+        capsys.readouterr()
+        assert main(["store", "prune", "--store", store_dir, "--json"]) == 0
+        prune = json.loads(capsys.readouterr().out)
+        assert set(prune) >= {
+            "command", "removed_entries", "quarantine_files_removed",
+            "removed_bytes",
+        }
