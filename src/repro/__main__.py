@@ -13,6 +13,13 @@ Commands:
   ``verify``); ``sweep`` and ``faults`` take ``--store DIR`` to record
   each suite once *ever* and ``--resume RUN_ID`` to continue a killed
   grid from its journal
+* ``report``   — post-hoc run summary (per-cell / per-worker timings,
+  store traffic, stalls) reconstructed from a run's journal and its
+  persisted telemetry stream
+
+``sweep`` and ``faults`` also take ``--trace-out run.trace.json`` to
+export the run as Chrome trace-event JSON (open in Perfetto) and
+``--stall-timeout SECONDS`` to warn when a worker goes quiet mid-cell.
 """
 
 from __future__ import annotations
@@ -52,6 +59,20 @@ def _add_telemetry_arguments(
             "--json", action="store_true",
             help="emit the command's result as machine-readable JSON",
         )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH.json", default=None,
+        help="export the run as Chrome trace-event JSON "
+             "(loadable in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="warn on stderr (and emit a worker_stall telemetry event) "
+             "when a worker goes quiet this long mid-cell; implies "
+             "telemetry",
+    )
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,12 +152,93 @@ def _config_dict(config) -> dict:
 
 def _make_telemetry(args):
     """Build the hub the run's flags ask for, or None for the no-op path."""
-    if not getattr(args, "telemetry", None) and args.metrics_dump is None:
+    wants_hub = (
+        getattr(args, "telemetry", None)
+        or args.metrics_dump is not None
+        or getattr(args, "trace_out", None)
+        or getattr(args, "stall_timeout", None) is not None
+    )
+    if not wants_hub:
         return None
     from repro.telemetry import Telemetry, TelemetryWriter
 
     writer = TelemetryWriter(args.telemetry) if args.telemetry else None
     return Telemetry(writer=writer).preregister_standard()
+
+
+def _attach_recorder(args, telemetry):
+    """Tee an in-memory flight recorder into the hub's event stream.
+
+    The recorder feeds ``--trace-out`` and the run stream persisted next
+    to the journal (what ``repro report`` reads).  Returns ``None`` for
+    untelemetered runs.
+    """
+    if telemetry is None:
+        return None
+    from repro.telemetry import TeeWriter
+    from repro.telemetry.tracefmt import FlightRecorder
+
+    recorder = FlightRecorder()
+    if telemetry.writer is not None:
+        telemetry.writer = TeeWriter(telemetry.writer, recorder)
+    else:
+        telemetry.writer = recorder
+    return recorder
+
+
+def _stall_printer(args):
+    """The ``on_stall`` callback ``--stall-timeout`` asks for, or None."""
+    if getattr(args, "stall_timeout", None) is None:
+        return None
+
+    def on_stall(worker_id, cell_index, quiet_seconds):
+        print(
+            f"warning: worker {worker_id} quiet for {quiet_seconds:.1f}s "
+            f"on cell {cell_index} (stall timeout "
+            f"{args.stall_timeout:g}s)",
+            file=sys.stderr,
+        )
+
+    return on_stall
+
+
+def _finish_observability(
+    args, telemetry, recorder, store=None, journal=None, payload=None
+) -> None:
+    """Persist the run's flight-recorder stream and Chrome trace.
+
+    Journaled runs get the stream written to
+    ``<store>/journals/<run-id>.telemetry.jsonl`` (with a final
+    ``run_metrics`` trailer carrying the metric snapshot) so
+    ``repro report`` can reconstruct the run later; ``--trace-out``
+    additionally exports the Perfetto-loadable trace document.
+    """
+    if recorder is None:
+        return
+    run_id = journal.run_id if journal is not None else None
+    if store is not None and journal is not None:
+        stream_path = store.telemetry_path(journal.run_id)
+        count = recorder.dump_jsonl(
+            stream_path,
+            extra=[{"type": "run_metrics", "metrics": telemetry.snapshot()}],
+        )
+        print(
+            f"telemetry stream: {count} records -> {stream_path}",
+            file=sys.stderr,
+        )
+    if getattr(args, "trace_out", None):
+        from repro.telemetry.tracefmt import write_chrome_trace
+
+        document = write_chrome_trace(
+            recorder.records, args.trace_out, run_id=run_id
+        )
+        print(
+            f"trace: {len(document['traceEvents'])} events -> "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+        if payload is not None:
+            payload["trace_out"] = args.trace_out
 
 
 def _finish_telemetry(args, telemetry, payload=None) -> None:
@@ -226,6 +328,7 @@ def cmd_sweep(args) -> int:
         vectorized=not args.no_vectorized,
     )
     telemetry = _make_telemetry(args)
+    recorder = _attach_recorder(args, telemetry)
     store = _open_store(args, telemetry)
 
     progress = None
@@ -255,6 +358,8 @@ def cmd_sweep(args) -> int:
         telemetry=telemetry,
         progress=progress,
         journal=journal,
+        stall_timeout=args.stall_timeout,
+        on_stall=_stall_printer(args),
     )
     if journal is not None:
         summary = _store_summary(store, journal, cache, result)
@@ -275,6 +380,10 @@ def cmd_sweep(args) -> int:
         }
         if journal is not None:
             payload["store"] = _store_summary(store, journal, cache, result)
+        _finish_observability(
+            args, telemetry, recorder,
+            store=store, journal=journal, payload=payload,
+        )
         _finish_telemetry(args, telemetry, payload)
         print(json.dumps(payload, indent=2))
         return 0
@@ -307,6 +416,8 @@ def cmd_sweep(args) -> int:
         f"{timings['events_tracked']} events re-tracked",
         file=sys.stderr,
     )
+    _finish_observability(args, telemetry, recorder, store=store,
+                          journal=journal)
     _finish_telemetry(args, telemetry)
     return 0
 
@@ -437,6 +548,7 @@ def cmd_faults(args) -> int:
     policy = OverflowPolicy(args.policy)
 
     telemetry = _make_telemetry(args)
+    recorder = _attach_recorder(args, telemetry)
     store = _open_store(args, telemetry)
     cache = None
     if store is not None:
@@ -480,6 +592,9 @@ def cmd_faults(args) -> int:
         jobs=args.jobs,
         cache=cache,
         journal=journal,
+        telemetry=telemetry,
+        stall_timeout=args.stall_timeout,
+        on_stall=_stall_printer(args),
     )
     latency = detection_latency_table(
         _lgroot_recorded(store, args.work),
@@ -519,6 +634,10 @@ def cmd_faults(args) -> int:
                 "recordings": cache.recordings,
                 "store_hits": cache.store_hits,
             }
+        _finish_observability(
+            args, telemetry, recorder,
+            store=store, journal=journal, payload=payload,
+        )
         _finish_telemetry(args, telemetry, payload)
         print(json.dumps(payload, indent=2))
         return 0
@@ -542,7 +661,40 @@ def cmd_faults(args) -> int:
             f"max_behind={row.max_events_behind} missed={row.missed} "
             f"forced_drops={row.forced_drops} degraded={row.degraded_checks}"
         )
+    _finish_observability(args, telemetry, recorder, store=store,
+                          journal=journal)
     _finish_telemetry(args, telemetry)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import build_run_report, render_run_report
+    from repro.store import ArtifactStore, JournalError, RunJournal
+
+    store = ArtifactStore(args.store, read_only=True)
+    try:
+        journal = RunJournal.load(store.journal_path(args.run_id))
+    except JournalError as error:
+        known = ", ".join(store.journal_ids()) or "none"
+        raise SystemExit(f"{error} (runs in this store: {known})")
+    records = []
+    stream_path = store.telemetry_path(args.run_id)
+    if stream_path.exists():
+        from repro.telemetry import read_events
+
+        records = read_events(stream_path)
+    report = build_run_report(journal, records, slowest=args.slowest)
+    if args.json:
+        print(json.dumps({"command": "report", **report}, indent=2))
+    else:
+        print(render_run_report(report))
+        if not records:
+            print(
+                "(no telemetry stream for this run; re-run the sweep with "
+                "--telemetry/--trace-out/--stall-timeout for worker "
+                "attribution and store traffic)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -661,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print per-cell progress to stderr")
     _add_store_arguments(sweep_cmd)
     _add_telemetry_arguments(sweep_cmd, with_json=True)
+    _add_observability_arguments(sweep_cmd)
     sweep_cmd.set_defaults(func=cmd_sweep)
 
     malware = commands.add_parser("malware", help="seven-sample malware scan")
@@ -729,7 +882,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_arguments(faults)
     _add_telemetry_arguments(faults, with_json=True)
+    _add_observability_arguments(faults)
     faults.set_defaults(func=cmd_faults)
+
+    report_cmd = commands.add_parser(
+        "report",
+        help="post-hoc summary of a journaled run",
+        description="Join a run's journal with its persisted telemetry "
+                    "stream and print per-cell wall times, per-worker "
+                    "utilization, the slowest cells, store traffic and "
+                    "relay drop counts — no re-execution.",
+    )
+    report_cmd.add_argument("run_id", help="run id (listed by 'store stats')")
+    report_cmd.add_argument("--store", metavar="DIR", required=True,
+                            help="store directory holding the run journal")
+    report_cmd.add_argument("--slowest", type=int, default=5, metavar="N",
+                            help="how many slowest cells to list (default 5)")
+    report_cmd.add_argument("--json", action="store_true",
+                            help="emit the report as machine-readable JSON")
+    report_cmd.set_defaults(func=cmd_report)
 
     store_cmd = commands.add_parser(
         "store",

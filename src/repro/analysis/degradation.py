@@ -262,6 +262,8 @@ def degradation_curve(
     progress=None,
     cache=None,
     journal=None,
+    stall_timeout: Optional[float] = None,
+    on_stall=None,
 ) -> DegradationCurve:
     """Sweep one fault site's rate; evaluate the suite at each point.
 
@@ -280,8 +282,9 @@ def degradation_curve(
     ``cache`` overrides the internally-built :class:`TraceCache` (the
     CLI passes a store-backed one so recordings persist across
     invocations); ``journal`` (:class:`repro.store.RunJournal`)
-    checkpoints each point and resumes a killed sweep — both forwarded
-    to :func:`repro.sweep.run_sweep`.
+    checkpoints each point and resumes a killed sweep; ``stall_timeout``
+    / ``on_stall`` arm the telemetry relay's straggler detector — all
+    forwarded to :func:`repro.sweep.run_sweep`.
     """
     from repro.sweep import TraceCache, run_sweep
 
@@ -297,6 +300,7 @@ def degradation_curve(
     result = run_sweep(
         cells, cache=cache, jobs=jobs, telemetry=telemetry,
         progress=progress, journal=journal,
+        stall_timeout=stall_timeout, on_stall=on_stall,
     )
     curve = DegradationCurve(config=config, site=site, seed=seed)
     for cell in result.cells:
@@ -320,6 +324,7 @@ def degradation_grid(
     seed: int = 1,
     site: str = "event_loss",
     jobs: int = 1,
+    telemetry=None,
 ) -> Dict[Tuple[int, int], DegradationCurve]:
     """One degradation curve per ``(NI, NT)`` cell.
 
@@ -343,7 +348,8 @@ def degradation_grid(
         )
     ]
     result = run_sweep(
-        cells, cache=TraceCache(droidbench=list(apps)), jobs=jobs
+        cells, cache=TraceCache(droidbench=list(apps)), jobs=jobs,
+        telemetry=telemetry,
     )
     grid: Dict[Tuple[int, int], DegradationCurve] = {}
     for position, config in enumerate(configs):

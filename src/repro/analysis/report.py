@@ -1,0 +1,245 @@
+"""Post-hoc run reports: join a sweep journal with its telemetry stream.
+
+``repro report <run-id>`` answers "what did that run actually do?" after
+the fact, from persisted artifacts alone: the
+:class:`~repro.store.RunJournal` (which cells finished, how long each
+took, which worker pid evaluated it) and — when the run was telemetered —
+the flight-recorder stream saved next to it
+(``<store>/journals/<run-id>.telemetry.jsonl``), which adds relay
+attribution (pid → relay worker id), heartbeat/stall history, drop
+counts, and the final metric snapshot (store hits/misses).
+
+:func:`build_run_report` produces the machine form (the ``--json``
+document CI schema-freezes); :func:`render_run_report` the human tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _worker_ids_by_pid(records: Sequence[dict]) -> Dict[int, int]:
+    """pid → relay worker id, from worker_start/heartbeat records."""
+    mapping: Dict[int, int] = {}
+    for record in records:
+        pid = record.get("pid")
+        worker = record.get("worker_id")
+        if pid is not None and worker:
+            mapping.setdefault(int(pid), int(worker))
+    return mapping
+
+
+def _run_metrics(records: Sequence[dict]) -> Optional[dict]:
+    """The final metric snapshot trailer, if the stream carries one."""
+    for record in reversed(list(records)):
+        if record.get("type") == "run_metrics":
+            return record.get("metrics")
+    return None
+
+
+def _metric_value(snapshot: Optional[dict], family: str, name: str):
+    if not snapshot:
+        return None
+    entry = snapshot.get(family, {}).get(name)
+    return entry.get("value") if isinstance(entry, dict) else None
+
+
+def build_run_report(
+    journal,
+    telemetry_records: Optional[Sequence[dict]] = None,
+    slowest: int = 5,
+) -> dict:
+    """Reconstruct a run summary from journal + (optional) telemetry.
+
+    Everything per-cell and per-worker comes from the journal; the
+    telemetry stream, when present, contributes wall clock, relay worker
+    ids, span/heartbeat/stall accounting, drop counts, and store
+    traffic.  Workers are keyed by the pid the journal recorded.
+    """
+    rows = journal.cell_rows()
+    records = list(telemetry_records or [])
+
+    wall_seconds = None
+    for record in records:
+        if record.get("type") == "sweep_done":
+            duration_us = record.get("duration_us")
+            if duration_us is not None:
+                wall_seconds = float(duration_us) / 1e6
+    worker_ids = _worker_ids_by_pid(records)
+
+    per_worker: Dict[str, dict] = {}
+    for row in rows:
+        pid = row["worker"]
+        entry = per_worker.setdefault(
+            str(pid),
+            {
+                "pid": pid,
+                "worker_id": worker_ids.get(pid),
+                "cells": 0,
+                "events_tracked": 0,
+                "busy_seconds": 0.0,
+            },
+        )
+        entry["cells"] += 1
+        entry["events_tracked"] += row["events_tracked"]
+        entry["busy_seconds"] += row["duration_seconds"]
+    for entry in per_worker.values():
+        entry["busy_seconds"] = round(entry["busy_seconds"], 6)
+        entry["utilization"] = (
+            round(entry["busy_seconds"] / wall_seconds, 4)
+            if wall_seconds
+            else None
+        )
+
+    slowest_cells = sorted(
+        rows, key=lambda row: row["duration_seconds"], reverse=True
+    )[: max(slowest, 0)]
+
+    telemetry_block = None
+    if records:
+        cell_spans = [
+            record
+            for record in records
+            if record.get("type") == "span"
+            and record.get("name") == "sweep.cell"
+        ]
+        stalls = [
+            {
+                "worker_id": record.get("worker_id"),
+                "pid": record.get("pid"),
+                "cell_index": record.get("cell_index"),
+                "quiet_seconds": record.get("quiet_seconds"),
+            }
+            for record in records
+            if record.get("type") == "worker_stall"
+        ]
+        dropped = 0
+        for record in records:
+            if record.get("type") == "relay_summary":
+                dropped = record.get("dropped_events", 0)
+        snapshot = _run_metrics(records)
+        telemetry_block = {
+            "events": len(records),
+            "cell_spans": len(cell_spans),
+            "heartbeats": sum(
+                1 for record in records if record.get("type") == "heartbeat"
+            ),
+            "stalls": stalls,
+            "dropped_events": dropped,
+            "store_hits": _metric_value(snapshot, "store", "store.hits"),
+            "store_misses": _metric_value(snapshot, "store", "store.misses"),
+        }
+
+    return {
+        "run_id": journal.run_id,
+        "fingerprint": journal.fingerprint,
+        "cells_total": journal.total_cells,
+        "cells_completed": len(rows),
+        "wall_seconds": wall_seconds,
+        "per_cell": rows,
+        "per_worker": per_worker,
+        "slowest_cells": slowest_cells,
+        "telemetry": telemetry_block,
+    }
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    """Minimal fixed-width table lines (headers + aligned rows)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for position, value in enumerate(row):
+            widths[position] = max(widths[position], len(value))
+    def fmt(row):
+        return "  ".join(
+            value.ljust(widths[position])
+            for position, value in enumerate(row)
+        ).rstrip()
+    return [fmt(headers), fmt(["-" * width for width in widths])] + [
+        fmt(row) for row in rows
+    ]
+
+
+def render_run_report(report: dict) -> str:
+    """The human-readable form of :func:`build_run_report`'s document."""
+    lines = [
+        f"run {report['run_id']}: "
+        f"{report['cells_completed']}/{report['cells_total']} cells"
+        + (
+            f", {report['wall_seconds']:.2f}s wall"
+            if report["wall_seconds"] is not None
+            else ""
+        )
+    ]
+
+    lines.append("")
+    lines.append("per-worker:")
+    worker_rows = []
+    for key in sorted(report["per_worker"], key=int):
+        entry = report["per_worker"][key]
+        worker_rows.append(
+            [
+                str(entry["worker_id"]) if entry["worker_id"] else "-",
+                str(entry["pid"]),
+                str(entry["cells"]),
+                f"{entry['busy_seconds']:.3f}",
+                (
+                    f"{entry['utilization'] * 100:.0f}%"
+                    if entry["utilization"] is not None
+                    else "-"
+                ),
+                str(entry["events_tracked"]),
+            ]
+        )
+    lines.extend(
+        _table(
+            ["worker", "pid", "cells", "busy_s", "util", "events"],
+            worker_rows,
+        )
+    )
+
+    lines.append("")
+    lines.append("slowest cells:")
+    cell_rows = [
+        [
+            str(row["index"]),
+            str(row["ni"]),
+            str(row["nt"]),
+            f"{row['rate']:g}" if row["rate"] is not None else "-",
+            (
+                f"{row['accuracy'] * 100:.1f}%"
+                if row.get("accuracy") is not None
+                else "-"
+            ),
+            f"{row['duration_seconds']:.3f}",
+            str(row["worker"]),
+        ]
+        for row in report["slowest_cells"]
+    ]
+    lines.extend(
+        _table(
+            ["cell", "ni", "nt", "rate", "accuracy", "seconds", "pid"],
+            cell_rows,
+        )
+    )
+
+    telemetry = report.get("telemetry")
+    if telemetry is not None:
+        lines.append("")
+        lines.append(
+            f"telemetry: {telemetry['events']} events, "
+            f"{telemetry['cell_spans']} cell spans, "
+            f"{telemetry['heartbeats']} heartbeats, "
+            f"{telemetry['dropped_events']} dropped"
+        )
+        if telemetry["store_hits"] is not None:
+            lines.append(
+                f"store: {telemetry['store_hits']} hits, "
+                f"{telemetry['store_misses']} misses"
+            )
+        for stall in telemetry["stalls"]:
+            lines.append(
+                f"stall: worker {stall['worker_id']} "
+                f"(pid {stall['pid']}) on cell {stall['cell_index']} "
+                f"quiet {stall['quiet_seconds']}s"
+            )
+    return "\n".join(lines)

@@ -240,6 +240,34 @@ class RunJournal:
             for index, record in self.completed.items()
         }
 
+    def cell_rows(self) -> List[dict]:
+        """Flat per-cell rows for post-hoc reporting (``repro report``).
+
+        One dict per checkpointed cell, in index order, carrying the
+        deterministic identity plus the run's timing bookkeeping —
+        ``worker`` is the evaluating process's pid, the join key against
+        the relayed telemetry stream's track metadata.
+        """
+        rows = []
+        for index in sorted(self.completed):
+            record = self.completed[index]
+            cell = record.get("cell", {})
+            rows.append(
+                {
+                    "index": index,
+                    "ni": cell.get("ni"),
+                    "nt": cell.get("nt"),
+                    "rate": cell.get("rate"),
+                    "site": cell.get("site"),
+                    "accuracy": cell.get("accuracy"),
+                    "events_tracked": cell.get("events_tracked", 0),
+                    "operations": cell.get("operations", 0),
+                    "duration_seconds": record.get("duration_seconds", 0.0),
+                    "worker": record.get("worker", 0),
+                }
+            )
+        return rows
+
     def append(self, result) -> None:
         """Checkpoint one finished cell (flushed + fsync'd before return)."""
         record = cell_result_to_record(result)

@@ -207,10 +207,22 @@ class ArtifactStore:
             raise StoreError(f"bad run id {run_id!r}")
         return self.journals_dir / f"{run_id}.jsonl"
 
+    def telemetry_path(self, run_id: str) -> Path:
+        """The run's persisted flight-recorder stream (JSONL), next to its
+        journal — what ``repro report`` joins against post hoc."""
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise StoreError(f"bad run id {run_id!r}")
+        return self.journals_dir / f"{run_id}.telemetry.jsonl"
+
     def journal_ids(self) -> List[str]:
         if not self.journals_dir.is_dir():
             return []
-        return sorted(p.stem for p in self.journals_dir.glob("*.jsonl"))
+        return sorted(
+            p.stem
+            for p in self.journals_dir.glob("*.jsonl")
+            # Telemetry streams live alongside journals but are not runs.
+            if not p.stem.endswith(".telemetry")
+        )
 
     # -- counters ---------------------------------------------------------
 

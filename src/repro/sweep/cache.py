@@ -168,12 +168,20 @@ class TraceCache:
         return payload
 
     @classmethod
-    def from_payload(cls, payload: Dict) -> "TraceCache":
+    def from_payload(
+        cls, payload: Dict, telemetry=None
+    ) -> "TraceCache":
+        """Rebuild a worker-side cache; ``telemetry`` (the worker's relay
+        hub, when the sweep runs instrumented) feeds the re-opened
+        store's ``store.*`` counters so parallel-run store traffic is
+        attributed instead of lost."""
         store = None
         if payload.get("store_path"):
             from repro.store import ArtifactStore
 
-            store = ArtifactStore(payload["store_path"], read_only=True)
+            store = ArtifactStore(
+                payload["store_path"], read_only=True, telemetry=telemetry
+            )
         cache = cls(
             droidbench=payload["droidbench"].get("runs"),
             malware=payload["malware"].get("runs"),

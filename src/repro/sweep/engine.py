@@ -128,12 +128,27 @@ class SweepResult:
         }
 
 
-def run_cell(cell: SweepCell, cache: TraceCache) -> CellResult:
-    """Evaluate one cell against the cached recordings (pure, per-seed)."""
+def run_cell(
+    cell: SweepCell, cache: TraceCache, telemetry=None
+) -> CellResult:
+    """Evaluate one cell against the cached recordings (pure, per-seed).
+
+    ``telemetry`` instruments at **cell granularity** only: a
+    ``sweep.cell`` span plus tracker counters derived from the replayed
+    stats after the fact.  The hub is deliberately *not* passed into
+    ``replay``/``faulted_replay`` — attaching a hub to the tracker binds
+    per-event shadow methods and disables the vectorised column kernel,
+    which would both distort the sweep being observed and flood the
+    relay with per-mutation events.
+    """
+    from contextlib import nullcontext
+
     from repro.analysis.accuracy import AccuracyReport
     from repro.analysis.degradation import _accumulate, faulted_replay
     from repro.analysis.replay import replay
+    from repro.telemetry.hub import active
 
+    tel = active(telemetry)
     started = time.perf_counter()
     state_factory = resolve_state_factory(cell.state_spec)
     plan = FaultPlan(
@@ -160,26 +175,52 @@ def run_cell(cell: SweepCell, cache: TraceCache) -> CellResult:
             replayed.stats.loads_observed + replayed.stats.stores_observed
         )
         result.operations += replayed.stats.total_operations
+        if tel is not None:
+            m = tel.metrics
+            m.counter("tracker.loads").inc(replayed.stats.loads_observed)
+            m.counter("tracker.stores").inc(replayed.stats.stores_observed)
+            m.counter("tracker.events").inc(
+                replayed.stats.loads_observed + replayed.stats.stores_observed
+            )
+            m.counter("tracker.taint_ops").inc(
+                replayed.stats.taint_operations
+            )
+            m.counter("tracker.untaint_ops").inc(
+                replayed.stats.untaint_operations
+            )
         return replayed, stats
 
-    if cell.droidbench:
-        report = AccuracyReport()
-        for app in cache.droidbench_runs():
-            replayed, stats = track(app.recorded)
-            if stats is not None:
-                _accumulate(result.fault_stats, stats)
-            report.record(app.name, app.leaks, replayed.alarm)
-        result.report = report
-    if cell.malware:
-        runs = cache.malware_runs()
-        detected = 0
-        for run in runs:
-            replayed, stats = track(run.recorded)
-            detected += int(replayed.alarm)
-            if stats is not None and not cell.droidbench:
-                _accumulate(result.fault_stats, stats)
-        result.malware_detected = detected
-        result.malware_total = len(runs)
+    span = (
+        tel.span(
+            "sweep.cell",
+            cell_index=cell.index,
+            ni=cell.config.window_size,
+            nt=cell.config.max_propagations,
+            rate=cell.rate,
+            site=cell.site,
+        )
+        if tel is not None
+        else nullcontext()
+    )
+    with span:
+        if cell.droidbench:
+            report = AccuracyReport()
+            for app in cache.droidbench_runs():
+                replayed, stats = track(app.recorded)
+                if stats is not None:
+                    _accumulate(result.fault_stats, stats)
+                report.record(app.name, app.leaks, replayed.alarm)
+            result.report = report
+        if cell.malware:
+            runs = cache.malware_runs()
+            detected = 0
+            for run in runs:
+                replayed, stats = track(run.recorded)
+                detected += int(replayed.alarm)
+                if stats is not None and not cell.droidbench:
+                    _accumulate(result.fault_stats, stats)
+            result.malware_detected = detected
+            result.malware_total = len(runs)
     result.duration_seconds = time.perf_counter() - started
     result.worker = os.getpid()
     return result
@@ -188,16 +229,35 @@ def run_cell(cell: SweepCell, cache: TraceCache) -> CellResult:
 # -- pool plumbing -----------------------------------------------------------
 
 _WORKER_CACHE: Optional[TraceCache] = None
+_WORKER_TELEMETRY = None
 
 
-def _init_worker(payload: dict) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = TraceCache.from_payload(payload)
+def _init_worker(payload: dict, relay_payload: Optional[dict] = None) -> None:
+    global _WORKER_CACHE, _WORKER_TELEMETRY
+    _WORKER_TELEMETRY = None
+    if relay_payload is not None:
+        from repro.telemetry.relay import init_worker_telemetry
+
+        _WORKER_TELEMETRY = init_worker_telemetry(relay_payload)
+    _WORKER_CACHE = TraceCache.from_payload(
+        payload, telemetry=_WORKER_TELEMETRY
+    )
 
 
 def _run_cell_in_worker(cell: SweepCell) -> CellResult:
     assert _WORKER_CACHE is not None, "worker initializer did not run"
-    return run_cell(cell, _WORKER_CACHE)
+    tel = _WORKER_TELEMETRY
+    if tel is None:
+        return run_cell(cell, _WORKER_CACHE)
+    client = tel.relay_client
+    client.current_cell = cell.index
+    client.heartbeat()  # mark the cell busy before any work happens
+    try:
+        result = run_cell(cell, _WORKER_CACHE, telemetry=tel)
+    finally:
+        client.current_cell = None
+    client.ship_snapshot(tel.metrics, cell.index)
+    return result
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -210,7 +270,17 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 class _EngineInstruments:
-    """Parent-side telemetry for a sweep run (workers stay silent)."""
+    """Parent-side telemetry for a sweep run.
+
+    Workers report back through :class:`repro.telemetry.relay
+    .TelemetryRelay` when one is attached; these instruments cover what
+    only the parent sees (completion order, journal resume, run wall
+    time).  Per-cell durations land twice: once in the aggregate
+    ``sweep.cell.duration_seconds`` histogram and once in a
+    ``worker_id``-labelled series per worker process.
+    """
+
+    _CELL_DURATION_HELP = "per-cell evaluation wall time"
 
     def __init__(self, telemetry) -> None:
         m = telemetry.metrics
@@ -219,13 +289,21 @@ class _EngineInstruments:
         self.events = m.counter(
             "sweep.events_tracked", "events re-tracked across all cells"
         )
-        self.cell_seconds = m.histogram(
-            "sweep.cell_seconds", "per-cell evaluation wall time"
+        self.cell_duration = m.histogram(
+            "sweep.cell.duration_seconds", self._CELL_DURATION_HELP
         )
         self.workers = m.gauge("sweep.jobs", "worker processes in use")
         self.resumed = m.counter(
             "sweep.resumed_cells", "cells served from a resume journal"
         )
+
+    def observe_cell(self, result: "CellResult") -> None:
+        self.cell_duration.observe(result.duration_seconds)
+        self.telemetry.metrics.histogram(
+            "sweep.cell.duration_seconds",
+            self._CELL_DURATION_HELP,
+            labels={"worker_id": str(result.worker)},
+        ).observe(result.duration_seconds)
 
 
 def run_sweep(
@@ -236,6 +314,9 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     chunksize: int = 1,
     journal=None,
+    stall_timeout: Optional[float] = None,
+    on_stall=None,
+    heartbeat_interval: Optional[float] = None,
 ) -> SweepResult:
     """Evaluate every cell of ``work``; identical results at any ``jobs``.
 
@@ -253,6 +334,17 @@ def run_sweep(
     uninterrupted one.  The journal must have been created for this
     exact grid (fingerprint-checked; :class:`repro.store.JournalError`
     otherwise).
+
+    With telemetry enabled and ``jobs > 1``, a
+    :class:`~repro.telemetry.relay.TelemetryRelay` is attached: every
+    worker gets its own hub whose spans and metric deltas ship back over
+    a queue and merge here with ``worker_id``/``cell_index``
+    attribution.  ``stall_timeout`` arms the relay's straggler detector:
+    a worker quiet for longer than that many seconds mid-cell raises a
+    ``worker_stall`` telemetry event and calls ``on_stall(worker_id,
+    cell_index, quiet_seconds)``.  ``heartbeat_interval`` overrides the
+    worker liveness cadence.  All of it is observational — results stay
+    bit-identical to a telemetry-off run.
     """
     cells = list(work.cells() if isinstance(work, GridSpec) else work)
     if jobs < 1:
@@ -290,7 +382,7 @@ def run_sweep(
         if instruments is not None:
             instruments.cells.inc()
             instruments.events.inc(result.events_tracked)
-            instruments.cell_seconds.observe(result.duration_seconds)
+            instruments.observe_cell(result)
             instruments.telemetry.event(
                 "sweep_cell",
                 index=result.index,
@@ -307,18 +399,36 @@ def run_sweep(
 
     if jobs > 1 and len(pending) > 1:
         context = _pool_context()
-        with context.Pool(
-            processes=min(jobs, len(pending)),
-            initializer=_init_worker,
-            initargs=(cache.payload(),),
-        ) as pool:
-            for result in pool.imap(
-                _run_cell_in_worker, pending, chunksize=chunksize
-            ):
-                note(result)
+        relay = None
+        relay_payload = None
+        if instruments is not None:
+            from repro.telemetry.relay import TelemetryRelay
+
+            relay_kwargs = {
+                "stall_timeout": stall_timeout,
+                "on_stall": on_stall,
+            }
+            if heartbeat_interval is not None:
+                relay_kwargs["heartbeat_interval"] = heartbeat_interval
+            relay = TelemetryRelay(telemetry, context, **relay_kwargs)
+            relay_payload = relay.worker_payload()
+            relay.start()
+        try:
+            with context.Pool(
+                processes=min(jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(cache.payload(), relay_payload),
+            ) as pool:
+                for result in pool.imap(
+                    _run_cell_in_worker, pending, chunksize=chunksize
+                ):
+                    note(result)
+        finally:
+            if relay is not None:
+                relay.stop()
     else:
         for cell in pending:
-            note(run_cell(cell, cache))
+            note(run_cell(cell, cache, telemetry=telemetry))
     wall = time.perf_counter() - started
     if instruments is not None:
         instruments.telemetry.event(

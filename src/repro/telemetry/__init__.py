@@ -10,7 +10,12 @@ The observability layer for the PIFT stack:
 * :mod:`repro.telemetry.exporters` — JSON snapshot and Prometheus text
   format;
 * :mod:`repro.telemetry.hub` — the :class:`Telemetry` facade threaded
-  through the stack, and the :func:`active` disabled-path contract.
+  through the stack, and the :func:`active` disabled-path contract;
+* :mod:`repro.telemetry.relay` — the cross-process channel that ships
+  pool-worker spans, heartbeats and metric deltas back to the parent
+  hub during a parallel sweep;
+* :mod:`repro.telemetry.tracefmt` — the in-memory flight recorder and
+  its Chrome trace-event (Perfetto-loadable) export.
 
 Telemetry is **off by default** everywhere: every instrumented component
 takes ``telemetry=None`` and its hot path degenerates to a single
@@ -19,6 +24,7 @@ takes ``telemetry=None`` and its hot path degenerates to a single
 """
 
 from repro.telemetry.exporters import (
+    escape_label_value,
     snapshot,
     snapshot_json,
     to_prometheus_text,
@@ -35,14 +41,33 @@ from repro.telemetry.metrics import (
     NullGauge,
     NullHistogram,
     NullRegistry,
+    labeled_name,
+)
+from repro.telemetry.relay import (
+    RelayClient,
+    RelayWriter,
+    StallDetector,
+    TelemetryRelay,
 )
 from repro.telemetry.spans import Span, SpanContext, timed
-from repro.telemetry.writer import TelemetryWriter, iter_events, read_events
+from repro.telemetry.tracefmt import (
+    FlightRecorder,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.writer import (
+    TeeWriter,
+    TelemetryWriter,
+    iter_events,
+    read_events,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -50,15 +75,25 @@ __all__ = [
     "NullGauge",
     "NullHistogram",
     "NullRegistry",
+    "RelayClient",
+    "RelayWriter",
     "Span",
     "SpanContext",
+    "StallDetector",
+    "TeeWriter",
     "Telemetry",
+    "TelemetryRelay",
     "TelemetryWriter",
     "active",
+    "escape_label_value",
     "iter_events",
+    "labeled_name",
     "read_events",
     "snapshot",
     "snapshot_json",
     "timed",
+    "to_chrome_trace",
     "to_prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

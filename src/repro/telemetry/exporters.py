@@ -47,32 +47,67 @@ def _format_value(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside a quoted label value.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels, extra=None) -> str:
+    """Render ``{k="v",...}`` (escaped, sorted) or ``""`` when empty."""
+    pairs = dict(labels or {})
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(pairs[key])}"' for key in sorted(pairs)
+    )
+    return f"{{{inner}}}"
+
+
 def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Render every instrument in the Prometheus text exposition format."""
+    """Render every instrument in the Prometheus text exposition format.
+
+    Labelled series of one metric name share a single ``# HELP`` /
+    ``# TYPE`` header (the registry iterates name-adjacent), and label
+    values are escaped per the exposition format.
+    """
     lines = []
+    described = None
     for metric in registry:
         name = _prom_name(metric.name)
-        if metric.help:
-            lines.append(f"# HELP {name} {metric.help}")
+        labels = _prom_labels(metric.labels)
+        if name != described:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            described = name
         if isinstance(metric, Histogram):
-            lines.append(f"# TYPE {name} histogram")
             cumulative = 0
             for le, count in zip(metric.buckets, metric.counts):
                 cumulative += count
-                lines.append(
-                    f'{name}_bucket{{le="{_format_value(float(le))}"}} '
-                    f"{cumulative}"
+                bucket_labels = _prom_labels(
+                    metric.labels, {"le": _format_value(float(le))}
                 )
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
             cumulative += metric.counts[-1]
-            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{name}_sum {_format_value(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+            bucket_labels = _prom_labels(metric.labels, {"le": "+Inf"})
+            lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            lines.append(f"{name}_sum{labels} {_format_value(metric.sum)}")
+            lines.append(f"{name}_count{labels} {metric.count}")
         elif isinstance(metric, Gauge):
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_format_value(metric.value)}")
+            lines.append(f"{name}{labels} {_format_value(metric.value)}")
         elif isinstance(metric, Counter):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name}_total {metric.value}")
+            lines.append(f"{name}_total{labels} {metric.value}")
         else:  # pragma: no cover - registry only creates the above
             continue
     return "\n".join(lines) + ("\n" if lines else "")

@@ -21,6 +21,19 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+#: Label sets attach dimensions to an instrument (``{"worker_id": "3"}``).
+#: They are part of the registry key — the same name with different labels
+#: is a different instrument — and render as standard Prometheus labels.
+Labels = Optional[Dict[str, str]]
+
+
+def labeled_name(name: str, labels: Labels = None) -> str:
+    """The canonical registry key: ``name`` or ``name{k=v,...}`` sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
 #: Default histogram buckets: exponential, micro-seconds-to-seconds scale,
 #: suitable for wall-time observations recorded in seconds.
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
@@ -42,14 +55,15 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels: Labels = None) -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -57,7 +71,10 @@ class Counter:
         self.value += amount
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value}
+        payload = {"kind": self.kind, "value": self.value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
@@ -66,15 +83,16 @@ class Counter:
 class Gauge:
     """A value that can go up and down; remembers its high-water mark."""
 
-    __slots__ = ("name", "help", "value", "max_value")
+    __slots__ = ("name", "help", "value", "max_value", "labels")
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels: Labels = None) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
         self.max_value = 0.0
+        self.labels = dict(labels) if labels else None
 
     def set(self, value: float) -> None:
         self.value = value
@@ -88,7 +106,10 @@ class Gauge:
         self.value -= amount
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value, "max": self.max_value}
+        payload = {"kind": self.kind, "value": self.value, "max": self.max_value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def __repr__(self) -> str:
         return f"<Gauge {self.name}={self.value}>"
@@ -104,7 +125,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "buckets", "counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "labels")
 
     kind = "histogram"
 
@@ -113,6 +134,7 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Labels = None,
     ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted and non-empty")
@@ -124,6 +146,7 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.labels = dict(labels) if labels else None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.buckets, value)] += 1
@@ -163,7 +186,7 @@ class Histogram:
         return self.max if self.max is not None else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "count": self.count,
             "sum": self.sum,
@@ -174,6 +197,36 @@ class Histogram:
             "p99": self.percentile(99),
             "buckets": self.cumulative_buckets(),
         }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
+
+    def merge_counts(
+        self,
+        counts: Sequence[int],
+        count: int,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another histogram's raw per-bucket counts into this one.
+
+        Used by the telemetry relay to merge worker-side histograms into
+        the parent registry; the caller guarantees matching buckets.
+        """
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self.counts)}"
+            )
+        for position, bucket_count in enumerate(counts):
+            self.counts[position] += bucket_count
+        self.count += count
+        self.sum += total
+        if minimum is not None and (self.min is None or minimum < self.min):
+            self.min = minimum
+        if maximum is not None and (self.max is None or maximum > self.max):
+            self.max = maximum
 
     def cumulative_buckets(self) -> Dict[str, int]:
         """Prometheus-style cumulative ``le`` counts, ``+Inf`` last."""
@@ -213,43 +266,59 @@ class NullHistogram(Histogram):
 
 
 class MetricsRegistry:
-    """Get-or-create home for all instruments, keyed by dotted name."""
+    """Get-or-create home for all instruments, keyed by dotted name.
+
+    A name plus a label set identifies one instrument: the same name with
+    different labels is a different time series (the relay uses this for
+    per-worker ``sweep.cell.duration_seconds`` histograms).
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help=help)
+    def counter(
+        self, name: str, help: str = "", labels: Labels = None
+    ) -> Counter:
+        return self._get_or_create(name, Counter, help=help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, help=help)
+    def gauge(self, name: str, help: str = "", labels: Labels = None) -> Gauge:
+        return self._get_or_create(name, Gauge, help=help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Labels = None,
     ) -> Histogram:
-        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+        return self._get_or_create(
+            name, Histogram, help=help, buckets=buckets, labels=labels
+        )
 
-    def _get_or_create(self, name: str, klass, **kwargs):
-        existing = self._metrics.get(name)
+    def _get_or_create(self, name: str, klass, labels: Labels = None, **kwargs):
+        key = labeled_name(name, labels)
+        existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, klass):
                 raise TypeError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(existing).__name__}, requested {klass.__name__}"
                 )
             return existing
-        metric = klass(name, **kwargs)
-        self._metrics[name] = metric
+        metric = klass(name, labels=labels, **kwargs)
+        self._metrics[key] = metric
         return metric
 
-    def get(self, name: str):
-        return self._metrics.get(name)
+    def get(self, name: str, labels: Labels = None):
+        return self._metrics.get(labeled_name(name, labels))
 
     def __iter__(self):
-        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+        return iter(
+            sorted(
+                self._metrics.values(),
+                key=lambda m: (m.name, labeled_name(m.name, m.labels)),
+            )
+        )
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -263,11 +332,16 @@ class MetricsRegistry:
         return [m for m in self if m.name.split(".", 1)[0] == prefix]
 
     def as_dict(self) -> dict:
-        """Snapshot: ``{family: {metric_name: metric_dict}}``."""
+        """Snapshot: ``{family: {metric_key: metric_dict}}``.
+
+        Label-carrying instruments key as ``name{k=v,...}`` so several
+        series of one name coexist in the snapshot.
+        """
         snapshot: Dict[str, dict] = {}
         for metric in self:
             family = metric.name.split(".", 1)[0]
-            snapshot.setdefault(family, {})[metric.name] = metric.as_dict()
+            key = labeled_name(metric.name, metric.labels)
+            snapshot.setdefault(family, {})[key] = metric.as_dict()
         return snapshot
 
 
@@ -280,11 +354,12 @@ class NullRegistry(MetricsRegistry):
         self._null_gauge = NullGauge("null")
         self._null_histogram = NullHistogram("null")
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(self, name: str, help: str = "", labels: Labels = None) -> Counter:
         return self._null_counter
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name: str, help: str = "", labels: Labels = None) -> Gauge:
         return self._null_gauge
 
-    def histogram(self, name, help="", buckets=DEFAULT_TIME_BUCKETS):
+    def histogram(self, name, help="", buckets=DEFAULT_TIME_BUCKETS,
+                  labels=None):
         return self._null_histogram

@@ -16,6 +16,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 import time
 from typing import IO, Iterator, List, Optional, Union
 
@@ -54,6 +55,9 @@ class TelemetryWriter:
         self._start = time.perf_counter()
         self.event_count = 0
         self.closed = False
+        # The sweep relay merges worker events from a drain thread while
+        # the main thread emits its own; serialise the buffer mutations.
+        self._lock = threading.Lock()
 
     # -- emission --------------------------------------------------------
 
@@ -61,22 +65,25 @@ class TelemetryWriter:
         """Append one event; ``type``, ``seq`` and ``t`` are added here."""
         if self.closed:
             raise ValueError("emit() on a closed TelemetryWriter")
-        record = {
-            "seq": self.event_count,
-            "t": round(time.perf_counter() - self._start, 9),
-            "type": event_type,
-        }
-        record.update(fields)
-        self._buffer.append(json.dumps(record, separators=(",", ":")))
-        self.event_count += 1
-        if len(self._buffer) >= self._buffer_lines:
+        with self._lock:
+            record = {
+                "seq": self.event_count,
+                "t": round(time.perf_counter() - self._start, 9),
+                "type": event_type,
+            }
+            record.update(fields)
+            self._buffer.append(json.dumps(record, separators=(",", ":")))
+            self.event_count += 1
+            flush_now = len(self._buffer) >= self._buffer_lines
+        if flush_now:
             self.flush()
 
     def flush(self) -> None:
-        if self._buffer:
-            self._stream.write("\n".join(self._buffer) + "\n")
-            self._buffer.clear()
-        self._stream.flush()
+        with self._lock:
+            if self._buffer:
+                self._stream.write("\n".join(self._buffer) + "\n")
+                self._buffer.clear()
+            self._stream.flush()
 
     def close(self) -> None:
         if self.closed:
@@ -93,6 +100,42 @@ class TelemetryWriter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+class TeeWriter:
+    """Fan one event stream out to several writer-shaped sinks.
+
+    Lets one hub feed both the JSONL stream (``--telemetry``) and the
+    in-memory flight recorder (``--trace-out`` / ``repro report``) — any
+    object with ``emit``/``flush``/``close`` slots in.
+    """
+
+    path: Optional[str] = None
+
+    def __init__(self, *writers) -> None:
+        if not writers:
+            raise ValueError("TeeWriter needs at least one writer")
+        self.writers = list(writers)
+        self.closed = False
+
+    @property
+    def event_count(self) -> int:
+        return max(writer.event_count for writer in self.writers)
+
+    def emit(self, event_type: str, **fields) -> None:
+        for writer in self.writers:
+            writer.emit(event_type, **fields)
+
+    def flush(self) -> None:
+        for writer in self.writers:
+            writer.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        for writer in self.writers:
+            writer.close()
+        self.closed = True
 
 
 def read_events(source: Union[PathLike, IO[str]]) -> List[dict]:

@@ -170,6 +170,67 @@ class TestStoreJson:
             payload["cells"], sort_keys=True
         )
 
+    def test_report_and_trace_out_schemas(self, capsys, tmp_path):
+        """Schema freeze for ``repro report --json`` and ``--trace-out``."""
+        from repro.telemetry import validate_chrome_trace
+
+        store_dir = str(tmp_path / "report-store")
+        trace_path = tmp_path / "run.trace.json"
+        capsys.readouterr()
+        assert main([
+            "sweep", "--windows", "5,13", "--caps", "2", "--jobs", "2",
+            "--store", store_dir, "--run-id", "run-smoke",
+            "--trace-out", str(trace_path), "--stall-timeout", "60",
+            "--json",
+        ]) == 0
+        sweep_payload = json.loads(capsys.readouterr().out)
+        assert sweep_payload["trace_out"] == str(trace_path)
+
+        document = json.loads(trace_path.read_text())
+        summary = validate_chrome_trace(document)
+        assert summary["spans"] >= 2  # one sweep.cell span per cell
+        assert document["otherData"]["run_id"] == "run-smoke"
+
+        capsys.readouterr()
+        assert main([
+            "report", "run-smoke", "--store", store_dir, "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["command"] == "report"
+        assert {
+            "run_id", "fingerprint", "cells_total", "cells_completed",
+            "wall_seconds", "per_cell", "per_worker", "slowest_cells",
+            "telemetry",
+        } <= report.keys()
+        assert report["run_id"] == "run-smoke"
+        assert report["cells_completed"] == report["cells_total"] == 2
+        for row in report["per_cell"]:
+            assert {
+                "index", "ni", "nt", "rate", "site", "accuracy",
+                "events_tracked", "operations", "duration_seconds",
+                "worker",
+            } <= row.keys()
+        for worker in report["per_worker"].values():
+            assert {
+                "pid", "worker_id", "cells", "events_tracked",
+                "busy_seconds", "utilization",
+            } <= worker.keys()
+        assert {
+            "events", "cell_spans", "heartbeats", "stalls",
+            "dropped_events", "store_hits", "store_misses",
+        } <= report["telemetry"].keys()
+        assert report["telemetry"]["cell_spans"] == 2
+
+        # Human form renders without a telemetry/store requirement.
+        capsys.readouterr()
+        assert main(["report", "run-smoke", "--store", store_dir]) == 0
+        human = capsys.readouterr().out
+        assert "per-worker:" in human and "slowest cells:" in human
+
+    def test_report_unknown_run_exits_with_known_ids(self, capsys, store_dir):
+        with pytest.raises(SystemExit, match="runs in this store"):
+            main(["report", "no-such-run", "--store", store_dir])
+
     def test_verify_and_prune_schemas(self, capsys, store_dir):
         capsys.readouterr()
         assert main(["store", "verify", "--store", store_dir, "--json"]) == 0

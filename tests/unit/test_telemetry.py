@@ -88,6 +88,31 @@ class TestRegistry:
         assert snapshot["tracker"]["tracker.events"]["value"] == 3
         assert snapshot["tracker"]["tracker.events"]["kind"] == "counter"
 
+    def test_labels_key_distinct_series(self):
+        registry = MetricsRegistry()
+        plain = registry.counter("sweep.cells", "n")
+        labelled = registry.counter("sweep.cells", "n",
+                                    labels={"worker_id": "3"})
+        assert plain is not labelled
+        assert registry.counter(
+            "sweep.cells", labels={"worker_id": "3"}
+        ) is labelled
+        plain.inc(2)
+        labelled.inc(5)
+        assert registry.get("sweep.cells").value == 2
+        assert registry.get("sweep.cells", {"worker_id": "3"}).value == 5
+
+    def test_labelled_series_in_snapshot(self):
+        from repro.telemetry import labeled_name
+
+        registry = MetricsRegistry()
+        registry.counter("sweep.cells", "n",
+                         labels={"worker_id": "3"}).inc(1)
+        key = labeled_name("sweep.cells", {"worker_id": "3"})
+        assert key == "sweep.cells{worker_id=3}"
+        entry = registry.as_dict()["sweep"][key]
+        assert entry["labels"] == {"worker_id": "3"}
+
     def test_null_registry_is_inert(self):
         registry = NullRegistry()
         counter = registry.counter("tracker.events", "n")
@@ -366,6 +391,34 @@ class TestExporters:
         assert 'pift_span_drain_bucket{le="1.0"} 1' in text
         assert 'pift_span_drain_bucket{le="+Inf"} 1' in text
         assert "pift_span_drain_count 1" in text
+
+    def test_prometheus_label_rendering_and_escaping(self):
+        from repro.telemetry import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        telemetry = Telemetry()
+        telemetry.metrics.counter(
+            "sweep.cells", "n", labels={"site": 'we"ird\n\\'}
+        ).inc(1)
+        text = to_prometheus_text(telemetry.metrics)
+        assert 'pift_sweep_cells_total{site="we\\"ird\\n\\\\"} 1' in text
+
+    def test_prometheus_help_type_once_per_labelled_family(self):
+        telemetry = Telemetry()
+        m = telemetry.metrics
+        m.histogram("sweep.cell.duration_seconds", "cell wall time",
+                    buckets=[1.0]).observe(0.5)
+        m.histogram("sweep.cell.duration_seconds", "cell wall time",
+                    buckets=[1.0], labels={"worker_id": "7"}).observe(0.5)
+        text = to_prometheus_text(telemetry.metrics)
+        name = "pift_sweep_cell_duration_seconds"
+        assert text.count(f"# TYPE {name} histogram") == 1
+        assert text.count(f"# HELP {name} ") == 1
+        assert f'{name}_bucket{{le="1.0"}} 1' in text
+        assert f'{name}_bucket{{le="1.0",worker_id="7"}} 1' in text
+        assert f'{name}_sum{{worker_id="7"}}' in text
 
 
 # ---------------------------------------------------------------------------
