@@ -75,6 +75,66 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=["pool", "queue"], default="pool",
+        help="parallel execution backend: 'pool' (multiprocessing.Pool, "
+             "the default) or 'queue' (fault-tolerant lease dispatcher: "
+             "survives worker deaths via retries and quarantines "
+             "repeatedly-failing cells as poison)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="queue backend: seconds a cell may go un-heartbeated before "
+             "its worker is declared dead and the cell requeues "
+             "(default 30)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="queue backend: failed attempts beyond the first before a "
+             "cell is quarantined as poison (default 3)",
+    )
+    parser.add_argument(
+        "--max-worker-restarts", type=int, default=None, metavar="N",
+        help="queue backend: replacement workers spawned across the run "
+             "(default 4x --jobs)",
+    )
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="queue backend fault injection for testing, e.g. "
+             "'kill-workers:0.2' (SIGKILL mid-cell), 'hang-workers:0.1' "
+             "(freeze until the lease expires), 'fail-cells:0.5' "
+             "(deterministic in-cell errors); comma-separate to combine",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic chaos schedule (default 0)",
+    )
+
+
+def _backend_options(args):
+    """(backend, backend_options) kwargs for run_sweep from the CLI flags."""
+    if getattr(args, "backend", "pool") != "queue":
+        if getattr(args, "chaos", None):
+            raise SystemExit("--chaos requires --backend queue")
+        return None, None
+    from repro.sweep import ChaosError, ChaosPlan
+
+    options = {
+        "lease_timeout": args.lease_timeout,
+        "max_retries": args.max_retries,
+        "max_worker_restarts": args.max_worker_restarts,
+    }
+    if args.chaos:
+        try:
+            options["chaos"] = ChaosPlan.parse(
+                args.chaos, seed=args.chaos_seed
+            )
+        except ChaosError as error:
+            raise SystemExit(f"--chaos: {error}")
+    return "queue", options
+
+
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", metavar="DIR", default=None,
@@ -351,6 +411,7 @@ def cmd_sweep(args) -> int:
     else:
         cache = TraceCache(droidbench=record_suite(telemetry=telemetry))
         work = spec
+    backend, backend_options = _backend_options(args)
     result = run_sweep(
         work,
         cache=cache,
@@ -360,7 +421,17 @@ def cmd_sweep(args) -> int:
         journal=journal,
         stall_timeout=args.stall_timeout,
         on_stall=_stall_printer(args),
+        backend=backend,
+        backend_options=backend_options,
     )
+    if result.poisoned:
+        for cell in result.poisoned:
+            print(
+                f"warning: cell {cell['index']} poisoned after "
+                f"{cell['attempts']} attempts"
+                + (f" ({cell['error']})" if cell.get("error") else ""),
+                file=sys.stderr,
+            )
     if journal is not None:
         summary = _store_summary(store, journal, cache, result)
         print(
@@ -730,10 +801,10 @@ def cmd_store(args) -> int:
         else:
             print(
                 f"checked {result['checked']} entries, "
-                f"{result['corrupt']} corrupt"
-                + (" (quarantined)" if result["corrupt"] else "")
+                f"{result['corrupt']} corrupt, "
+                f"{result['quarantined']} quarantined"
             )
-        return 1 if result["corrupt"] else 0
+        return 1 if result["corrupt"] or result["quarantined"] else 0
     if args.store_action == "prune":
         result = store.prune(max_bytes=args.max_bytes)
         payload = {"command": "store-prune", **result}
@@ -811,6 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--progress", action="store_true",
                            help="print per-cell progress to stderr")
+    _add_backend_arguments(sweep_cmd)
     _add_store_arguments(sweep_cmd)
     _add_telemetry_arguments(sweep_cmd, with_json=True)
     _add_observability_arguments(sweep_cmd)

@@ -125,16 +125,32 @@ def build_run_report(
                 1 for record in records if record.get("type") == "heartbeat"
             ),
             "stalls": stalls,
+            "worker_stalls": _metric_value(
+                snapshot, "sweep", "sweep.worker.stalls"
+            ),
             "dropped_events": dropped,
             "store_hits": _metric_value(snapshot, "store", "store.hits"),
             "store_misses": _metric_value(snapshot, "store", "store.misses"),
         }
+
+    poisoned = journal.poison_rows() if hasattr(journal, "poison_rows") else []
+    retried = (
+        {
+            str(index): len(records_for_cell)
+            for index, records_for_cell in sorted(journal.attempts.items())
+        }
+        if getattr(journal, "attempts", None)
+        else {}
+    )
 
     return {
         "run_id": journal.run_id,
         "fingerprint": journal.fingerprint,
         "cells_total": journal.total_cells,
         "cells_completed": len(rows),
+        "cells_poisoned": len(poisoned),
+        "poisoned": poisoned,
+        "retried_cells": retried,
         "wall_seconds": wall_seconds,
         "per_cell": rows,
         "per_worker": per_worker,
@@ -165,11 +181,29 @@ def render_run_report(report: dict) -> str:
         f"run {report['run_id']}: "
         f"{report['cells_completed']}/{report['cells_total']} cells"
         + (
+            f" ({report['cells_poisoned']} poisoned)"
+            if report.get("cells_poisoned")
+            else ""
+        )
+        + (
             f", {report['wall_seconds']:.2f}s wall"
             if report["wall_seconds"] is not None
             else ""
         )
     ]
+    for cell in report.get("poisoned", []):
+        lines.append(
+            f"poisoned: cell {cell['index']} after {cell['attempts']} "
+            f"attempts"
+            + (f" ({cell['error']})" if cell.get("error") else "")
+        )
+    retried = report.get("retried_cells") or {}
+    if retried:
+        total = sum(retried.values())
+        lines.append(
+            f"retries: {total} across cells "
+            f"{', '.join(sorted(retried, key=int))}"
+        )
 
     lines.append("")
     lines.append("per-worker:")
@@ -230,6 +264,11 @@ def render_run_report(report: dict) -> str:
             f"{telemetry['cell_spans']} cell spans, "
             f"{telemetry['heartbeats']} heartbeats, "
             f"{telemetry['dropped_events']} dropped"
+            + (
+                f", {telemetry['worker_stalls']:g} worker stalls"
+                if telemetry.get("worker_stalls")
+                else ""
+            )
         )
         if telemetry["store_hits"] is not None:
             lines.append(

@@ -12,8 +12,14 @@ Crash-safety invariants:
   reports the cell as checkpointed — a kill after checkpoint N loses
   nothing up to N;
 * a torn trailing line (the crash landed mid-write) is detected by JSON
-  parse failure and dropped on load; the cell it described simply
-  re-runs;
+  parse failure on load, *truncated away* (so later appends extend a
+  clean file rather than concatenating onto the fragment), and warned
+  about; the cell it described simply re-runs;
+* fault-tolerance bookkeeping rides in the same stream: ``attempt``
+  records mark a cell requeued by the queue backend, ``poison`` records
+  mark a cell quarantined after its retry budget — a later ``cell``
+  record for the same index supersedes its poison record (completed
+  wins), so a resumed run can cure a previously poisoned cell;
 * records are pure deterministic payloads (the same fields
   ``CellResult.as_dict`` freezes), so a resumed grid is bit-identical to
   an uninterrupted run — verified by tests and the CI resume-smoke job.
@@ -25,6 +31,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -137,6 +144,8 @@ class RunJournal:
         fingerprint: str,
         total_cells: int,
         completed: Optional[Dict[int, dict]] = None,
+        attempts: Optional[Dict[int, List[dict]]] = None,
+        poisoned: Optional[Dict[int, dict]] = None,
     ) -> None:
         self.path = Path(path)
         self.run_id = run_id
@@ -144,6 +153,12 @@ class RunJournal:
         self.total_cells = total_cells
         #: index -> raw journal record of every checkpointed cell.
         self.completed: Dict[int, dict] = dict(completed or {})
+        #: index -> requeue records (queue backend retries), append order.
+        self.attempts: Dict[int, List[dict]] = dict(attempts or {})
+        #: index -> poison record for cells quarantined after their retry
+        #: budget — never holds an index that also appears in ``completed``
+        #: (a completed cell supersedes any earlier poison record).
+        self.poisoned: Dict[int, dict] = dict(poisoned or {})
 
     # -- construction -----------------------------------------------------
 
@@ -184,6 +199,7 @@ class RunJournal:
             raise JournalError(f"cannot read journal {path}: {error}") from error
         lines = raw.split("\n")
         records: List[dict] = []
+        torn: Optional[int] = None
         for position, line in enumerate(lines):
             line = line.strip()
             if not line:
@@ -194,12 +210,33 @@ class RunJournal:
                 if position >= len(lines) - 2:
                     # A crash mid-append tore the final line; the cell it
                     # described was never reported checkpointed — drop it.
+                    torn = position
                     continue
                 raise JournalError(
                     f"journal {path} is corrupt at line {position + 1}"
                 )
             if isinstance(record, dict):
                 records.append(record)
+        if torn is not None:
+            # Truncate the fragment away so a later append extends a
+            # clean file instead of welding onto the torn bytes (which
+            # would corrupt the *middle* of the file for the next load).
+            keep = "\n".join(lines[:torn])
+            if keep:
+                keep += "\n"
+            warnings.warn(
+                f"journal {path}: dropped torn trailing record at line "
+                f"{torn + 1} (crash mid-append); truncating to last "
+                f"complete record",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                os.truncate(path, len(keep.encode("utf-8")))
+            except OSError:
+                # Read-only medium: loading still works, appends would
+                # have failed anyway.
+                pass
         if not records or records[0].get("type") != "header":
             raise JournalError(f"journal {path} has no header")
         header = records[0]
@@ -213,12 +250,25 @@ class RunJournal:
             for record in records[1:]
             if record.get("type") == "cell" and "index" in record
         }
+        attempts: Dict[int, List[dict]] = {}
+        for record in records[1:]:
+            if record.get("type") == "attempt" and "index" in record:
+                attempts.setdefault(record["index"], []).append(record)
+        poisoned = {
+            record["index"]: record
+            for record in records[1:]
+            if record.get("type") == "poison"
+            and "index" in record
+            and record["index"] not in completed
+        }
         return cls(
             path=path,
             run_id=header.get("run_id", path.stem),
             fingerprint=header["fingerprint"],
             total_cells=header.get("cells", 0),
             completed=completed,
+            attempts=attempts,
+            poisoned=poisoned,
         )
 
     # -- use --------------------------------------------------------------
@@ -273,6 +323,44 @@ class RunJournal:
         record = cell_result_to_record(result)
         self._append_line(record)
         self.completed[result.index] = record
+        # Completed wins: a straggler/resumed success cures the cell.
+        self.poisoned.pop(result.index, None)
+
+    def append_attempt(self, cell_index: int, attempt: int, reason: str) -> None:
+        """Record a queue-backend requeue: attempt N of this cell failed."""
+        record = {
+            "type": "attempt",
+            "index": cell_index,
+            "attempt": attempt,
+            "reason": reason,
+        }
+        self._append_line(record)
+        self.attempts.setdefault(cell_index, []).append(record)
+
+    def append_poison(
+        self, cell_index: int, attempts: int, error: Optional[str]
+    ) -> None:
+        """Record a cell quarantined after exhausting its retry budget."""
+        record = {
+            "type": "poison",
+            "index": cell_index,
+            "attempts": attempts,
+            "error": error,
+        }
+        self._append_line(record)
+        if cell_index not in self.completed:
+            self.poisoned[cell_index] = record
+
+    def poison_rows(self) -> List[dict]:
+        """Quarantined cells for reporting, in index order."""
+        return [
+            {
+                "index": index,
+                "attempts": self.poisoned[index].get("attempts", 0),
+                "error": self.poisoned[index].get("error"),
+            }
+            for index in sorted(self.poisoned)
+        ]
 
     def _append_line(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))

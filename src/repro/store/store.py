@@ -411,7 +411,12 @@ class ArtifactStore:
         }
 
     def verify(self) -> dict:
-        """Re-hash every committed entry; quarantine the bad ones."""
+        """Re-hash every committed entry; quarantine the bad ones.
+
+        ``quarantined`` counts files already sitting in the quarantine
+        directory (from this pass or earlier ones) — a store needing
+        attention even when every remaining entry re-hashes clean.
+        """
         checked = 0
         corrupt: List[str] = []
         for meta in self._entries():
@@ -427,7 +432,17 @@ class ArtifactStore:
                 corrupt.append(digest)
                 self._note_corruption()
                 self._quarantine(digest)
-        return {"checked": checked, "corrupt": len(corrupt), "digests": corrupt}
+        quarantined = (
+            len(list(self.quarantine_dir.iterdir()))
+            if self.quarantine_dir.is_dir()
+            else 0
+        )
+        return {
+            "checked": checked,
+            "corrupt": len(corrupt),
+            "digests": corrupt,
+            "quarantined": quarantined,
+        }
 
     def prune(
         self,

@@ -6,14 +6,30 @@ across a ``multiprocessing`` pool (:func:`run_sweep`).  Results are
 bit-identical at any worker count; ``--jobs`` only changes wall-clock
 time.  The ``analysis.accuracy`` / ``analysis.degradation`` entry points
 and the ``python -m repro sweep`` CLI are built on this engine.
+
+Two parallel backends share the engine contract: the classic pool
+(``backend="pool"``) and the fault-tolerant lease-based queue
+(``backend="queue"``, :class:`QueueBackend`) which survives worker
+deaths via TTL leases, exponential-backoff retries, and poison-cell
+quarantine — with a deterministic chaos harness (:class:`ChaosPlan`)
+to prove it.
 """
 
 from repro.sweep.cache import TraceCache
+from repro.sweep.chaos import ChaosError, ChaosFailure, ChaosPlan
+from repro.sweep.dispatch import DispatchError, DispatchStats, QueueBackend
 from repro.sweep.engine import (
     CellResult,
+    PoolBackend,
     SweepResult,
     run_cell,
     run_sweep,
+)
+from repro.sweep.leases import (
+    BackoffPolicy,
+    Lease,
+    LeaseSupervisor,
+    PoisonedCell,
 )
 from repro.sweep.specs import (
     STATE_FACTORIES,
@@ -25,8 +41,19 @@ from repro.sweep.specs import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "CellResult",
+    "ChaosError",
+    "ChaosFailure",
+    "ChaosPlan",
+    "DispatchError",
+    "DispatchStats",
     "GridSpec",
+    "Lease",
+    "LeaseSupervisor",
+    "PoisonedCell",
+    "PoolBackend",
+    "QueueBackend",
     "STATE_FACTORIES",
     "SweepCell",
     "SweepResult",

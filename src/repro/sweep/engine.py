@@ -97,10 +97,21 @@ class SweepResult:
     #: Cells served from a resume journal instead of being evaluated
     #: (bookkeeping only — the deterministic payload is unaffected).
     resumed: int = 0
+    #: Cells quarantined after exhausting their retry budget (queue
+    #: backend only): explicit machine-readable holes in the grid, each
+    #: ``{"index", "attempts", "error"}``.
+    poisoned: List[dict] = field(default_factory=list)
+    #: Queue-backend fault accounting (zeros under the pool backend).
+    retries: int = 0
+    worker_deaths: int = 0
+    worker_restarts: int = 0
 
     def as_dict(self) -> dict:
         """Deterministic payload only (timings live in :meth:`timings`)."""
-        return {"cells": [cell.as_dict() for cell in self.cells]}
+        return {
+            "cells": [cell.as_dict() for cell in self.cells],
+            "poisoned": list(self.poisoned),
+        }
 
     def timings(self) -> dict:
         """Non-deterministic run accounting: wall clock and per-worker load."""
@@ -125,6 +136,10 @@ class SweepResult:
             "resumed": self.resumed,
             "events_tracked": sum(c.events_tracked for c in self.cells),
             "workers": per_worker,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "worker_restarts": self.worker_restarts,
+            "poisoned": len(self.poisoned),
         }
 
 
@@ -269,6 +284,122 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(method)
 
 
+class PoolBackend:
+    """The classic ``multiprocessing.Pool`` execution backend.
+
+    Fast and simple, but fragile: a worker dying mid-cell kills the
+    sweep.  :class:`~repro.sweep.dispatch.QueueBackend` implements the
+    same ``run(pending, cache_payload, note, relay_payload)`` interface
+    with leases, retries, and poison-cell quarantine.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int, chunksize: int = 1, context=None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.chunksize = chunksize
+        self.context = context if context is not None else _pool_context()
+
+    def run(
+        self, pending, cache_payload, note, relay_payload=None
+    ) -> None:
+        pending = list(pending)
+        with self.context.Pool(
+            processes=min(self.jobs, len(pending)),
+            initializer=_init_worker,
+            initargs=(cache_payload, relay_payload),
+        ) as pool:
+            for result in pool.imap(
+                _run_cell_in_worker, pending, chunksize=self.chunksize
+            ):
+                note(result)
+
+
+def _resolve_backend(backend, jobs: int, chunksize: int, backend_options):
+    """Turn ``backend`` (None / name / instance) into a backend object."""
+    if backend is None or backend == "pool":
+        if backend_options:
+            raise ValueError(
+                "backend_options only apply to the queue backend; "
+                "pass backend='queue'"
+            )
+        return PoolBackend(jobs=jobs, chunksize=chunksize)
+    if backend == "queue":
+        from repro.sweep.dispatch import QueueBackend
+
+        return QueueBackend(jobs=jobs, **(backend_options or {}))
+    if hasattr(backend, "run"):
+        return backend
+    raise ValueError(
+        f"unknown sweep backend {backend!r}; known: 'pool', 'queue'"
+    )
+
+
+def _wire_queue_hooks(backend, journal, telemetry) -> None:
+    """Attach journaling + telemetry observers to a queue backend.
+
+    Composes with (rather than clobbers) hooks the caller already set on
+    a hand-built :class:`~repro.sweep.dispatch.QueueBackend`.  Counters
+    are created lazily at first increment so fault-free runs expose the
+    same metric set as the pool backend.
+    """
+    user_retry = backend.on_retry
+    user_poison = backend.on_poison
+    user_death = backend.on_death
+    observing = telemetry is not None and telemetry.enabled
+
+    def on_retry(cell_index: int, attempt: int, reason: str) -> None:
+        if journal is not None:
+            journal.append_attempt(cell_index, attempt, reason)
+        if observing:
+            telemetry.metrics.counter(
+                "sweep.cell.retries",
+                "cell attempts requeued after a lost worker or error",
+            ).inc()
+            telemetry.event(
+                "sweep_cell_retry",
+                index=cell_index,
+                attempt=attempt,
+                reason=reason,
+            )
+        if user_retry is not None:
+            user_retry(cell_index, attempt, reason)
+
+    def on_poison(poisoned) -> None:
+        if journal is not None:
+            journal.append_poison(
+                poisoned.cell_index, poisoned.attempts, poisoned.error
+            )
+        if observing:
+            telemetry.metrics.counter(
+                "sweep.cells.poisoned",
+                "cells quarantined after exhausting their retry budget",
+            ).inc()
+            telemetry.event(
+                "sweep_cell_poisoned",
+                index=poisoned.cell_index,
+                attempts=poisoned.attempts,
+                error=poisoned.error,
+            )
+        if user_poison is not None:
+            user_poison(poisoned)
+
+    def on_death(ident: int, pid) -> None:
+        if observing:
+            telemetry.metrics.counter(
+                "sweep.worker.deaths", "worker processes lost mid-sweep"
+            ).inc()
+            telemetry.event("sweep_worker_death", worker=ident, pid=pid)
+        if user_death is not None:
+            user_death(ident, pid)
+
+    backend.on_retry = on_retry
+    backend.on_poison = on_poison
+    backend.on_death = on_death
+
+
 class _EngineInstruments:
     """Parent-side telemetry for a sweep run.
 
@@ -317,6 +448,8 @@ def run_sweep(
     stall_timeout: Optional[float] = None,
     on_stall=None,
     heartbeat_interval: Optional[float] = None,
+    backend=None,
+    backend_options: Optional[dict] = None,
 ) -> SweepResult:
     """Evaluate every cell of ``work``; identical results at any ``jobs``.
 
@@ -345,6 +478,17 @@ def run_sweep(
     cell_index, quiet_seconds)``.  ``heartbeat_interval`` overrides the
     worker liveness cadence.  All of it is observational — results stay
     bit-identical to a telemetry-off run.
+
+    ``backend`` selects the parallel execution strategy: ``"pool"`` (the
+    default ``multiprocessing.Pool``), ``"queue"`` (the fault-tolerant
+    lease dispatcher, :class:`~repro.sweep.dispatch.QueueBackend` —
+    tune it via ``backend_options``, e.g. ``{"lease_timeout": 10.0,
+    "max_retries": 2}``), or a pre-built backend instance.  Under the
+    queue backend a cell that exhausts its retry budget is quarantined
+    instead of crashing the sweep: it appears in ``SweepResult.poisoned``
+    (and the journal) and its slot is simply absent from ``cells``.
+    Because cells are pure, any surviving grid is still bit-identical to
+    a fault-free run's values at those indexes.
     """
     cells = list(work.cells() if isinstance(work, GridSpec) else work)
     if jobs < 1:
@@ -397,8 +541,14 @@ def run_sweep(
         if progress is not None:
             progress(result, len(done), len(cells))
 
-    if jobs > 1 and len(pending) > 1:
-        context = _pool_context()
+    exec_backend = None
+    if pending and (backend is not None or (jobs > 1 and len(pending) > 1)):
+        exec_backend = _resolve_backend(backend, jobs, chunksize, backend_options)
+    dispatch_stats = None
+    if exec_backend is not None:
+        is_queue = hasattr(exec_backend, "renew_lease_by_pid")
+        if is_queue:
+            _wire_queue_hooks(exec_backend, journal, telemetry)
         relay = None
         relay_payload = None
         if instruments is not None:
@@ -410,19 +560,20 @@ def run_sweep(
             }
             if heartbeat_interval is not None:
                 relay_kwargs["heartbeat_interval"] = heartbeat_interval
-            relay = TelemetryRelay(telemetry, context, **relay_kwargs)
+            if is_queue:
+                # Relay heartbeats double as lease renewals: a worker
+                # deep in a long cell stays leased as long as it keeps
+                # talking to the telemetry relay.
+                relay_kwargs["on_heartbeat"] = exec_backend.renew_lease_by_pid
+            relay = TelemetryRelay(
+                telemetry, exec_backend.context, **relay_kwargs
+            )
             relay_payload = relay.worker_payload()
             relay.start()
         try:
-            with context.Pool(
-                processes=min(jobs, len(pending)),
-                initializer=_init_worker,
-                initargs=(cache.payload(), relay_payload),
-            ) as pool:
-                for result in pool.imap(
-                    _run_cell_in_worker, pending, chunksize=chunksize
-                ):
-                    note(result)
+            dispatch_stats = exec_backend.run(
+                pending, cache.payload(), note, relay_payload
+            )
         finally:
             if relay is not None:
                 relay.stop()
@@ -430,6 +581,13 @@ def run_sweep(
         for cell in pending:
             note(run_cell(cell, cache, telemetry=telemetry))
     wall = time.perf_counter() - started
+    poisoned_dicts: List[dict] = []
+    retries = worker_deaths = worker_restarts = 0
+    if dispatch_stats is not None:
+        poisoned_dicts = [p.as_dict() for p in dispatch_stats.poisoned]
+        retries = dispatch_stats.retries
+        worker_deaths = dispatch_stats.worker_deaths
+        worker_restarts = dispatch_stats.worker_restarts
     if instruments is not None:
         instruments.telemetry.event(
             "sweep_done",
@@ -439,8 +597,12 @@ def run_sweep(
             duration_us=round(wall * 1e6, 3),
         )
     return SweepResult(
-        cells=[done[cell.index] for cell in cells],
+        cells=[done[cell.index] for cell in cells if cell.index in done],
         jobs=jobs,
         wall_seconds=wall,
         resumed=len(cells) - len(pending),
+        poisoned=poisoned_dicts,
+        retries=retries,
+        worker_deaths=worker_deaths,
+        worker_restarts=worker_restarts,
     )

@@ -401,6 +401,7 @@ class TelemetryRelay:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         max_batch: int = DEFAULT_MAX_BATCH,
         ship_types: FrozenSet[str] = DEFAULT_SHIP_TYPES,
+        on_heartbeat: Optional[Callable[[Optional[int]], None]] = None,
     ) -> None:
         self.telemetry = telemetry
         self.queue = context.Queue(queue_size)
@@ -409,6 +410,9 @@ class TelemetryRelay:
         self.max_batch = max_batch
         self.ship_types = frozenset(ship_types)
         self.on_stall = on_stall
+        #: Called with the worker's pid on every heartbeat (from the
+        #: drain thread) — the queue backend hooks this to renew leases.
+        self.on_heartbeat = on_heartbeat
         self.detector = (
             StallDetector(stall_timeout) if stall_timeout else None
         )
@@ -453,6 +457,14 @@ class TelemetryRelay:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        try:
+            # A worker SIGKILLed mid-put can die holding the queue's
+            # shared write lock; without this, interpreter exit joins
+            # the feeder thread, which blocks on that lock forever.
+            self.queue.cancel_join_thread()
+            self.queue.close()
+        except (OSError, ValueError):
+            pass
         dropped_total = sum(self.dropped.values())
         metrics = self.telemetry.metrics
         metrics.counter(
@@ -492,6 +504,11 @@ class TelemetryRelay:
                 message = None
             except (EOFError, OSError):  # queue torn down under us
                 return
+            except Exception:
+                # A worker SIGKILLed mid-put can leave a half-pickled
+                # message in the pipe; drop it instead of letting an
+                # unpickling error kill the drain thread.
+                message = None
             if message is not None and message.get("kind") != "wake":
                 self._handle(message)
             self._check_stalls()
@@ -505,6 +522,8 @@ class TelemetryRelay:
         kind = message["kind"]
         if kind == "heartbeat":
             self.heartbeats += 1
+            if self.on_heartbeat is not None:
+                self.on_heartbeat(message.get("pid"))
             if self.detector is not None:
                 self.detector.note(
                     worker_id, now, cell_index=message.get("cell_index")
@@ -544,7 +563,7 @@ class TelemetryRelay:
         ):
             self.stalls.append((worker_id, cell_index, quiet))
             self.telemetry.metrics.counter(
-                "sweep.stalls_detected", "workers gone quiet mid-cell"
+                "sweep.worker.stalls", "workers gone quiet mid-cell"
             ).inc()
             self.telemetry.event(
                 "worker_stall",

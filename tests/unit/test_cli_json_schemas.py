@@ -235,8 +235,11 @@ class TestStoreJson:
         capsys.readouterr()
         assert main(["store", "verify", "--store", store_dir, "--json"]) == 0
         verify = json.loads(capsys.readouterr().out)
-        assert set(verify) >= {"command", "checked", "corrupt", "digests"}
+        assert set(verify) >= {
+            "command", "checked", "corrupt", "digests", "quarantined",
+        }
         assert verify["corrupt"] == 0
+        assert verify["quarantined"] == 0
 
         capsys.readouterr()
         assert main(["store", "prune", "--store", store_dir, "--json"]) == 0
@@ -245,3 +248,88 @@ class TestStoreJson:
             "command", "removed_entries", "quarantine_files_removed",
             "removed_bytes",
         }
+
+    def test_verify_exits_nonzero_on_corruption(self, capsys, tmp_path):
+        """``repro store verify`` must fail loudly (exit 1) when any
+        entry is corrupt or sitting in quarantine — CI gates on it."""
+        from pathlib import Path
+
+        store_dir = str(tmp_path / "bad-store")
+        capsys.readouterr()
+        assert main([
+            "sweep", "--windows", "5", "--caps", "2",
+            "--store", store_dir, "--json",
+        ]) == 0
+        capsys.readouterr()
+        payload_path = next(Path(store_dir).glob("objects/*/*.suite.gz"))
+        payload_path.write_bytes(b"garbage")
+
+        assert main(["store", "verify", "--store", store_dir]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        # The corrupt entry is now quarantined; verify keeps failing
+        # until the quarantine is inspected and pruned.
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_dir, "--json"]) == 1
+        second = json.loads(capsys.readouterr().out)
+        assert second["corrupt"] == 0 and second["quarantined"] == 2
+        assert main(["store", "prune", "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_dir]) == 0
+
+
+class TestQueueBackendCli:
+    """The ``--backend queue`` flag family on ``sweep``."""
+
+    ARGS = ["sweep", "--windows", "5,13", "--caps", "2,3", "--json"]
+
+    def test_queue_backend_matches_pool_cells(self, capsys):
+        pool = run_json(capsys, self.ARGS)
+        queued = run_json(
+            capsys, self.ARGS + ["--jobs", "2", "--backend", "queue"]
+        )
+        assert json.dumps(queued["cells"], sort_keys=True) == json.dumps(
+            pool["cells"], sort_keys=True
+        )
+        assert queued["poisoned"] == []
+        timings = queued["timings"]
+        assert {"retries", "worker_deaths", "worker_restarts", "poisoned"} <= (
+            timings.keys()
+        )
+        assert timings["worker_deaths"] == 0
+
+    def test_chaos_survives_bit_identical(self, capsys):
+        pool = run_json(capsys, self.ARGS)
+        chaotic = run_json(capsys, self.ARGS + [
+            "--jobs", "2", "--backend", "queue",
+            "--lease-timeout", "5", "--chaos", "kill-workers:0.3",
+            "--chaos-seed", "1",
+        ])
+        assert json.dumps(chaotic["cells"], sort_keys=True) == json.dumps(
+            pool["cells"], sort_keys=True
+        )
+        assert chaotic["poisoned"] == []
+        assert chaotic["timings"]["worker_deaths"] > 0
+
+    def test_poisoned_cells_surface_in_json_and_stderr(self, capsys):
+        capsys.readouterr()
+        assert main(self.ARGS + [
+            "--jobs", "2", "--backend", "queue", "--max-retries", "0",
+            "--chaos", "fail-cells:1", "--chaos-seed", "7",
+        ]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["cells"] == []
+        assert len(payload["poisoned"]) == 4
+        for cell in payload["poisoned"]:
+            assert {"index", "attempts", "error"} <= cell.keys()
+        assert "poisoned after 1 attempts" in captured.err
+
+    def test_chaos_requires_queue_backend(self):
+        with pytest.raises(SystemExit, match="--chaos requires"):
+            main(self.ARGS + ["--chaos", "kill-workers:0.2"])
+
+    def test_bad_chaos_spec_rejected(self):
+        with pytest.raises(SystemExit, match="--chaos: "):
+            main(self.ARGS + [
+                "--backend", "queue", "--chaos", "explode-everything:1",
+            ])

@@ -1,0 +1,305 @@
+"""Tests for repro.sweep.dispatch: the fault-tolerant queue backend.
+
+Process-level coverage of the lease dispatcher — fault-free parity with
+the serial/pool paths, chaos-driven worker deaths, retry-then-poison
+quarantine, journal integration, and interrupt/resume semantics.  The
+pure lease bookkeeping is covered in ``test_leases.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    BackoffPolicy,
+    ChaosPlan,
+    DispatchError,
+    GridSpec,
+    QueueBackend,
+    TraceCache,
+    run_sweep,
+)
+
+#: Small real grid: 8 cells over a 6-app slice of the suite.
+SPEC = GridSpec(window_sizes=(5, 13), propagation_caps=(2, 3),
+                rates=(0.0, 0.02), seed=3)
+
+#: Snappy failure handling so chaos tests run in seconds.
+FAST = {
+    "lease_timeout": 5.0,
+    "heartbeat_interval": 0.05,
+    "backoff": BackoffPolicy(base=0.02, cap=0.2, seed=0),
+}
+
+
+def digest(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+class TestQueueBackend:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        cache = TraceCache(droidbench=TraceCache().droidbench_runs()[:6])
+        cache.prime_replay_state()
+        return cache
+
+    @pytest.fixture(scope="class")
+    def serial(self, cache):
+        return run_sweep(SPEC, cache=cache, jobs=1)
+
+    def test_fault_free_parity_with_serial(self, cache, serial):
+        queued = run_sweep(SPEC, cache=cache, jobs=2, backend="queue",
+                           backend_options=dict(FAST))
+        assert digest(queued) == digest(serial)
+        assert queued.worker_deaths == 0
+        assert queued.retries == 0
+        assert queued.poisoned == []
+        workers = {cell.worker for cell in queued.cells}
+        assert len(workers) > 1  # it actually fanned out
+
+    def test_chaos_kills_leave_grid_bit_identical(self, cache, serial):
+        chaos = ChaosPlan.parse("kill-workers:0.3", seed=7)
+        survived = run_sweep(SPEC, cache=cache, jobs=3, backend="queue",
+                             backend_options={**FAST, "chaos": chaos})
+        assert digest(survived) == digest(serial)
+        assert survived.worker_deaths > 0  # the schedule really killed
+        assert survived.retries > 0
+        assert survived.poisoned == []
+
+    def test_chaos_hang_expires_lease_and_recovers(self, cache, serial):
+        chaos = ChaosPlan.parse("hang-workers:0.25", seed=11)
+        survived = run_sweep(
+            SPEC, cache=cache, jobs=2, backend="queue",
+            backend_options={**FAST, "lease_timeout": 0.5, "chaos": chaos},
+        )
+        assert digest(survived) == digest(serial)
+        assert survived.worker_deaths > 0  # frozen holders were killed
+
+    def test_failing_cells_are_poisoned_not_fatal(self, cache, serial):
+        chaos = ChaosPlan.parse("fail-cells:1.0", seed=7)
+        result = run_sweep(
+            SPEC, cache=cache, jobs=2, backend="queue",
+            backend_options={**FAST, "max_retries": 1, "chaos": chaos},
+        )
+        assert result.cells == []
+        assert len(result.poisoned) == len(SPEC)
+        assert result.retries == len(SPEC)  # one retry each, then poison
+        for cell in result.poisoned:
+            assert cell["attempts"] == 2
+            assert "ChaosFailure" in cell["error"]
+        assert result.as_dict()["poisoned"] == result.poisoned
+
+    def test_partial_failure_leaves_explicit_hole(self, cache, serial):
+        # fail-cells at 60% with a zero retry budget: some cells poison,
+        # the survivors still match the serial run at their indexes.
+        chaos = ChaosPlan.parse("fail-cells:0.6", seed=5)
+        result = run_sweep(
+            SPEC, cache=cache, jobs=2, backend="queue",
+            backend_options={**FAST, "max_retries": 0, "chaos": chaos},
+        )
+        assert 0 < len(result.poisoned) < len(SPEC)
+        assert len(result.cells) + len(result.poisoned) == len(SPEC)
+        by_index = {cell.index: cell for cell in serial.cells}
+        for cell in result.cells:
+            assert cell.as_dict() == by_index[cell.index].as_dict()
+
+    def test_out_of_workers_raises_dispatch_error(self, cache):
+        chaos = ChaosPlan.parse("kill-workers:1.0", seed=3)
+        with pytest.raises(DispatchError, match="out of workers"):
+            run_sweep(
+                SPEC, cache=cache, jobs=2, backend="queue",
+                backend_options={
+                    **FAST, "max_worker_restarts": 1, "chaos": chaos,
+                },
+            )
+
+    def test_queue_backend_serial_jobs(self, cache, serial):
+        # backend="queue" with jobs=1 still goes through the dispatcher.
+        queued = run_sweep(SPEC, cache=cache, jobs=1, backend="queue",
+                           backend_options=dict(FAST))
+        assert digest(queued) == digest(serial)
+
+    def test_unknown_backend_rejected(self, cache):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            run_sweep(SPEC, cache=cache, jobs=2, backend="carrier-pigeon")
+        with pytest.raises(ValueError, match="backend_options"):
+            run_sweep(SPEC, cache=cache, jobs=2,
+                      backend_options={"lease_timeout": 1.0})
+
+    def test_backend_instance_passthrough(self, cache, serial):
+        backend = QueueBackend(jobs=2, **FAST)
+        queued = run_sweep(SPEC, cache=cache, backend=backend)
+        assert digest(queued) == digest(serial)
+        assert backend.stats.worker_deaths == 0
+
+
+class TestJournalIntegration:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        cache = TraceCache(droidbench=TraceCache().droidbench_runs()[:6])
+        cache.prime_replay_state()
+        return cache
+
+    def _journal(self, tmp_path, cells):
+        from repro.store import RunJournal
+
+        return RunJournal.create(tmp_path / "run.jsonl", cells, "test-run")
+
+    def test_poison_and_attempts_are_journaled(self, cache, tmp_path):
+        from repro.store import RunJournal
+
+        cells = list(SPEC.cells())
+        journal = self._journal(tmp_path, cells)
+        chaos = ChaosPlan.parse("fail-cells:0.6", seed=5)
+        result = run_sweep(
+            SPEC, cache=cache, jobs=2, journal=journal, backend="queue",
+            backend_options={**FAST, "max_retries": 1, "chaos": chaos},
+        )
+        reloaded = RunJournal.load(tmp_path / "run.jsonl")
+        assert set(reloaded.poisoned) == {
+            cell["index"] for cell in result.poisoned
+        }
+        assert len(reloaded.completed) == len(result.cells)
+        assert sum(len(v) for v in reloaded.attempts.values()) == (
+            result.retries
+        )
+        rows = reloaded.poison_rows()
+        assert [row["index"] for row in rows] == sorted(reloaded.poisoned)
+
+    def test_resume_cures_poisoned_cells(self, cache, tmp_path):
+        from repro.store import RunJournal
+
+        cells = list(SPEC.cells())
+        journal = self._journal(tmp_path, cells)
+        chaos = ChaosPlan.parse("fail-cells:0.6", seed=5)
+        first = run_sweep(
+            SPEC, cache=cache, jobs=2, journal=journal, backend="queue",
+            backend_options={**FAST, "max_retries": 0, "chaos": chaos},
+        )
+        assert first.poisoned  # some cells were quarantined
+        # Resume without chaos: the poisoned cells re-run and complete.
+        resumed_journal = RunJournal.load(tmp_path / "run.jsonl")
+        second = run_sweep(
+            SPEC, cache=cache, jobs=2, journal=resumed_journal,
+            backend="queue", backend_options=dict(FAST),
+        )
+        serial = run_sweep(SPEC, cache=cache, jobs=1)
+        assert digest(second) == digest(serial)
+        assert second.resumed == len(first.cells)
+        cured = RunJournal.load(tmp_path / "run.jsonl")
+        assert cured.poisoned == {}  # completed wins over poison records
+
+    def test_interrupt_mid_grid_leaves_journal_resumable(self, cache, tmp_path):
+        from repro.store import RunJournal
+
+        cells = list(SPEC.cells())
+        journal = self._journal(tmp_path, cells)
+
+        done = []
+
+        def interrupt(result, finished, total):
+            done.append(result.index)
+            if len(done) == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(SPEC, cache=cache, jobs=2, journal=journal,
+                      progress=interrupt, backend="queue",
+                      backend_options=dict(FAST))
+
+        # Every cell reported before the interrupt is checkpointed, and
+        # the resumed run is bit-identical to an uninterrupted one.
+        reloaded = RunJournal.load(tmp_path / "run.jsonl")
+        assert set(reloaded.completed) == set(done)
+        resumed = run_sweep(SPEC, cache=cache, jobs=2, journal=reloaded,
+                            backend="queue", backend_options=dict(FAST))
+        assert resumed.resumed == len(done)
+        serial = run_sweep(SPEC, cache=cache, jobs=1)
+        assert digest(resumed) == digest(serial)
+
+    def test_interrupt_under_pool_backend_still_resumable(self, cache, tmp_path):
+        from repro.store import RunJournal
+
+        cells = list(SPEC.cells())
+        journal = self._journal(tmp_path, cells)
+        done = []
+
+        def interrupt(result, finished, total):
+            done.append(result.index)
+            if len(done) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(SPEC, cache=cache, jobs=2, journal=journal,
+                      progress=interrupt)
+        reloaded = RunJournal.load(tmp_path / "run.jsonl")
+        assert set(reloaded.completed) == set(done)
+        resumed = run_sweep(SPEC, cache=cache, jobs=2, journal=reloaded)
+        serial = run_sweep(SPEC, cache=cache, jobs=1)
+        assert digest(resumed) == digest(serial)
+
+
+class TestTelemetryIntegration:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        cache = TraceCache(droidbench=TraceCache().droidbench_runs()[:6])
+        cache.prime_replay_state()
+        return cache
+
+    def test_fault_metrics_and_events_are_emitted(self, cache):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        events = []
+
+        class _Writer:
+            def emit(self, event_type, **fields):
+                events.append(event_type)
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        telemetry.writer = _Writer()
+        chaos = ChaosPlan.parse("fail-cells:0.6", seed=5)
+        result = run_sweep(
+            SPEC, cache=cache, jobs=2, telemetry=telemetry, backend="queue",
+            backend_options={**FAST, "max_retries": 1, "chaos": chaos},
+        )
+        assert result.retries > 0 and result.poisoned
+        metrics = telemetry.metrics
+        assert metrics.get("sweep.cell.retries").value == result.retries
+        assert metrics.get("sweep.cells.poisoned").value == len(
+            result.poisoned
+        )
+        assert "sweep_cell_retry" in events
+        assert "sweep_cell_poisoned" in events
+
+    def test_fault_free_run_creates_no_fault_metrics(self, cache):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        result = run_sweep(SPEC, cache=cache, jobs=2, telemetry=telemetry,
+                           backend="queue", backend_options=dict(FAST))
+        assert result.worker_deaths == 0
+        # Lazy counters: a clean run exposes the same metric families as
+        # the pool backend.
+        assert telemetry.metrics.get("sweep.cell.retries") is None
+        assert telemetry.metrics.get("sweep.worker.deaths") is None
+
+    def test_relay_heartbeats_renew_leases(self, cache):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        # Lease TTL far below the cell runtime ceiling but heartbeats
+        # (control-plane at 50ms + relay) keep every lease alive: no
+        # deaths, no retries, clean parity.
+        result = run_sweep(
+            SPEC, cache=cache, jobs=2, telemetry=telemetry,
+            backend="queue",
+            backend_options={**FAST, "lease_timeout": 1.0},
+        )
+        assert result.worker_deaths == 0
+        assert result.retries == 0

@@ -246,6 +246,32 @@ class TestTelemetryRelayHandle:
         assert summary["dropped_events"] == 4
         assert summary["workers"] == 1
 
+    def test_on_heartbeat_hook_receives_the_pid(self):
+        """The queue backend renews leases off relay heartbeats."""
+        beats = []
+        relay, _, _ = self._relay(on_heartbeat=beats.append)
+        relay._handle(
+            {"kind": "heartbeat", "worker_id": 1, "pid": 777,
+             "dropped": 0, "cell_index": 2, "mono": 0.0}
+        )
+        relay._handle(
+            {"kind": "events", "worker_id": 1, "pid": 777, "dropped": 0,
+             "events": []}
+        )
+        assert beats == [777]  # only heartbeats renew, not event batches
+
+    def test_stall_counter_is_sweep_worker_stalls(self):
+        import time
+
+        relay, telemetry, _ = self._relay(stall_timeout=0.001)
+        relay._handle(
+            {"kind": "heartbeat", "worker_id": 1, "pid": 10,
+             "dropped": 0, "cell_index": 3, "mono": 0.0}
+        )
+        time.sleep(0.01)
+        relay._check_stalls()
+        assert telemetry.metrics.get("sweep.worker.stalls").value == 1
+
     def test_dropped_counts_keep_high_water_per_worker(self):
         relay, _, _ = self._relay()
         for dropped in (5, 3):  # late message with a stale lower count
@@ -452,6 +478,30 @@ class TestRunReport:
         assert "run run-0" in text
         assert "per-worker:" in text
         assert "slowest cells:" in text
+
+    def test_report_surfaces_poison_and_retries(self, tmp_path):
+        from repro.analysis.report import build_run_report, render_run_report
+        from repro.sweep import GridSpec
+        from repro.store import RunJournal
+
+        spec = GridSpec(window_sizes=(5, 13), propagation_caps=(2,))
+        cells = list(spec.cells())
+        journal = RunJournal.create(tmp_path / "run-2.jsonl", cells, "run-2")
+        journal.append_attempt(0, attempt=1, reason="lost")
+        journal.append_attempt(0, attempt=2, reason="lost")
+        journal.append_poison(0, attempts=3, error="RuntimeError: boom")
+
+        report = build_run_report(journal)
+        assert report["cells_poisoned"] == 1
+        assert report["poisoned"] == [
+            {"index": 0, "attempts": 3, "error": "RuntimeError: boom"}
+        ]
+        assert report["retried_cells"] == {"0": 2}
+
+        text = render_run_report(report)
+        assert "(1 poisoned)" in text
+        assert "poisoned: cell 0 after 3 attempts (RuntimeError: boom)" in text
+        assert "retries: 2 across cells 0" in text
 
     def test_report_without_telemetry_stream(self, tmp_path):
         from repro.analysis.report import build_run_report

@@ -12,6 +12,7 @@ import gzip
 import json
 import multiprocessing
 import pickle
+import warnings
 
 import pytest
 
@@ -201,7 +202,12 @@ class TestCorruption:
         assert report["checked"] == 2
         assert report["corrupt"] == 1
         assert report["digests"] == [TEST_KEY.digest]
+        assert report["quarantined"] == 2  # payload + meta moved aside
         assert art.get_runs(good) is not None
+        # A clean follow-up pass still flags the unresolved quarantine.
+        followup = art.verify()
+        assert followup["corrupt"] == 0
+        assert followup["quarantined"] == 2
 
 
 class TestCacheIntegration:
@@ -363,8 +369,53 @@ class TestJournal:
         with open(tmp_path / "run.jsonl", "a", encoding="utf-8") as fh:
             fh.write('{"type": "cell", "index": 1, "cel')  # kill mid-append
 
-        loaded = RunJournal.load(tmp_path / "run.jsonl")
+        with pytest.warns(RuntimeWarning):
+            loaded = RunJournal.load(tmp_path / "run.jsonl")
         assert sorted(loaded.completed) == [results[0].index]
+
+    def test_torn_line_is_truncated_warned_and_appendable(self, tmp_path):
+        """Regression: the fragment must be truncated away, not merely
+        skipped — a later append would otherwise weld onto the torn
+        bytes, corrupting the *middle* of the file for the next load."""
+        cells = tiny_cells(2)
+        results = self._results(cells)
+        journal = RunJournal.create(tmp_path / "run.jsonl", cells, "run-000")
+        journal.append(results[0])
+        clean_size = (tmp_path / "run.jsonl").stat().st_size
+        with open(tmp_path / "run.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"type": "cell", "index": 1, "cel')  # kill mid-append
+
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            loaded = RunJournal.load(tmp_path / "run.jsonl")
+        assert (tmp_path / "run.jsonl").stat().st_size == clean_size
+
+        loaded.append(results[1])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second load must be clean
+            healed = RunJournal.load(tmp_path / "run.jsonl")
+        assert sorted(healed.completed) == [r.index for r in results]
+
+    def test_attempt_and_poison_records_roundtrip(self, tmp_path):
+        cells = tiny_cells(2)
+        results = self._results(cells)
+        journal = RunJournal.create(tmp_path / "run.jsonl", cells, "run-000")
+        journal.append(results[0])
+        journal.append_attempt(1, attempt=1, reason="lost")
+        journal.append_attempt(1, attempt=2, reason="error: boom")
+        journal.append_poison(1, attempts=3, error="boom")
+
+        loaded = RunJournal.load(tmp_path / "run.jsonl")
+        assert sorted(loaded.completed) == [0]
+        assert [r["attempt"] for r in loaded.attempts[1]] == [1, 2]
+        assert loaded.poison_rows() == [
+            {"index": 1, "attempts": 3, "error": "boom"}
+        ]
+
+        # Completed wins: a later success for the cell cures the poison,
+        # both live and across a reload.
+        loaded.append(results[1])
+        assert loaded.poisoned == {}
+        assert RunJournal.load(tmp_path / "run.jsonl").poisoned == {}
 
     def test_mid_file_corruption_raises(self, tmp_path):
         cells = tiny_cells(2)
