@@ -241,6 +241,102 @@ class RangeSet:
         self._total += end - start + 1 - absorbed
         self._version += 1
 
+    def add_many(self, items: List[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+        """Taint every ``(start, end)`` pair in one sorted-merge pass.
+
+        Content-equivalent to calling :meth:`add` once per pair, in any
+        order, but the merge is a single sorted-array operation over the
+        numpy mirror (concatenate, sort by start, coalesce on a running
+        ``maximum.accumulate`` of the ends) committed back through the
+        version counter — the mirror is written back directly, so the
+        next :meth:`as_arrays` call pays no rebuild.
+
+        Returns the *extent* ``(lo, hi)``: the smallest address span
+        covering every stored range the batch touched (callers use it to
+        patch cached overlap masks — anything outside the extent kept
+        its coverage).  Returns ``None`` for an empty batch.
+
+        Parity note: per-step totals are **not** reported.  Callers that
+        need per-mutation high-water bookkeeping (timeline points, the
+        non-monotone ``max_range_count``) must fall back to sequential
+        :meth:`add` calls when intermediate counts could be observable.
+        """
+        if not items:
+            return None
+        import numpy
+
+        new_starts = numpy.fromiter(
+            (s for s, _ in items), numpy.int64, len(items)
+        )
+        new_ends = numpy.fromiter(
+            (e for _, e in items), numpy.int64, len(items)
+        )
+        cur_starts, cur_ends = self.as_arrays()
+        all_starts = numpy.concatenate([cur_starts, new_starts])
+        all_ends = numpy.concatenate([cur_ends, new_ends])
+        order = numpy.argsort(all_starts, kind="stable")
+        sorted_starts = all_starts[order]
+        run_ends = numpy.maximum.accumulate(all_ends[order])
+        # A new coalesced range begins wherever the next start clears the
+        # running end by more than adjacency (gap >= 1 uncovered byte).
+        breaks = numpy.flatnonzero(sorted_starts[1:] > run_ends[:-1] + 1) + 1
+        first = numpy.concatenate([[0], breaks])
+        merged_starts = sorted_starts[first]
+        merged_ends = numpy.concatenate([run_ends[breaks - 1], run_ends[-1:]])
+        self._starts = merged_starts.tolist()
+        self._ends = merged_ends.tolist()
+        self._total = int((merged_ends - merged_starts + 1).sum())
+        self._version += 1
+        self._np_mirror = (self._version, merged_starts, merged_ends)
+        hull_lo = int(new_starts.min())
+        hull_hi = int(new_ends.max())
+        i0 = int(numpy.searchsorted(merged_ends, hull_lo, side="left"))
+        i1 = int(numpy.searchsorted(merged_starts, hull_hi, side="right")) - 1
+        return (int(merged_starts[i0]), int(merged_ends[i1]))
+
+    def remove_many(
+        self, items: List[Tuple[int, int]]
+    ) -> List[Tuple[bool, int, int]]:
+        """Untaint each ``(start, end)`` pair in sequence, one version bump.
+
+        Exactly equivalent to :meth:`remove` per pair **in order** —
+        order matters for removes, because an earlier untaint can turn a
+        later candidate into a no-op.  Each step reports
+        ``(effective, total_size_after, range_count_after)`` so callers
+        can reproduce the scalar loop's per-mutation high-water
+        bookkeeping (``range_count`` can *rise* when a remove splits a
+        stored range, so per-step values are required for parity).
+        """
+        steps: List[Tuple[bool, int, int]] = []
+        mutated = False
+        for start, end in items:
+            lo = bisect.bisect_left(self._ends, start)
+            hi = bisect.bisect_right(self._starts, end)
+            if lo >= hi:
+                steps.append((False, self._total, len(self._starts)))
+                continue
+            removed = 0
+            for i in range(lo, hi):
+                removed += self._ends[i] - self._starts[i] + 1
+            new_starts: List[int] = []
+            new_ends: List[int] = []
+            if self._starts[lo] < start:
+                new_starts.append(self._starts[lo])
+                new_ends.append(start - 1)
+            if end < self._ends[hi - 1]:
+                new_starts.append(end + 1)
+                new_ends.append(self._ends[hi - 1])
+            self._starts[lo:hi] = new_starts
+            self._ends[lo:hi] = new_ends
+            self._total += sum(
+                e - s + 1 for s, e in zip(new_starts, new_ends)
+            ) - removed
+            mutated = True
+            steps.append((True, self._total, len(self._starts)))
+        if mutated:
+            self._version += 1
+        return steps
+
     def remove(self, item: AddressRange) -> None:
         """Untaint ``item``, splitting stored ranges that straddle it."""
         lo = bisect.bisect_left(self._ends, item.start)

@@ -386,8 +386,13 @@ class PIFTTracker:
                 self.stats.tainted_loads += 1
         else:
             self.stats.stores_observed += 1
+            # The tainting window is the NI instructions *following* the
+            # tainted load (§3.1), so both edges are checked: a store whose
+            # per-PID index regressed below the window-opening load (an
+            # out-of-order front-end, a counter reset) is outside it.
             in_window = (
                 window.last_tainted_load is not None
+                and window.last_tainted_load <= k
                 and k <= window.last_tainted_load + self.config.window_size
             )
             if in_window and window.propagations < self.config.max_propagations:
@@ -554,7 +559,7 @@ class PIFTTracker:
                 last = window.last_tainted_load
                 if (
                     last is not None
-                    and k <= last + window_size
+                    and last <= k <= last + window_size
                     and window.propagations < max_propagations
                 ):
                     add(address_range)
@@ -648,6 +653,7 @@ class PIFTTracker:
             mutated = False
         in_window = (
             window.last_tainted_load is not None
+            and window.last_tainted_load <= k
             and k <= window.last_tainted_load + self.config.window_size
         )
         if not in_window and window.telemetry_open:

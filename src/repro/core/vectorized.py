@@ -47,11 +47,14 @@ entirely when a telemetry shadow is bound over ``observe``.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
+
+from repro.core.ranges import AddressRange
 
 try:
     import numpy as _np
-except ImportError:  # pragma: no cover - numpy is a hard dependency
+except ImportError:  # pragma: no cover - exercised via monkeypatched stubs
     _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -72,12 +75,34 @@ BLOCK_MAX = 65536
 #: kernel re-classifies.  Amortises classification cost in dense regions.
 SCALAR_RUN = 64
 
-#: Density bail-out: once this many events have gone through scalar runs,
-#: the kernel compares skipped vs scalar-processed counts and, if fewer
-#: than half were skippable, hands the rest of the slice to the scalar
-#: loop outright — taint-dense traces then pay one bounded classification
-#: overhead instead of a per-run tax.
+#: Density bail-out: once this many events have gone through the scalar
+#: loop, the kernel compares vector-handled (skipped + dense-committed)
+#: vs scalar-handled counts and, if fewer than half were handled
+#: vectorised, hands a *bounded* chunk (:data:`REPROBE_EVERY`) to the
+#: scalar loop and re-probes — a dense-prefix/sparse-tail trace regains
+#: the fast path once the tail starts, instead of staying scalar forever.
 BAILOUT_AFTER = 512
+
+#: Events handed to the scalar loop per density bail-out before the
+#: kernel re-probes with a fresh classification window.
+REPROBE_EVERY = 4096
+
+#: Ceiling on one dense-executor span (a same-PID run executed with
+#: vectorised window evolution and bulk range-set commits).
+DENSE_SPAN = 4096
+
+#: Runs shorter than this skip the dense executor — numpy setup on a
+#: handful of events costs more than the scalar loop.
+DENSE_MIN = 32
+
+#: Content mutations tolerated per dense span before the rest of the
+#: span is handed to the scalar loop; every mutation forces a mask
+#: patch plus a window re-simulation, so mutation-heavy spans are
+#: cheaper scalar.
+DENSE_MAX_MUTATIONS = 24
+
+#: One-shot flag for the numpy-absence fallback warning.
+_numpy_fallback_warned = False
 
 
 def _pid_relevance(
@@ -114,8 +139,16 @@ def _pid_relevance(
         and window.last_tainted_load is not None
         and window.propagations < config.max_propagations
     ):
-        horizon = window.last_tainted_load + config.window_size
-        in_window = ~loads_m & (query_index <= horizon)
+        # Both window edges: the window is the NI instructions *following*
+        # the tainted load, so an index below the window-opening load is
+        # outside it (matches the scalar loop's two-edge test; without the
+        # lower edge, regressed-index stores were classified relevant).
+        last = window.last_tainted_load
+        in_window = (
+            ~loads_m
+            & (query_index >= last)
+            & (query_index <= last + config.window_size)
+        )
         rel = in_window if rel is None else rel | in_window
     return rel
 
@@ -201,47 +234,333 @@ def _skip_run(tracker: "PIFTTracker", arrays: "ColumnArrays", lo: int, hi: int) 
             window.instructions_retired = top + 1
 
 
+def _overlap_masks(state, query_start, query_end):
+    """Exact (hit, contained) masks for query ranges against ``state``.
+
+    ``hit`` is the paper's overlap test; ``contained`` is full coverage
+    by a single stored range (a contained taint-add changes no content,
+    so the dense executor can commit it as pure counter updates).
+    """
+    starts, ends = state.as_arrays()
+    if not starts.size:
+        zeros = _np.zeros(len(query_start), dtype=bool)
+        return zeros, zeros.copy()
+    c_end = _np.searchsorted(starts, query_end, side="right") - 1
+    hit = (c_end >= 0) & (ends[_np.maximum(c_end, 0)] >= query_start)
+    c_start = _np.searchsorted(starts, query_start, side="right") - 1
+    contained = (c_start >= 0) & (ends[_np.maximum(c_start, 0)] >= query_end)
+    return hit, contained
+
+
+def _dense_span(
+    tracker: "PIFTTracker",
+    columns: "EventColumns",
+    arrays: "ColumnArrays",
+    lo: int,
+    limit: int,
+):
+    """Vectorised *execution* of one same-PID run starting at ``lo``.
+
+    The dense-regime engine: instead of handing relevant events to the
+    scalar loop one short run at a time, simulate Algorithm 1's window
+    evolution for the whole run under fixed overlap masks, bulk-commit
+    everything up to the first *content* mutation (taint of uncovered
+    bytes, or an effective untaint), process the mutation run through the
+    bulk range-set primitives, patch the masks from the merged extent,
+    and continue.  Returns ``(consumed, scalar_events)`` so the caller's
+    density accounting can tell vector-handled events from scalar ones.
+
+    Soundness (checked bit-for-bit by the parity suite): taint decisions
+    depend only on window evolution — hit-load positions, the two window
+    edges, and the propagation cap — never on taint *content*, so they
+    stay valid across content mutations as long as the masks feeding the
+    hit-load positions do; the executor therefore never advances past a
+    content mutation without patching the masks, and every quantity it
+    bulk-commits (counters, telescoped high-water marks, window state at
+    the cut) equals the scalar loop's value by construction.  Contained
+    taint-adds mutate no content (a contained add merges into exactly its
+    covering range), so they commit as counter updates; per-mutation
+    ``max_range_count`` bookkeeping is reproduced either by the
+    can't-exceed-the-high-water guard or by per-step fallback.
+    """
+    run_hi = arrays.same_pid_run(lo, min(lo + DENSE_SPAN, limit))
+    n = run_hi - lo
+    if n < DENSE_MIN:
+        consumed = min(SCALAR_RUN, limit - lo)
+        tracker.observe_columns_scalar(columns, lo, lo + consumed)
+        return consumed, consumed
+    pid = int(arrays.pids[lo])
+    if pid not in tracker._windows:
+        tracker.state(pid)
+    state = tracker._states[pid]
+    window = tracker._windows[pid]
+    config = tracker.config
+    ni = config.window_size
+    nt = config.max_propagations
+    untainting = config.untainting
+    stats = tracker.stats
+
+    K = arrays.indices[lo:run_hi]
+    S = arrays.starts[lo:run_hi]
+    E = arrays.ends[lo:run_hi]
+    L = arrays.is_load[lo:run_hi]
+    stores_m = ~L
+
+    if len(state):
+        hit, contained = _overlap_masks(state, S, E)
+    else:
+        hit = _np.zeros(n, dtype=bool)
+        contained = hit.copy()
+
+    last = window.last_tainted_load
+    props = window.propagations
+    p = 0
+    mutations = 0
+    scalar_events = 0
+    while p < n:
+        # -- simulate window evolution under the current masks ----------
+        hl = _np.flatnonzero(L[p:] & hit[p:]) + p
+        seg = _np.searchsorted(hl, _np.arange(p, n), side="right") - 1
+        in_seg = seg >= 0
+        if hl.size:
+            gov = K[hl[_np.maximum(seg, 0)]]
+        else:
+            gov = _np.zeros(n - p, dtype=_np.int64)
+        kk = K[p:]
+        if last is not None:
+            gov = _np.where(in_seg, gov, last)
+            windowed = _np.ones(n - p, dtype=bool)
+        else:
+            windowed = in_seg
+        in_win = stores_m[p:] & windowed & (kk >= gov) & (kk <= gov + ni)
+        ranks = _np.cumsum(in_win)
+        if hl.size:
+            base = _np.where(in_seg, ranks[hl - p][_np.maximum(seg, 0)], 0)
+        else:
+            base = 0
+        cap = _np.where(in_seg, nt, nt - props)
+        taint = in_win & (ranks - 1 - base < cap)
+        if untainting:
+            untaint_cand = stores_m[p:] & ~taint & hit[p:]
+        else:
+            untaint_cand = _np.zeros(n - p, dtype=bool)
+        content_mut = (taint & ~contained[p:]) | untaint_cand
+        cuts = _np.flatnonzero(content_mut)
+        cut = (int(cuts[0]) + p) if cuts.size else n
+
+        # -- bulk-commit the mutation-free prefix [p, cut) --------------
+        if cut > p:
+            sl = slice(p, cut)
+            load_count = int(_np.count_nonzero(L[sl]))
+            stats.loads_observed += load_count
+            stats.stores_observed += (cut - p) - load_count
+            stats.tainted_loads += int(_np.count_nonzero(L[sl] & hit[sl]))
+            taint_count = int(_np.count_nonzero(taint[: cut - p]))
+            stats.taint_operations += taint_count
+            top = int(K[sl].max())
+            if top >= window.instructions_retired:
+                stats.instructions_observed += (
+                    top + 1 - window.instructions_retired
+                )
+                window.instructions_retired = top + 1
+            hl_before = hl[hl < cut]
+            if hl_before.size:
+                last_load = int(hl_before[-1])
+                last = int(K[last_load])
+                props = int(
+                    _np.count_nonzero(taint[last_load + 1 - p : cut - p])
+                )
+            elif last is not None:
+                props += taint_count
+        if cut >= n:
+            break
+
+        # -- a content mutation: execute its run via bulk primitives ----
+        mutations += 1
+        if mutations > DENSE_MAX_MUTATIONS:
+            # Mutation-heavy span — each mutation costs a mask patch and
+            # a re-simulation, so the scalar loop is cheaper from here.
+            window.last_tainted_load = last
+            window.propagations = props
+            tracker.observe_columns_scalar(columns, lo + cut, run_hi)
+            return n, scalar_events + (n - cut)
+        other_size = tracker.tainted_bytes - state.total_size
+        other_count = tracker.range_count - state.range_count
+        if taint[cut - p]:
+            # Maximal run of consecutive taint-decision stores: decisions
+            # are content-independent, so the whole run is committed with
+            # one sorted-merge bulk add.
+            rest = taint[cut - p :]
+            stop_rel = _np.flatnonzero(~rest)
+            j = cut + (int(stop_rel[0]) if stop_rel.size else n - cut)
+            pairs = list(
+                zip(S[cut:j].tolist(), E[cut:j].tolist())
+            )
+            count_before = other_count + state.range_count
+            if count_before + len(pairs) <= stats.max_range_count:
+                # No intermediate step can set a new range-count
+                # high-water mark (each add raises the count by at most
+                # one) and tainted bytes only grow, so committing the
+                # final totals reproduces per-step bookkeeping exactly.
+                extent = state.add_many(pairs)
+                size = other_size + state.total_size
+                if size > stats.max_tainted_bytes:
+                    stats.max_tainted_bytes = size
+            else:
+                add = state.add
+                max_bytes = stats.max_tainted_bytes
+                max_ranges = stats.max_range_count
+                for pair_start, pair_end in pairs:
+                    add(AddressRange(pair_start, pair_end))
+                    size = other_size + state.total_size
+                    count = other_count + state.range_count
+                    if size > max_bytes:
+                        max_bytes = size
+                    if count > max_ranges:
+                        max_ranges = count
+                stats.max_tainted_bytes = max_bytes
+                stats.max_range_count = max_ranges
+                starts2, ends2 = state.as_arrays()
+                hull_lo = int(min(s for s, _ in pairs))
+                hull_hi = int(max(e for _, e in pairs))
+                i0 = int(_np.searchsorted(ends2, hull_lo, side="left"))
+                i1 = int(
+                    _np.searchsorted(starts2, hull_hi, side="right")
+                ) - 1
+                extent = (int(starts2[i0]), int(ends2[i1]))
+            stats.stores_observed += j - cut
+            stats.taint_operations += j - cut
+            props += j - cut
+        else:
+            # Maximal run of consecutive non-taint stores: untaint
+            # candidates resolve sequentially inside remove_many (an
+            # earlier untaint can void a later candidate), reported
+            # per-step because a split *raises* the range count.
+            rest = L[cut:] | taint[cut - p :]
+            stop_rel = _np.flatnonzero(rest)
+            j = cut + (int(stop_rel[0]) if stop_rel.size else n - cut)
+            cand = _np.flatnonzero(hit[cut:j]) + cut
+            steps = state.remove_many(
+                [(int(S[i]), int(E[i])) for i in cand]
+            )
+            effective = [
+                (i, total_after, count_after)
+                for (i, (ok, total_after, count_after)) in zip(cand, steps)
+                if ok
+            ]
+            for _, total_after, count_after in effective:
+                stats.untaint_operations += 1
+                size = other_size + total_after
+                count = other_count + count_after
+                if size > stats.max_tainted_bytes:
+                    stats.max_tainted_bytes = size
+                if count > stats.max_range_count:
+                    stats.max_range_count = count
+            stats.stores_observed += j - cut
+            if effective:
+                extent = (
+                    int(min(S[i] for i, _, _ in effective)),
+                    int(max(E[i] for i, _, _ in effective)),
+                )
+            else:
+                extent = None
+        top = int(K[cut:j].max())
+        if top >= window.instructions_retired:
+            stats.instructions_observed += top + 1 - window.instructions_retired
+            window.instructions_retired = top + 1
+
+        # -- patch the masks: only events overlapping the mutated extent
+        #    can have changed coverage -------------------------------------
+        if extent is not None and j < n:
+            extent_lo, extent_hi = extent
+            suspects = _np.flatnonzero(
+                (S[j:] <= extent_hi) & (E[j:] >= extent_lo)
+            ) + j
+            if suspects.size:
+                new_hit, new_contained = _overlap_masks(
+                    state, S[suspects], E[suspects]
+                )
+                hit[suspects] = new_hit
+                contained[suspects] = new_contained
+        p = j
+    window.last_tainted_load = last
+    window.propagations = props
+    return n, scalar_events
+
+
 def observe_columns(
     tracker: "PIFTTracker", columns: "EventColumns", start: int, stop: int
 ) -> None:
-    """Algorithm 1 over ``columns[start:stop)`` with vectorised skipping.
+    """Algorithm 1 over ``columns[start:stop)`` with vectorised skipping
+    *and* vectorised dense-regime execution.
 
     Alternates between bulk-skipping classified-irrelevant prefix runs
-    and exact scalar processing around relevant events.  The block size
-    doubles (up to :data:`BLOCK_MAX`) while blocks keep coming back fully
-    irrelevant — a fully untainted trace is classified in O(n / BLOCK_MAX)
-    numpy passes — and resets after every relevant hit.  Slices that turn
-    out taint-dense (skip rate below one half after
-    :data:`BAILOUT_AFTER` scalar events) are handed to the scalar loop
-    wholesale, bounding the kernel's worst-case overhead.
+    and the dense executor (:func:`_dense_span`) on relevant events.  The
+    block size doubles (up to :data:`BLOCK_MAX`) while blocks keep coming
+    back fully irrelevant and resets after every relevant hit.  Slices
+    where the scalar loop ends up doing most of the work (vector-handled
+    share below one half after :data:`BAILOUT_AFTER` scalar events) hand
+    a bounded :data:`REPROBE_EVERY` chunk to the scalar loop, then
+    re-probe — so a dense-prefix/sparse-tail trace regains the fast path.
+
+    Timeline recording forces per-mutation :class:`TimelinePoint`
+    appends, which the bulk commits deliberately elide; with
+    ``record_timeline`` on, relevant events take the exact scalar loop
+    instead (classification/skipping is unaffected — skipped events never
+    mutate).  Without numpy the whole call degrades to
+    :meth:`~repro.core.tracker.PIFTTracker.observe_columns_scalar` with a
+    one-shot warning (equivalent to ``--no-vectorized``).
     """
-    if _np is None:  # pragma: no cover - numpy is a hard dependency
-        raise RuntimeError("numpy is required for the vectorized kernel")
+    if _np is None:
+        global _numpy_fallback_warned
+        if not _numpy_fallback_warned:
+            _numpy_fallback_warned = True
+            warnings.warn(
+                "numpy is unavailable; the vectorised kernel is falling "
+                "back to the scalar loop (equivalent to --no-vectorized)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        tracker.observe_columns_scalar(columns, start, stop)
+        return
     arrays = columns.arrays()
     scalar = tracker.observe_columns_scalar
+    dense_ok = not tracker._record_timeline
     position = start
     block = BLOCK_MIN
-    skipped = 0
-    processed = 0
+    vector_handled = 0
+    scalar_handled = 0
     while position < stop:
         block_end = min(position + block, stop)
         first = _first_relevant(tracker, arrays, position, block_end)
         if first > position:
             _skip_run(tracker, arrays, position, first)
-            skipped += first - position
+            vector_handled += first - position
             position = first
         if position >= block_end:
             # Whole block irrelevant: widen the next classification.
             block = min(block * 2, BLOCK_MAX)
             continue
-        # A relevant event: let the exact scalar loop process a short run
-        # (its mutations may invalidate the rest of the classification),
-        # then re-sync against the updated state.
-        run_end = min(position + SCALAR_RUN, stop)
-        scalar(columns, position, run_end)
-        processed += run_end - position
-        position = run_end
+        # A relevant event: execute a span through the dense engine (or
+        # the exact scalar loop when timeline recording demands
+        # per-mutation samples), then re-sync against the updated state.
+        if dense_ok:
+            consumed, dense_scalar = _dense_span(
+                tracker, columns, arrays, position, stop
+            )
+        else:
+            consumed = min(SCALAR_RUN, stop - position)
+            scalar(columns, position, position + consumed)
+            dense_scalar = consumed
+        position += consumed
+        scalar_handled += dense_scalar
+        vector_handled += consumed - dense_scalar
         block = BLOCK_MIN
-        if processed >= BAILOUT_AFTER and skipped < processed:
-            scalar(columns, position, stop)
-            return
+        if scalar_handled >= BAILOUT_AFTER:
+            if vector_handled < scalar_handled:
+                # Density bail-out, bounded: scalar a chunk, re-probe.
+                chunk_end = min(position + REPROBE_EVERY, stop)
+                scalar(columns, position, chunk_end)
+                position = chunk_end
+            vector_handled = 0
+            scalar_handled = 0

@@ -122,6 +122,76 @@ def build_v2_run():
     return run
 
 
+def build_dense_run():
+    """Taint-dense single-process run: Algorithm 1 fires on nearly every
+    event (a tainted load every 4th event, 8-byte stores into an already
+    tainted working buffer between them).  Nothing is skippable, so this
+    freezes the dense *executor* — the numpy window simulation and bulk
+    range-set commits — against the scalar loop, byte for byte."""
+    rng = random.Random(82_026)
+    run = RecordedRun()
+    run.sources.append(SourceRegistration(AddressRange(0, 4_095), 0, "imei"))
+    run.sources.append(
+        SourceRegistration(AddressRange(8_192, 40_959), 0, "buffer")
+    )
+    index = 0
+    for i in range(6_000):
+        index += 1
+        if i % 4 == 0:
+            a = rng.randrange(0, 4_088)
+            run.trace.append(load(a, a + 3, index))
+        else:
+            a = 8_192 + rng.randrange(0, 32_760)
+            run.trace.append(store(a, a + 7, index))
+    run.trace.note_instruction(index + 1)
+    run.sink_checks.extend(
+        [
+            SinkCheck(AddressRange(8_192, 8_255), index + 1, "network",
+                      "socket"),
+            SinkCheck(AddressRange(HEAP, HEAP + 63), index + 1, "log",
+                      "logcat"),
+        ]
+    )
+    return run
+
+
+def build_dense_prefix_run():
+    """Taint/untaint churn prefix, then a long sparse tail.
+
+    Each prefix triple taints a fresh range in-window then untaints it
+    with an out-of-window overlapping store, so every store is a content
+    mutation: the dense executor's mutation budget trips and the density
+    bail-out engages.  The sparse tail must then re-enter the skip fast
+    path via the bounded re-probe.  Freezes the bail-out + re-probe
+    control flow end to end."""
+    rng = random.Random(47)
+    run = RecordedRun()
+    run.sources.append(SourceRegistration(AddressRange(0, 15), 0, "imei"))
+    index = 0
+    for i in range(0, 1_500, 3):
+        index += 1
+        run.trace.append(load(0, 3, index))
+        index += 1
+        a = 50_000 + i * 16
+        run.trace.append(store(a, a + 3, index))
+        index += 20  # jump past NI=13: the overlap store untaints
+        run.trace.append(store(a, a + 3, index))
+    for _ in range(4_500):
+        index += rng.randint(1, 3)
+        a = 10_000_000 + rng.randrange(0, 500_000)
+        maker = load if rng.random() < 0.5 else store
+        run.trace.append(maker(a, a + 3, index))
+    run.trace.note_instruction(index + 1)
+    run.sink_checks.extend(
+        [
+            SinkCheck(AddressRange(0, 3), index + 1, "network", "socket"),
+            SinkCheck(AddressRange(50_000, 50_063), index + 1, "network",
+                      "socket"),
+        ]
+    )
+    return run
+
+
 def write_v2(run: RecordedRun, path: Path) -> None:
     """Serialise the way the version-2 writer did: no pid fields at all."""
     document = {
@@ -158,7 +228,16 @@ def main() -> None:
     tracefile.save_recorded_run(v3, HERE / "golden_v3.pift.gz")
     v2 = build_v2_run()
     write_v2(v2, HERE / "golden_v2.pift.gz")
-    for name, run in (("v3", v3), ("v2", v2)):
+    dense = build_dense_run()
+    tracefile.save_recorded_run(dense, HERE / "golden_dense_v1.pift.gz")
+    prefix = build_dense_prefix_run()
+    tracefile.save_recorded_run(
+        prefix, HERE / "golden_dense_prefix_v1.pift.gz"
+    )
+    for name, run in (
+        ("v3", v3), ("v2", v2), ("dense_v1", dense),
+        ("dense_prefix_v1", prefix),
+    ):
         print(
             f"golden_{name}: {len(run.trace)} events, "
             f"{run.instruction_count} instructions, "

@@ -241,6 +241,68 @@ def test_vectorized_config_with_telemetry_falls_back(raw, config):
     )
 
 
+# -- adversarial index streams -----------------------------------------
+#
+# The kernel's bulk accounting rests on a telescoping claim: applying the
+# per-PID *maximum* instruction index of a skipped run equals applying
+# every index in sequence.  That holds for non-decreasing indices, but the
+# scalar loop tolerates *regressions* (an out-of-order front-end, a
+# counter reset) via its high-water guard — so the claim must survive
+# absolute, freely regressing per-PID indices, and multi-PID interleaves
+# whose runs cross classification-block boundaries.
+
+adversarial_events = st.builds(
+    lambda kind, start, size, index, pid: (kind, start, size, index, pid),
+    st.sampled_from([AccessKind.LOAD, AccessKind.STORE]),
+    st.integers(0, 400),
+    st.integers(1, 8),
+    st.integers(0, 600),  # absolute index: regressions allowed
+    st.integers(0, 3),
+)
+
+
+def materialise_adversarial(raw_events):
+    """Indices taken verbatim — per-PID streams may regress arbitrarily."""
+    return [
+        MemoryAccess(
+            kind, AddressRange.from_base_size(start, size), index, pid
+        )
+        for kind, start, size, index, pid in raw_events
+    ]
+
+
+@given(st.lists(adversarial_events, max_size=120), configs)
+@settings(max_examples=150, deadline=None)
+def test_three_way_parity_under_regressing_indices(raw, config):
+    """Scalar == batched == vectorised on freely regressing index streams,
+    locking ``instructions_observed`` / ``instructions_retired`` (both in
+    the fingerprint via stats and ``instructions_per_pid``) bit-for-bit."""
+    stream = materialise_adversarial(raw)
+    reference = fingerprint(run_serial(config, stream))
+    assert fingerprint(run_scalar(config, stream)) == reference
+    assert fingerprint(run_vectorized(config, stream)) == reference
+
+
+@given(
+    st.lists(adversarial_events, min_size=1, max_size=40),
+    configs,
+    st.integers(0, 7),
+)
+@settings(max_examples=75, deadline=None)
+def test_adversarial_interleaves_crossing_block_boundaries(raw, config, jitter):
+    """Multi-PID regressing interleaves tiled past the classification
+    block size, so skipped runs and dense spans straddle block edges."""
+    from repro.core.vectorized import BLOCK_MIN
+
+    base = materialise_adversarial(raw)
+    stream = []
+    while len(stream) < BLOCK_MIN * 2 + jitter:
+        stream.extend(base)
+    reference = fingerprint(run_serial(config, stream))
+    assert fingerprint(run_scalar(config, stream)) == reference
+    assert fingerprint(run_vectorized(config, stream)) == reference
+
+
 @given(st.lists(events, max_size=60), st.integers(0, 60), st.integers(0, 60))
 @settings(max_examples=75, deadline=None)
 def test_observe_columns_slices_compose(raw, cut_a, cut_b):

@@ -46,6 +46,42 @@ GOLDEN = {
             "max_range_count": 16,
         },
     },
+    "golden_dense_v1": {
+        "instruction_count": 6002,
+        "events": 6000,
+        "verdicts": [
+            ("network", 0, True),
+            ("log", 0, False),
+        ],
+        "stats": {
+            "instructions_observed": 6001,
+            "loads_observed": 1500,
+            "stores_observed": 4500,
+            "tainted_loads": 1500,
+            "taint_operations": 4500,
+            "untaint_operations": 0,
+            "max_tainted_bytes": 36864,
+            "max_range_count": 2,
+        },
+    },
+    "golden_dense_prefix_v1": {
+        "instruction_count": 20135,
+        "events": 6000,
+        "verdicts": [
+            ("network", 0, True),
+            ("network", 0, False),
+        ],
+        "stats": {
+            "instructions_observed": 20134,
+            "loads_observed": 2660,
+            "stores_observed": 3340,
+            "tainted_loads": 500,
+            "taint_operations": 500,
+            "untaint_operations": 500,
+            "max_tainted_bytes": 20,
+            "max_range_count": 2,
+        },
+    },
     "golden_v2": {
         "instruction_count": 3979,
         "events": 2008,
@@ -108,6 +144,49 @@ def test_golden_strategies_bit_identical(name):
             sort_keys=True,
         )
     assert runs[True] == runs[False]
+
+
+def test_golden_dense_runs_the_dense_executor(monkeypatch):
+    """``golden_dense_v1`` is taint-dense end to end: the vectorised
+    replay must execute it entirely in the dense numpy path — zero
+    hand-offs to the scalar loop.  Catches silent regressions where the
+    dense executor starts bailing (which would keep parity but lose the
+    whole speedup this regime exists to freeze)."""
+    from repro.core.tracker import PIFTTracker
+
+    recorded = _load("golden_dense_v1")
+    calls = []
+    original = PIFTTracker.observe_columns_scalar
+
+    def counting(self, columns, start=0, stop=None):
+        calls.append((start, stop))
+        return original(self, columns, start, stop)
+
+    monkeypatch.setattr(PIFTTracker, "observe_columns_scalar", counting)
+    replay(recorded, replace(PAPER_DEFAULT, vectorized=True))
+    assert calls == []
+
+
+def test_golden_dense_prefix_trips_and_recovers(monkeypatch):
+    """``golden_dense_prefix_v1`` must engage the density bail-out on
+    its churn prefix (scalar spans happen) while every span stays
+    bounded — the one-way wholesale hand-off this PR removed would show
+    up here as a single span swallowing the sparse tail."""
+    from repro.core.tracker import PIFTTracker
+    from repro.core.vectorized import REPROBE_EVERY
+
+    recorded = _load("golden_dense_prefix_v1")
+    spans = []
+    original = PIFTTracker.observe_columns_scalar
+
+    def counting(self, columns, start=0, stop=None):
+        spans.append((start, len(columns) if stop is None else stop))
+        return original(self, columns, start, stop)
+
+    monkeypatch.setattr(PIFTTracker, "observe_columns_scalar", counting)
+    replay(recorded, replace(PAPER_DEFAULT, vectorized=True))
+    assert spans, "churn prefix should force scalar spans"
+    assert max(hi - lo for lo, hi in spans) <= REPROBE_EVERY
 
 
 def test_golden_v2_document_shape():

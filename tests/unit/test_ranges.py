@@ -198,3 +198,96 @@ class TestRangeSet:
             [AddressRange(0, 2), AddressRange(3, 5)]
         )
         assert RangeSet([AddressRange(0, 5)]) != RangeSet([AddressRange(0, 6)])
+
+
+class TestBulkMutations:
+    """add_many / remove_many: one sorted-merge (or one version bump)
+    must be content-equivalent to sequential add()/remove() calls."""
+
+    def test_add_many_matches_sequential_adds(self):
+        import random
+
+        rng = random.Random(20260808)
+        for _ in range(50):
+            base = [
+                AddressRange.from_base_size(rng.randrange(0, 500), rng.randint(1, 9))
+                for _ in range(rng.randint(0, 8))
+            ]
+            batch = [
+                (s, s + rng.randint(0, 8))
+                for s in (rng.randrange(0, 500) for _ in range(rng.randint(1, 20)))
+            ]
+            bulk = RangeSet(base)
+            sequential = RangeSet(base)
+            bulk.add_many(batch)
+            for s, e in batch:
+                sequential.add(AddressRange(s, e))
+            assert bulk == sequential
+            assert bulk.total_size == sequential.total_size
+            assert bulk.range_count == sequential.range_count
+
+    def test_add_many_extent_covers_every_touched_range(self):
+        s = RangeSet([AddressRange(0, 4), AddressRange(100, 104), AddressRange(300, 304)])
+        extent = s.add_many([(3, 10), (98, 99)])
+        # [0,4] merged with [3,10] -> [0,10]; [98,99] adjacent to [100,104]
+        # -> [98,104]; [300,304] untouched.
+        assert extent == (0, 104)
+        assert list(s) == [
+            AddressRange(0, 10),
+            AddressRange(98, 104),
+            AddressRange(300, 304),
+        ]
+
+    def test_add_many_empty_batch_is_noop(self):
+        s = RangeSet([AddressRange(0, 4)])
+        assert s.add_many([]) is None
+        assert list(s) == [AddressRange(0, 4)]
+
+    def test_add_many_writes_mirror_back(self):
+        s = RangeSet([AddressRange(0, 4)])
+        s.add_many([(10, 14)])
+        mirror = s._np_mirror
+        assert mirror is not None and mirror[0] == s._version
+        starts, ends = s.as_arrays()
+        assert s._np_mirror is mirror  # no rebuild needed
+        assert starts.tolist() == [0, 10]
+        assert ends.tolist() == [4, 14]
+
+    def test_remove_many_matches_sequential_removes(self):
+        import random
+
+        rng = random.Random(777)
+        for _ in range(50):
+            base = [
+                AddressRange.from_base_size(rng.randrange(0, 300), rng.randint(1, 12))
+                for _ in range(rng.randint(1, 10))
+            ]
+            batch = [
+                (s, s + rng.randint(0, 10))
+                for s in (rng.randrange(0, 300) for _ in range(rng.randint(1, 12)))
+            ]
+            bulk = RangeSet(base)
+            sequential = RangeSet(base)
+            steps = bulk.remove_many(batch)
+            for (s, e), (effective, total_after, count_after) in zip(batch, steps):
+                query = AddressRange(s, e)
+                assert effective == sequential.overlaps(query)
+                sequential.remove(query)
+                assert total_after == sequential.total_size
+                assert count_after == sequential.range_count
+            assert bulk == sequential
+
+    def test_remove_many_reports_split_counts_per_step(self):
+        s = RangeSet([AddressRange(0, 99)])
+        steps = s.remove_many([(10, 19), (50, 59), (200, 300)])
+        # Each split raises the range count; the miss is ineffective.
+        assert steps == [(True, 90, 2), (True, 80, 3), (False, 80, 3)]
+
+    def test_remove_many_single_version_bump(self):
+        s = RangeSet([AddressRange(0, 99)])
+        s.as_arrays()
+        before = s._version
+        s.remove_many([(10, 19), (50, 59)])
+        assert s._version == before + 1
+        s.remove_many([(500, 600)])  # all misses: no bump
+        assert s._version == before + 1

@@ -37,6 +37,30 @@ def tainting_stream(count, start_index=0, pid=0):
     return out
 
 
+def churn_stream(count, start_index=0, pid=0):
+    """Taint/untaint churn: every store is a content mutation.
+
+    With ``window_size=50, max_propagations=1``: each triple is a hit
+    load (reopens the window), a store tainting a fresh disjoint range
+    (cap reached), then a store over the previous triple's range — past
+    the cap and overlapping, so it untaints.  The dense executor's
+    mutation budget trips immediately, forcing the density bail-out.
+    """
+    out = []
+    for i in range(count):
+        k = start_index + i
+        phase = i % 3
+        if phase == 0:
+            out.append(load(0, 3, k, pid))
+        elif phase == 1:
+            base = 20_000 + i * 8
+            out.append(store(base, base + 3, k, pid))
+        else:
+            base = 20_000 + (i - 1) * 8
+            out.append(store(base, base + 3, k, pid))
+    return out
+
+
 def make_tracker(vectorized_on=True, **kwargs):
     tracker = PIFTTracker(PIFTConfig(vectorized=vectorized_on), **kwargs)
     tracker.taint_source(SOURCE)
@@ -217,10 +241,37 @@ class TestKernelMechanics:
         assert tracker.stats.as_dict() == reference.stats.as_dict()
         assert tracker.instructions_per_pid == reference.instructions_per_pid
 
-    def test_dense_trace_bails_out_to_scalar(self, monkeypatch):
+    def test_dense_trace_executes_vectorised(self, monkeypatch):
+        # The taint-dense regime that used to bail out wholesale now runs
+        # through the dense executor: window evolution and contained
+        # taint-adds are bulk-committed, with no scalar spans at all.
         stream = tainting_stream(vectorized.BAILOUT_AFTER * 4)
         columns = EventColumns.from_events(stream)
         tracker = make_tracker()
+        monkeypatch.setattr(
+            tracker,
+            "observe_columns_scalar",
+            lambda *a, **k: pytest.fail("scalar loop used on dense trace"),
+        )
+        tracker.observe_columns_vectorized(columns)
+        reference = make_tracker(vectorized_on=False)
+        reference.observe_columns(columns)
+        assert tracker.stats.as_dict() == reference.stats.as_dict()
+
+    def test_churn_trace_bails_out_bounded_and_reprobes(self, monkeypatch):
+        # Taint/untaint churn defeats the dense executor (every event is
+        # a content mutation), so the density bail-out engages — but in
+        # bounded REPROBE_EVERY chunks, and once the sparse tail starts
+        # the kernel re-probes and regains wholesale skipping.
+        prefix = churn_stream(vectorized.BAILOUT_AFTER * 6)
+        tail_start = len(prefix)
+        stream = prefix + untainted_stream(
+            vectorized.REPROBE_EVERY * 4, start_index=tail_start
+        )
+        columns = EventColumns.from_events(stream)
+        config = PIFTConfig(window_size=50, max_propagations=1)
+        tracker = PIFTTracker(config)
+        tracker.taint_source(SOURCE)
         spans = []
         real = tracker.observe_columns_scalar
 
@@ -230,13 +281,73 @@ class TestKernelMechanics:
 
         monkeypatch.setattr(tracker, "observe_columns_scalar", spy)
         tracker.observe_columns_vectorized(columns)
-        # The last scalar call must cover the whole remainder in one span
-        # (the bail-out), not SCALAR_RUN-sized nibbles to the end.
-        assert spans[-1][1] == len(columns)
-        assert spans[-1][1] - spans[-1][0] > vectorized.SCALAR_RUN
-        reference = make_tracker(vectorized_on=False)
-        reference.observe_columns(columns)
+        assert spans, "churn prefix should force scalar spans"
+        # Satellite: no span may hand the whole remainder to the scalar
+        # loop — every bail-out chunk is bounded.
+        assert all(
+            stop - start <= vectorized.REPROBE_EVERY
+            for start, stop in spans
+        )
+        # The sparse tail is re-probed and skipped, not nibbled scalar.
+        tail_margin = tail_start + vectorized.REPROBE_EVERY
+        assert all(start < tail_margin for start, _ in spans)
+        reference = PIFTTracker(config)
+        reference.taint_source(SOURCE)
+        reference.observe_columns_scalar(columns)
         assert tracker.stats.as_dict() == reference.stats.as_dict()
+        assert tracker.snapshot() == reference.snapshot()
+
+    def test_window_lower_edge_excludes_regressed_stores(self):
+        # A store whose per-PID index regressed below the window-opening
+        # load is outside the tainting window (the window is the NI
+        # instructions *following* the load) — on all three paths.
+        config = PIFTConfig(
+            window_size=10, max_propagations=4, untainting=False
+        )
+        stream = [load(0, 3, 100)]  # opens the window at k=100
+        stream += [store(5_000, 5_003, 50)]  # regressed: below the load
+        stream += [store(6_000, 6_003, 105)]  # inside [100, 110]
+        stream += untainted_stream(1200, start_index=200)
+        columns = EventColumns.from_events(stream)
+        trackers = []
+        for _ in range(3):
+            tracker = PIFTTracker(config)
+            tracker.taint_source(SOURCE)
+            trackers.append(tracker)
+        for event in columns.events:
+            trackers[0].observe(event)
+        trackers[1].observe_columns_scalar(columns)
+        trackers[2].observe_columns_vectorized(columns)
+        for tracker in trackers:
+            assert tracker.stats.taint_operations == 1
+            assert not tracker.check(AddressRange(5_000, 5_003))
+            assert tracker.check(AddressRange(6_000, 6_003))
+        assert trackers[0].snapshot() == trackers[1].snapshot()
+        assert trackers[1].snapshot() == trackers[2].snapshot()
+
+    def test_numpy_absence_falls_back_scalar_with_one_warning(
+        self, monkeypatch
+    ):
+        stream = tainting_stream(600)
+        columns = EventColumns.from_events(stream)
+        monkeypatch.setattr(vectorized, "_np", None)
+        monkeypatch.setattr(vectorized, "_numpy_fallback_warned", False)
+        monkeypatch.setattr(
+            EventColumns,
+            "arrays",
+            lambda self: pytest.fail("fallback must not build numpy arrays"),
+        )
+        tracker = make_tracker()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            tracker.observe_columns_vectorized(columns)
+        reference = make_tracker(vectorized_on=False)
+        reference.observe_columns_scalar(columns)
+        assert tracker.stats.as_dict() == reference.stats.as_dict()
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # second call: no warning
+            tracker.observe_columns_vectorized(columns)
 
     def test_mostly_untainted_trace_skips_wholesale(self, monkeypatch):
         stream = untainted_stream(vectorized.BLOCK_MIN * 8)
