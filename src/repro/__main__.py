@@ -3,6 +3,8 @@
 Commands:
 
 * ``suite``    — run the 57-app DroidBench-style suite at a given (NI, NT)
+  (``--colours`` adds per-source leak attribution)
+* ``provenance`` — the per-source leak-attribution table on its own
 * ``sweep``    — parallel experiment grid (Figure 11 by default; ``--jobs N``)
 * ``malware``  — the seven-sample malware scan
 * ``table1``   — regenerate the bytecode-distance table
@@ -333,15 +335,24 @@ def cmd_suite(args) -> int:
 
     config = _config(args)
     telemetry = _make_telemetry(args)
-    report = evaluate_suite(
-        record_suite(telemetry=telemetry), config, telemetry=telemetry
-    )
+    apps = record_suite(telemetry=telemetry)
+    report = evaluate_suite(apps, config, telemetry=telemetry)
+    attribution = None
+    if args.colours:
+        # Second pass, attribution only: the confusion matrix above is
+        # computed by the plain tracker either way, so --colours can
+        # never move a verdict (the parity suite pins this).
+        from repro.analysis.provenance import attribute_suite
+
+        attribution = attribute_suite(apps, config)
     if args.json:
         payload = {
             "command": "suite",
             "config": _config_dict(config),
             "report": report.as_dict(),
         }
+        if attribution is not None:
+            payload["colours"] = attribution.as_dict()
         _finish_telemetry(args, telemetry, payload)
         print(json.dumps(payload, indent=2))
         return 0
@@ -355,7 +366,29 @@ def cmd_suite(args) -> int:
         print(f"  missed: {name}")
     for name in report.false_alarm_apps:
         print(f"  false alarm: {name}")
+    if attribution is not None:
+        print("leak attribution by source colour:")
+        print(attribution.render())
     _finish_telemetry(args, telemetry)
+    return 0
+
+
+def cmd_provenance(args) -> int:
+    from repro.analysis.provenance import attribute_suite
+    from repro.apps.droidbench import record_suite
+
+    config = _config(args)
+    suite = attribute_suite(record_suite(), config)
+    if args.json:
+        payload = {
+            "command": "provenance",
+            "config": _config_dict(config),
+            **suite.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{config}")
+    print(suite.render())
     return 0
 
 
@@ -386,6 +419,7 @@ def cmd_sweep(args) -> int:
         seed=args.fault_seed,
         seed_policy=args.seed_policy,
         vectorized=not args.no_vectorized,
+        colours=args.colours,
     )
     telemetry = _make_telemetry(args)
     recorder = _attach_recorder(args, telemetry)
@@ -829,8 +863,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = commands.add_parser("suite", help="evaluate the DroidBench suite")
     _add_window_arguments(suite)
+    suite.add_argument(
+        "--colours", action="store_true",
+        help="additionally attribute each tainted sink to its source "
+             "colours (per-source provenance; verdicts are unchanged)",
+    )
     _add_telemetry_arguments(suite, with_json=True)
     suite.set_defaults(func=cmd_suite)
+
+    provenance = commands.add_parser(
+        "provenance",
+        help="per-source leak attribution over the DroidBench suite",
+        description="Replay the suite with the coloured tracker and print "
+                    "the leak table: for every source colour, the apps "
+                    "that leaked it and the sink channels it left "
+                    "through.  Verdicts are the plain tracker's, bit for "
+                    "bit — this adds attribution, not a second opinion.",
+    )
+    _add_window_arguments(provenance)
+    provenance.add_argument("--json", action="store_true",
+                            help="emit the attribution as JSON")
+    provenance.set_defaults(func=cmd_provenance)
 
     sweep_cmd = commands.add_parser(
         "sweep",
@@ -882,6 +935,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--progress", action="store_true",
                            help="print per-cell progress to stderr")
+    sweep_cmd.add_argument(
+        "--colours", action="store_true",
+        help="attach a per-source leak-attribution payload to every cell "
+             "(accuracy values unchanged; changes the journal "
+             "fingerprint, so resume colour runs with colour journals)",
+    )
     _add_backend_arguments(sweep_cmd)
     _add_store_arguments(sweep_cmd)
     _add_telemetry_arguments(sweep_cmd, with_json=True)

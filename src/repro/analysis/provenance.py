@@ -1,0 +1,185 @@
+"""Suite-level leak attribution: which *source* fed each sink hit?
+
+The paper's evaluation (§5.2) reports that PIFT catches leaks of "phone
+number, location, and device ID" — but the single-bit tracker can only
+say *that* a sink saw tainted bytes, not *whose* bytes.  This module runs
+the coloured replay (:func:`repro.analysis.replay.replay_coloured`) over
+a suite and folds the per-sink colour tuples into the table the paper
+implies: for every source colour, which apps leaked it and through which
+channels.
+
+Attribution is a second pass over already-recorded runs, never a second
+opinion: each coloured sink verdict's union projection is byte-identical
+to the plain replay (the colour-parity suite enforces this), so the
+confusion matrix printed next to this table is untouched by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import PIFTConfig
+from repro.analysis.accuracy import AppRun
+from repro.analysis.replay import replay_coloured
+
+
+@dataclass(frozen=True)
+class SinkAttribution:
+    """One tainted sink check with its contributing source colours."""
+
+    sink_name: str
+    channel: str
+    instruction_index: int
+    colours: Tuple[str, ...]
+    pid: int = 0
+
+
+@dataclass
+class AppAttribution:
+    """Per-app attribution: every tainted sink, coloured."""
+
+    app: str
+    category: str = ""
+    leaks: bool = False  # ground truth, copied from the AppRun
+    sink_hits: List[SinkAttribution] = field(default_factory=list)
+
+    @property
+    def alarm(self) -> bool:
+        return bool(self.sink_hits)
+
+    @property
+    def colours(self) -> Tuple[str, ...]:
+        """All colours reaching any of this app's sinks, first-seen order."""
+        seen: Dict[str, None] = {}
+        for hit in self.sink_hits:
+            for colour in hit.colours:
+                seen.setdefault(colour)
+        return tuple(seen)
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "category": self.category,
+            "leaks": self.leaks,
+            "alarm": self.alarm,
+            "colours": list(self.colours),
+            "sink_hits": [
+                {
+                    "sink": hit.sink_name,
+                    "channel": hit.channel,
+                    "index": hit.instruction_index,
+                    "pid": hit.pid,
+                    "colours": list(hit.colours),
+                }
+                for hit in self.sink_hits
+            ],
+        }
+
+
+@dataclass
+class ColourRow:
+    """One row of the leak table: a source colour's reach."""
+
+    colour: str
+    apps: List[str] = field(default_factory=list)
+    sink_hits: int = 0
+    channels: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "colour": self.colour,
+            "apps": list(self.apps),
+            "app_count": len(self.apps),
+            "sink_hits": self.sink_hits,
+            "channels": dict(sorted(self.channels.items())),
+        }
+
+
+@dataclass
+class SuiteAttribution:
+    """Coloured replay of a whole suite plus the folded leak table."""
+
+    config: PIFTConfig
+    apps: List[AppAttribution] = field(default_factory=list)
+
+    @property
+    def table(self) -> List[ColourRow]:
+        """Colour rows in first-attribution order across the suite."""
+        rows: Dict[str, ColourRow] = {}
+        for app in self.apps:
+            for hit in app.sink_hits:
+                for colour in hit.colours:
+                    row = rows.setdefault(colour, ColourRow(colour))
+                    if app.app not in row.apps:
+                        row.apps.append(app.app)
+                    row.sink_hits += 1
+                    row.channels[hit.channel] = (
+                        row.channels.get(hit.channel, 0) + 1
+                    )
+        return list(rows.values())
+
+    @property
+    def attributed_sink_hits(self) -> int:
+        return sum(len(app.sink_hits) for app in self.apps)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (``repro report``/``repro suite --colours``)."""
+        return {
+            "window_size": self.config.window_size,
+            "max_propagations": self.config.max_propagations,
+            "attributed_sink_hits": self.attributed_sink_hits,
+            "colours": [row.as_dict() for row in self.table],
+            "apps": [app.as_dict() for app in self.apps if app.sink_hits],
+        }
+
+    def render(self) -> str:
+        """The per-source leak-attribution table, ASCII."""
+        rows = self.table
+        if not rows:
+            return "no attributed sink hits"
+        width = max(len("colour"), max(len(row.colour) for row in rows))
+        lines = [
+            f"{'colour':<{width}}  apps  sink hits  channels",
+            f"{'-' * width}  ----  ---------  --------",
+        ]
+        for row in rows:
+            channels = ", ".join(
+                f"{name}:{count}"
+                for name, count in sorted(row.channels.items())
+            )
+            lines.append(
+                f"{row.colour:<{width}}  {len(row.apps):4d}  "
+                f"{row.sink_hits:9d}  {channels}"
+            )
+        return "\n".join(lines)
+
+
+def attribute_app(app: AppRun, config: PIFTConfig) -> AppAttribution:
+    """Coloured replay of one app; keeps only the tainted sink checks."""
+    result = replay_coloured(app.recorded, config)
+    attribution = AppAttribution(
+        app=app.name, category=app.category, leaks=app.leaks
+    )
+    for outcome in result.sink_outcomes:
+        if outcome.tainted:
+            attribution.sink_hits.append(
+                SinkAttribution(
+                    sink_name=outcome.sink_name,
+                    channel=outcome.channel,
+                    instruction_index=outcome.instruction_index,
+                    colours=outcome.colours,
+                    pid=outcome.pid,
+                )
+            )
+    return attribution
+
+
+def attribute_suite(
+    apps: Sequence[AppRun], config: PIFTConfig
+) -> SuiteAttribution:
+    """Attribute every sink hit in a suite to its source colours."""
+    suite = SuiteAttribution(config=config)
+    for app in apps:
+        suite.apps.append(attribute_app(app, config))
+    return suite

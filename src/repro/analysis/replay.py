@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import PIFTConfig
 from repro.core.ranges import RangeSet
-from repro.core.tracker import PIFTTracker, StateFactory, TrackerStats
+from repro.core.tracker import ColourTracker, PIFTTracker, StateFactory, TrackerStats
 from repro.android.device import RecordedRun
 
 
@@ -35,6 +35,11 @@ class SinkOutcome:
     instruction_index: int
     tainted: bool
     pid: int = 0
+    #: Contributing source colours, in colour-registration order.  Always
+    #: empty under the plain (single-bit) replay; filled by
+    #: :func:`replay_coloured`.  ``tainted`` is exactly ``bool(colours)``
+    #: there — the union projection.
+    colours: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -220,6 +225,77 @@ def replay(
                     instruction_index=check.instruction_index,
                     tainted=check_taint(check.address_range, pid=check.pid),
                     pid=check.pid,
+                )
+            )
+        check_i += checks_due
+
+    columns = recorded.trace.columns()
+    position = 0
+    for boundary, sources_due, checks_due in plan.boundaries:
+        if boundary > position:
+            tracker.observe_columns(columns, position, boundary)
+            position = boundary
+        drain(sources_due, checks_due)
+    tracker.observe_columns(columns, position, len(columns))
+    drain(plan.final_sources, plan.final_checks)
+    return result
+
+
+def source_colour(source) -> str:
+    """The provenance colour of a source registration: its explicit
+    ``colour`` when set, else its source name — so DroidBench apps get
+    per-source attribution (imei vs location vs phone_number) with no
+    recording changes."""
+    return source.colour if source.colour is not None else source.source_name
+
+
+def replay_coloured(
+    recorded: RecordedRun,
+    config: PIFTConfig,
+    record_timeline: bool = False,
+) -> ReplayResult:
+    """:func:`replay` over the coloured tracker: same plan, same batched
+    column path, but every sink outcome additionally names the
+    contributing source colours.
+
+    The union projection is exact: each outcome's ``tainted`` equals the
+    plain replay's verdict bit for bit (enforced by the parity suite), so
+    this is an *attribution* pass, never a second opinion on verdicts.
+    Colour bits are pre-registered in recorded instruction order, making
+    mask assignment — and therefore attribution tuples — deterministic.
+    """
+    tracker = ColourTracker(config, record_timeline=record_timeline)
+    result = ReplayResult(config=config, stats=tracker.stats)
+    plan = replay_plan_for(recorded)
+    sources = plan.sources
+    checks = plan.checks
+    for source in sources:
+        tracker.colours.register(source_colour(source))
+    taint_source = tracker.taint_source
+    check_mask = tracker.check_mask
+    names_for = tracker.colours.names_for
+    outcomes = result.sink_outcomes
+    source_i = check_i = 0
+
+    def drain(sources_due: int, checks_due: int) -> None:
+        nonlocal source_i, check_i
+        for source in sources[source_i:source_i + sources_due]:
+            taint_source(
+                source.address_range,
+                pid=source.pid,
+                colour=source_colour(source),
+            )
+        source_i += sources_due
+        for check in checks[check_i:check_i + checks_due]:
+            mask = check_mask(check.address_range, pid=check.pid)
+            outcomes.append(
+                SinkOutcome(
+                    sink_name=check.sink_name,
+                    channel=check.channel,
+                    instruction_index=check.instruction_index,
+                    tainted=bool(mask),
+                    pid=check.pid,
+                    colours=names_for(mask),
                 )
             )
         check_i += checks_due

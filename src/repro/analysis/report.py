@@ -133,6 +133,29 @@ def build_run_report(
             "store_misses": _metric_value(snapshot, "store", "store.misses"),
         }
 
+    # Colour attribution, aggregated across colour-on cells: each such
+    # cell carries a full per-source leak table for its (NI, NT) point;
+    # the run-level view folds them — per colour, every app it ever
+    # reached and the total attributed sink hits over all cells.
+    colour_attribution = None
+    coloured_cells = [row for row in rows if row.get("colours")]
+    if coloured_cells:
+        folded: Dict[str, dict] = {}
+        for row in coloured_cells:
+            for entry in row["colours"].get("colours", []):
+                bucket = folded.setdefault(
+                    entry["colour"],
+                    {"colour": entry["colour"], "apps": [], "sink_hits": 0},
+                )
+                for app in entry.get("apps", []):
+                    if app not in bucket["apps"]:
+                        bucket["apps"].append(app)
+                bucket["sink_hits"] += entry.get("sink_hits", 0)
+        colour_attribution = {
+            "cells": len(coloured_cells),
+            "colours": list(folded.values()),
+        }
+
     poisoned = journal.poison_rows() if hasattr(journal, "poison_rows") else []
     retried = (
         {
@@ -155,6 +178,7 @@ def build_run_report(
         "per_cell": rows,
         "per_worker": per_worker,
         "slowest_cells": slowest_cells,
+        "colour_attribution": colour_attribution,
         "telemetry": telemetry_block,
     }
 
@@ -255,6 +279,26 @@ def render_run_report(report: dict) -> str:
             cell_rows,
         )
     )
+
+    attribution = report.get("colour_attribution")
+    if attribution:
+        lines.append("")
+        lines.append(
+            f"leak attribution ({attribution['cells']} coloured cells):"
+        )
+        lines.extend(
+            _table(
+                ["colour", "apps", "sink hits"],
+                [
+                    [
+                        entry["colour"],
+                        str(len(entry["apps"])),
+                        str(entry["sink_hits"]),
+                    ]
+                    for entry in attribution["colours"]
+                ],
+            )
+        )
 
     telemetry = report.get("telemetry")
     if telemetry is not None:

@@ -94,6 +94,14 @@ def encode_recorded_run(recorded: RecordedRun) -> dict:
                 "index": source.instruction_index,
                 "name": source.source_name,
                 "pid": source.pid,
+                # The explicit colour is an *optional* key: omitted when
+                # unset, so documents written before (or without) colour
+                # labels stay byte-identical — no version bump needed.
+                **(
+                    {"colour": source.colour}
+                    if source.colour is not None
+                    else {}
+                ),
             }
             for source in recorded.sources
         ],
@@ -121,6 +129,7 @@ def decode_recorded_run(body: dict) -> RecordedRun:
                 source["index"],
                 source["name"],
                 pid=source.get("pid", 0),
+                colour=source.get("colour"),
             )
         )
     for check in body["sink_checks"]:

@@ -54,6 +54,12 @@ class SourceRegistration:
     instruction_index: int
     source_name: str
     pid: int = 0
+    #: Optional explicit provenance colour.  ``None`` means "colour by
+    #: source name", which is what the coloured replay paths default to —
+    #: set it only to group distinct sources under one label (or split
+    #: one source into several).  Absent from v2/v3 tracefiles unless
+    #: set, so existing fixtures stay byte-identical.
+    colour: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from repro.core.buffered import (
     ImmediateVerdict,
     LateDetection,
 )
+from repro.core.colours import ColourRangeSet, ColourSpace
 from repro.core.config import (
     PAPER_DEFAULT,
     PAPER_MALWARE_MINIMUM,
@@ -56,7 +57,11 @@ from repro.core.hw import (
 from repro.core.manager import PIFTManager, SinkReport, SourceRecord
 from repro.core.module import LeakEvent, PIFTKernelModule
 from repro.core.native import AddressTranslationError, PIFTNative
-from repro.core.provenance import LabeledLeak, ProvenanceTracker
+from repro.core.provenance import (
+    ColourProvenance,
+    LabeledLeak,
+    ProvenanceTracker,
+)
 from repro.core.ranges import AddressRange, RangeSet
 from repro.core.taint_storage import (
     ENTRY_BYTES_WITH_PID,
@@ -68,6 +73,7 @@ from repro.core.taint_storage import (
     paper_default_storage,
 )
 from repro.core.tracker import (
+    ColourTracker,
     PIFTTracker,
     TimelinePoint,
     TrackerStats,
@@ -82,6 +88,10 @@ __all__ = [
     "BufferConfig",
     "BufferStats",
     "BufferedPIFT",
+    "ColourProvenance",
+    "ColourRangeSet",
+    "ColourSpace",
+    "ColourTracker",
     "ColumnArrays",
     "Command",
     "CommandRequest",

@@ -45,12 +45,13 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
+from repro.core.colours import ColourSpace
 from repro.core.config import BufferConfig, OverflowPolicy, PIFTConfig
 from repro.core.events import AccessKind, MemoryAccess
 from repro.core.ranges import AddressRange
-from repro.core.tracker import PIFTTracker, TrackerStats
+from repro.core.tracker import ColourTracker, PIFTTracker, TrackerStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.faults import FaultPlan
@@ -92,6 +93,9 @@ class LateDetection:
     address_range: AddressRange
     events_behind: int  # how many buffered events the answer was behind
     degraded: bool = False  # events had been force-dropped by then
+    #: Contributing source colours at settle time (coloured tracker only;
+    #: empty under the plain single-bit tracker).
+    colours: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -107,6 +111,10 @@ class ImmediateVerdict:
     degraded: bool
     forced_drops: int  # overflow-policy drops at answer time
     fault_drops: int  # injected event losses at answer time
+    #: Contributing source colours at answer time (coloured tracker only;
+    #: empty under the plain single-bit tracker).  ``tainted`` equals
+    #: ``bool(colours)`` when colours are live.
+    colours: Tuple[str, ...] = ()
 
 
 class BufferedPIFT:
@@ -129,6 +137,12 @@ class BufferedPIFT:
             ``on_memory_event`` (as an instance attribute) when a plan
             is supplied, mirroring the telemetry shadow-method pattern.
         telemetry: optional :class:`~repro.telemetry.Telemetry` hub.
+        colours: optional :class:`~repro.core.colours.ColourSpace`.  When
+            supplied the wrapped tracker is a
+            :class:`~repro.core.tracker.ColourTracker` over that space;
+            :meth:`taint_source` accepts a ``colour`` label and immediate
+            verdicts / late detections carry contributing colours.  The
+            verdict bits themselves are unchanged (union projection).
     """
 
     def __init__(
@@ -141,10 +155,17 @@ class BufferedPIFT:
         high_watermark: Optional[int] = None,
         low_watermark: Optional[int] = None,
         faults: Optional["FaultPlan"] = None,
+        colours: Optional[ColourSpace] = None,
     ) -> None:
         if capacity < 1 or drain_batch < 1:
             raise ValueError("capacity and drain_batch must be >= 1")
-        self.tracker = PIFTTracker(config, telemetry=telemetry)
+        self._coloured = colours is not None
+        if self._coloured:
+            self.tracker: PIFTTracker = ColourTracker(
+                config, colours=colours, telemetry=telemetry
+            )
+        else:
+            self.tracker = PIFTTracker(config, telemetry=telemetry)
         self.capacity = capacity
         self.drain_batch = drain_batch
         self.policy = policy
@@ -287,10 +308,28 @@ class BufferedPIFT:
             if self._tel is not None:
                 self._tel.event("backpressure_off", depth=depth)
 
-    def taint_source(self, address_range: AddressRange, pid: int = 0) -> None:
-        """Source registration is synchronous (it is rare — paper §3.3)."""
+    def taint_source(
+        self,
+        address_range: AddressRange,
+        pid: int = 0,
+        colour: Optional[str] = None,
+    ) -> None:
+        """Source registration is synchronous (it is rare — paper §3.3).
+
+        ``colour`` labels the source on a coloured tracker; it is
+        rejected on a plain one (silently dropping a label would make
+        attribution lie by omission).
+        """
         self.drain_all()
-        self.tracker.taint_source(address_range, pid=pid)
+        if self._coloured:
+            self.tracker.taint_source(address_range, pid=pid, colour=colour)
+        elif colour is not None:
+            raise ValueError(
+                "colour labels need a coloured tracker; pass colours="
+                "ColourSpace() when building BufferedPIFT"
+            )
+        else:
+            self.tracker.taint_source(address_range, pid=pid)
 
     # -- draining -------------------------------------------------------------------
 
@@ -375,6 +414,17 @@ class BufferedPIFT:
             self.stats.degraded_checks += 1
         return self.tracker.check(address_range, pid=pid)
 
+    def check_blocking_colours(
+        self, address_range: AddressRange, pid: int = 0
+    ) -> Tuple[str, ...]:
+        """Prevention semantics with attribution: drain, then name the
+        contributing source colours (empty tuple = clean).  Coloured
+        trackers only."""
+        if not self._coloured:
+            raise ValueError("check_blocking_colours needs a coloured tracker")
+        self.check_blocking(address_range, pid=pid)
+        return self.tracker.check_colours(address_range, pid=pid)
+
     def check_immediate(
         self, address_range: AddressRange, pid: int = 0, sink_name: str = ""
     ) -> bool:
@@ -397,7 +447,12 @@ class BufferedPIFT:
         degraded = self.degraded
         if degraded:
             self.stats.degraded_checks += 1
-        answer = self.tracker.check(address_range, pid=pid)
+        colours: Tuple[str, ...] = ()
+        if self._coloured:
+            colours = self.tracker.check_colours(address_range, pid=pid)
+            answer = bool(colours)
+        else:
+            answer = self.tracker.check(address_range, pid=pid)
         if not answer:
             behind = len(self._queue) + len(self._spill)
             self._pending_immediate.append(
@@ -409,6 +464,7 @@ class BufferedPIFT:
             degraded=degraded,
             forced_drops=self.stats.forced_drops,
             fault_drops=injector.stats.events_dropped if injector else 0,
+            colours=colours,
         )
 
     def _reconcile_immediate_checks(self) -> None:
@@ -430,9 +486,15 @@ class BufferedPIFT:
                 continue
             if self.tracker.check(address_range, pid=pid):
                 self.stats.stale_negatives += 1
+                colours: Tuple[str, ...] = ()
+                if self._coloured:
+                    colours = self.tracker.check_colours(
+                        address_range, pid=pid
+                    )
                 self.late_detections.append(
                     LateDetection(
-                        sink_name, address_range, behind, degraded=self.degraded
+                        sink_name, address_range, behind,
+                        degraded=self.degraded, colours=colours,
                     )
                 )
             # Either way the provisional answer is now settled.
@@ -467,8 +529,12 @@ class BufferedPIFT:
                 for sink, rng, pid, behind, barrier in self._pending_immediate
             ],
             "late_detections": [
+                # Colours ride along as an optional sixth element, so
+                # snapshots written by colour-free builds stay loadable
+                # (and byte-identical) either way.
                 [d.sink_name, d.address_range.start, d.address_range.end,
                  d.events_behind, d.degraded]
+                + ([list(d.colours)] if d.colours else [])
                 for d in self.late_detections
             ],
             "backpressure": self._backpressure,
@@ -496,11 +562,13 @@ class BufferedPIFT:
         ]
         self.late_detections = [
             LateDetection(
-                sink, AddressRange(int(start), int(end)), int(behind),
-                degraded=bool(degraded),
+                packed[0],
+                AddressRange(int(packed[1]), int(packed[2])),
+                int(packed[3]),
+                degraded=bool(packed[4]),
+                colours=tuple(packed[5]) if len(packed) > 5 else (),
             )
-            for sink, start, end, behind, degraded
-            in snapshot["late_detections"]
+            for packed in snapshot["late_detections"]
         ]
         self._backpressure = bool(snapshot["backpressure"])
         self._enqueue_seq = int(snapshot["enqueue_seq"])

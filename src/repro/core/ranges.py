@@ -188,6 +188,14 @@ class RangeSet:
     def covers_address(self, address: int) -> bool:
         return self.overlaps(AddressRange(address, address))
 
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        """The stored ranges as plain ``(start, end)`` tuples, in address
+        order — the coverage view shared with the coloured state
+        (:meth:`repro.core.colours.ColourRangeSet.items` drops its masks
+        to this same shape), which is what the colour-parity oracle
+        compares."""
+        return list(zip(self._starts, self._ends))
+
     def as_arrays(self):
         """Sorted ``(starts, ends)`` int64 numpy mirror of the stored ranges.
 

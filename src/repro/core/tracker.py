@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import vectorized
+from repro.core.colours import ColourRangeSet, ColourSpace
 from repro.core.config import PIFTConfig
 from repro.core.events import EventColumns, EventTrace, MemoryAccess
 from repro.core.ranges import AddressRange, RangeSet
@@ -166,6 +167,10 @@ class _WindowState:
     #: Telemetry-only bookkeeping: has a window_open event been emitted for
     #: the currently live window?  Never touched when telemetry is off.
     telemetry_open: bool = False
+    #: Colour mask carried by the live window (the OR of the masks of
+    #: every tainted range the window-opening load overlapped).  Only the
+    #: coloured tracker reads or writes it; the plain tracker leaves it 0.
+    colour_mask: int = 0
 
 
 class _TrackerInstruments:
@@ -233,6 +238,12 @@ class PIFTTracker:
             When active, per-event counters, taint-state gauges, and
             per-mutation JSONL events are recorded.
     """
+
+    #: Execution-strategy discriminator read by the vectorised kernel:
+    #: :class:`ColourTracker` flips it so the dense executor runs the
+    #: mask-carrying variant.  A class attribute, not config — colour
+    #: support changes the state representation, not the parameters.
+    _coloured = False
 
     def __init__(
         self,
@@ -674,9 +685,11 @@ class PIFTTracker:
             ins.range_count.set(self.range_count)
 
     def _taint_source_with_telemetry(
-        self, address_range: AddressRange, pid: int = 0
+        self, address_range: AddressRange, pid: int = 0, **kwargs
     ) -> None:
-        type(self).taint_source(self, address_range, pid=pid)
+        # Extra keyword arguments (the coloured tracker's ``colour``)
+        # pass straight through to the real registration.
+        type(self).taint_source(self, address_range, pid=pid, **kwargs)
         ins = self._instruments
         ins.sources.inc()
         ins.tainted_bytes.set(self.tainted_bytes)
@@ -713,6 +726,266 @@ class PIFTTracker:
                     cumulative_operations=self.stats.total_operations,
                 )
             )
+
+
+class ColourTracker(PIFTTracker):
+    """Algorithm 1 with per-source provenance labels ("colours").
+
+    Sources register with a colour name (:meth:`taint_source`'s
+    ``colour``); taint state is a :class:`~repro.core.colours.ColourRangeSet`
+    whose intervals carry 64-bit colour masks.  A tainted load's window
+    carries the OR of every overlapped range's mask; in-window stores
+    taint their target with that window mask; untainting removes bytes
+    wholesale — so the tainted/untainted *classification* of every event
+    never consults masks, only coverage.  The union projection (any
+    non-zero mask == tainted) of a coloured run is therefore
+    byte-identical to a plain :class:`PIFTTracker` on the same trace:
+    identical verdicts and counters, with ``max_range_count`` the single
+    permitted exception under multiple live colours (equal-mask-only
+    coalescing can keep more intervals).  With one registered colour,
+    every counter — including ``max_range_count`` — is identical
+    (``tests/property/test_colour_parity.py``).
+
+    Sink queries gain :meth:`check_mask` / :meth:`check_colours` for
+    attribution; the inherited boolean :meth:`check` is unchanged.
+    """
+
+    _coloured = True
+
+    def __init__(
+        self,
+        config: PIFTConfig,
+        colours: Optional[ColourSpace] = None,
+        record_timeline: bool = False,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
+        super().__init__(
+            config,
+            state_factory=ColourRangeSet,
+            record_timeline=record_timeline,
+            telemetry=telemetry,
+        )
+        self.colours = colours if colours is not None else ColourSpace()
+
+    # -- labelled sources and sink queries -------------------------------
+
+    def taint_source(
+        self,
+        address_range: AddressRange,
+        pid: int = 0,
+        colour: Optional[str] = None,
+    ) -> None:
+        """Source registration carrying a colour label.
+
+        ``colour`` defaults to ``"source"`` so colour-unaware callers
+        (the base class's API) still get a well-formed single-colour run.
+        """
+        mask = self.colours.register("source" if colour is None else colour)
+        self.state(pid).add(address_range, mask)
+        self._after_mutation(
+            pid, instruction_index=self.stats.instructions_observed
+        )
+
+    def check_mask(self, address_range: AddressRange, pid: int = 0) -> int:
+        """Sink query: OR of the colour masks overlapping ``address_range``."""
+        return self.state(pid).mask_overlapping(address_range)
+
+    def check_colours(
+        self, address_range: AddressRange, pid: int = 0
+    ) -> Tuple[str, ...]:
+        """Sink query: contributing source names, in registration order."""
+        return self.colours.names_for(
+            self.check_mask(address_range, pid=pid)
+        )
+
+    # -- Algorithm 1, mask-carrying --------------------------------------
+
+    def observe(self, event: MemoryAccess) -> None:
+        """Per-event Algorithm 1; identical control flow to the base
+        tracker, with the window additionally carrying the colour mask of
+        its opening load and in-window stores tainting with it."""
+        state = self.state(event.pid)
+        window = self._windows[event.pid]
+        k = event.instruction_index
+        if k >= window.instructions_retired:
+            self.stats.instructions_observed += (
+                k + 1 - window.instructions_retired
+            )
+            window.instructions_retired = k + 1
+
+        if event.is_load:
+            self.stats.loads_observed += 1
+            mask = state.mask_overlapping(event.address_range)
+            if mask:
+                window.last_tainted_load = k
+                window.propagations = 0
+                window.colour_mask = mask
+                self.stats.tainted_loads += 1
+        else:
+            self.stats.stores_observed += 1
+            in_window = (
+                window.last_tainted_load is not None
+                and window.last_tainted_load <= k
+                and k <= window.last_tainted_load + self.config.window_size
+            )
+            if in_window and window.propagations < self.config.max_propagations:
+                state.add(event.address_range, window.colour_mask)
+                window.propagations += 1
+                self.stats.taint_operations += 1
+                self._after_mutation(event.pid, k)
+            elif self.config.untainting:
+                if state.overlaps(event.address_range):
+                    state.remove(event.address_range)
+                    self.stats.untaint_operations += 1
+                    self._after_mutation(event.pid, k)
+
+    def observe_columns(
+        self, columns: EventColumns, start: int = 0, stop: Optional[int] = None
+    ) -> None:
+        """Same three-way dispatch as the base tracker, but the kernel
+        gate requires the coloured state factory (the kernel selects its
+        mask-carrying dense variant via :attr:`_coloured`)."""
+        if "observe" in self.__dict__:
+            observe = self.observe
+            for event in columns.events[start:stop]:
+                observe(event)
+            return
+        if stop is None:
+            stop = len(columns)
+        if (
+            self.config.vectorized
+            and stop - start >= _VECTORIZED_MIN_EVENTS
+            and self._state_factory is ColourRangeSet
+            and vectorized.HAVE_NUMPY
+        ):
+            vectorized.observe_columns(self, columns, start, stop)
+            return
+        self.observe_columns_scalar(columns, start, stop)
+
+    def observe_columns_scalar(
+        self, columns: EventColumns, start: int = 0, stop: Optional[int] = None
+    ) -> None:
+        """The exact coloured scalar loop (the base loop plus mask
+        lookup/carry; same hoisting and bookkeeping discipline)."""
+        if "observe" in self.__dict__:
+            observe = self.observe
+            for event in columns.events[start:stop]:
+                observe(event)
+            return
+        if stop is None:
+            stop = len(columns)
+        window_size = self.config.window_size
+        max_propagations = self.config.max_propagations
+        untainting = self.config.untainting
+        stats = self.stats
+        states = self._states
+        windows = self._windows
+        state_values = states.values()
+        record_timeline = self._record_timeline
+        timeline = stats.timeline
+        is_loads = columns.is_loads
+        ranges = columns.ranges
+        indices = columns.indices
+        pids = columns.pids
+        loads = stats.loads_observed
+        stores = stats.stores_observed
+        tainted_loads = stats.tainted_loads
+        taints = stats.taint_operations
+        untaints = stats.untaint_operations
+        instructions = stats.instructions_observed
+        max_tainted = stats.max_tainted_bytes
+        max_ranges = stats.max_range_count
+        current_pid: Optional[int] = None
+        window: _WindowState = None  # type: ignore[assignment]
+        mask_overlapping = overlaps = add = remove = None
+        try:
+            for i in range(start, stop):
+                pid = pids[i]
+                if pid != current_pid:
+                    state = states.get(pid)
+                    if state is None:
+                        state = states[pid] = self._state_factory()
+                        windows[pid] = _WindowState()
+                    window = windows[pid]
+                    mask_overlapping = state.mask_overlapping
+                    overlaps = state.overlaps
+                    add = state.add
+                    remove = state.remove
+                    current_pid = pid
+                k = indices[i]
+                if k >= window.instructions_retired:
+                    instructions += k + 1 - window.instructions_retired
+                    window.instructions_retired = k + 1
+                address_range = ranges[i]
+                if is_loads[i]:
+                    loads += 1
+                    mask = mask_overlapping(address_range)
+                    if mask:
+                        window.last_tainted_load = k
+                        window.propagations = 0
+                        window.colour_mask = mask
+                        tainted_loads += 1
+                    continue
+                stores += 1
+                last = window.last_tainted_load
+                if (
+                    last is not None
+                    and last <= k <= last + window_size
+                    and window.propagations < max_propagations
+                ):
+                    add(address_range, window.colour_mask)
+                    window.propagations += 1
+                    taints += 1
+                elif untainting and overlaps(address_range):
+                    remove(address_range)
+                    untaints += 1
+                else:
+                    continue
+                size = sum(s.total_size for s in state_values)
+                count = sum(s.range_count for s in state_values)
+                if size > max_tainted:
+                    max_tainted = size
+                if count > max_ranges:
+                    max_ranges = count
+                if record_timeline:
+                    timeline.append(
+                        TimelinePoint(
+                            instruction_index=k,
+                            tainted_bytes=size,
+                            range_count=count,
+                            cumulative_operations=taints + untaints,
+                        )
+                    )
+        finally:
+            stats.loads_observed = loads
+            stats.stores_observed = stores
+            stats.tainted_loads = tainted_loads
+            stats.taint_operations = taints
+            stats.untaint_operations = untaints
+            stats.instructions_observed = instructions
+            stats.max_tainted_bytes = max_tainted
+            stats.max_range_count = max_ranges
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        for pid, window in self._windows.items():
+            snap["windows"][pid]["colour_mask"] = window.colour_mask
+        snap["colours"] = self.colours.snapshot()
+        return snap
+
+    def restore(self, snapshot: dict) -> None:
+        super().restore(snapshot)
+        for pid, payload in snapshot["windows"].items():
+            window = self._windows[int(pid)]
+            # Snapshots from a plain tracker carry no mask; a live window
+            # restored from one defaults to the first colour so in-window
+            # adds stay well-formed.
+            default = 1 if window.last_tainted_load is not None else 0
+            window.colour_mask = int(payload.get("colour_mask", default))
+        if "colours" in snapshot:
+            self.colours = ColourSpace.from_snapshot(snapshot["colours"])
 
 
 def track_trace(

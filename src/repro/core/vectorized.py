@@ -101,6 +101,14 @@ DENSE_MIN = 32
 #: cheaper scalar.
 DENSE_MAX_MUTATIONS = 24
 
+#: Consecutive mutation-budget bail-outs tolerated before the coloured
+#: dense path stops re-probing: mask churn (stores that OR new colour
+#: bits into covered ranges) makes every span mutation-heavy, so paying
+#: full-span classification just to hand off is a pure loss.  After the
+#: streak trips, whole :data:`REPROBE_EVERY` chunks go straight to the
+#: scalar loop, then the dense path probes again.
+DENSE_CHURN_STREAK = 2
+
 #: One-shot flag for the numpy-absence fallback warning.
 _numpy_fallback_warned = False
 
@@ -488,6 +496,292 @@ def _dense_span(
     return n, scalar_events
 
 
+def _colour_masks(state, query_start, query_end):
+    """``(hit, contained, omask, cover_mask)`` for query ranges against a
+    :class:`~repro.core.colours.ColourRangeSet`.
+
+    ``hit``/``contained`` match :func:`_overlap_masks`; ``omask`` is the
+    OR of every overlapped range's colour mask (the window mask a tainted
+    load would carry), ``cover_mask`` the covering range's mask for
+    contained queries (the superset test for absorbed taint-adds).
+    Queries overlapping a single stored range — the overwhelming case,
+    since coloured intervals are coalesced per colour — resolve fully
+    vectorised; the rare multi-range stragglers take a short exact loop.
+    """
+    starts, ends = state.as_arrays()
+    nq = len(query_start)
+    if not starts.size:
+        zeros = _np.zeros(nq, dtype=bool)
+        zmask = _np.zeros(nq, dtype=_np.uint64)
+        return zeros, zeros.copy(), zmask, zmask.copy()
+    rmasks = state.mask_array()
+    c_end = _np.searchsorted(starts, query_end, side="right") - 1
+    hit = (c_end >= 0) & (ends[_np.maximum(c_end, 0)] >= query_start)
+    c_start = _np.searchsorted(starts, query_start, side="right") - 1
+    contained = (c_start >= 0) & (ends[_np.maximum(c_start, 0)] >= query_end)
+    first = _np.searchsorted(ends, query_start, side="left")
+    last = _np.maximum(c_end, 0)
+    omask = _np.where(
+        hit, rmasks[_np.minimum(first, len(starts) - 1)], _np.uint64(0)
+    )
+    multi = hit & (last > first)
+    if _np.any(multi):
+        # OR the remaining overlapped ranges' masks in, sweeping by
+        # overlap *depth*: iteration d ORs the (first+d)-th overlapped
+        # range of every query still deep enough.  Depth is bounded by
+        # the fattest query (stores are a few bytes wide), so this runs
+        # a handful of vector passes instead of a python loop per query.
+        depth = last - first
+        top = int(depth[multi].max())
+        limit = len(starts) - 1
+        for d in range(1, top + 1):
+            live = multi & (depth >= d)
+            if not _np.any(live):
+                break
+            idx = _np.minimum(first + d, limit)
+            omask[live] |= rmasks[idx[live]]
+    cover_mask = _np.where(
+        contained, rmasks[_np.maximum(c_start, 0)], _np.uint64(0)
+    )
+    return hit, contained, omask, cover_mask
+
+
+def _dense_span_coloured(
+    tracker: "PIFTTracker",
+    columns: "EventColumns",
+    arrays: "ColumnArrays",
+    lo: int,
+    limit: int,
+):
+    """Mask-carrying variant of :func:`_dense_span` for the coloured
+    tracker (:class:`~repro.core.tracker.ColourTracker`).
+
+    Identical window simulation — taint/untaint *classification* never
+    consults masks, only coverage, so ``hit``/``contained``/the window
+    evolution are computed exactly as in the plain executor.  On top of
+    that it carries colour: each governing hit load's overlap mask
+    becomes the window mask, a consecutive taint run (which contains no
+    loads, hence has one governing window) commits with that single mask,
+    and a contained taint-add only counts as content-free when its
+    covering range's mask is a *superset* of the window mask — otherwise
+    the add would OR new colour bits in, which is a content mutation the
+    mask patch must see.  Untaints stay colour-blind (an overwrite
+    destroys all taint), so the bulk remove path is unchanged.
+    """
+    streak = getattr(tracker, "_dense_churn_streak", 0)
+    if streak >= DENSE_CHURN_STREAK:
+        # Churn hysteresis: recent spans all tripped the mutation budget,
+        # so classification would be thrown away again — scalar a whole
+        # chunk, then probe dense once more.
+        tracker._dense_churn_streak = 0
+        consumed = min(REPROBE_EVERY, limit - lo)
+        tracker.observe_columns_scalar(columns, lo, lo + consumed)
+        return consumed, consumed
+    run_hi = arrays.same_pid_run(lo, min(lo + DENSE_SPAN, limit))
+    n = run_hi - lo
+    if n < DENSE_MIN:
+        consumed = min(SCALAR_RUN, limit - lo)
+        tracker.observe_columns_scalar(columns, lo, lo + consumed)
+        return consumed, consumed
+    pid = int(arrays.pids[lo])
+    if pid not in tracker._windows:
+        tracker.state(pid)
+    state = tracker._states[pid]
+    window = tracker._windows[pid]
+    config = tracker.config
+    ni = config.window_size
+    nt = config.max_propagations
+    untainting = config.untainting
+    stats = tracker.stats
+
+    K = arrays.indices[lo:run_hi]
+    S = arrays.starts[lo:run_hi]
+    E = arrays.ends[lo:run_hi]
+    L = arrays.is_load[lo:run_hi]
+    stores_m = ~L
+
+    hit, contained, omask, cover_mask = _colour_masks(state, S, E)
+
+    last = window.last_tainted_load
+    props = window.propagations
+    wmask = window.colour_mask
+    p = 0
+    mutations = 0
+    scalar_events = 0
+    while p < n:
+        # -- simulate window evolution under the current masks ----------
+        hl = _np.flatnonzero(L[p:] & hit[p:]) + p
+        seg = _np.searchsorted(hl, _np.arange(p, n), side="right") - 1
+        in_seg = seg >= 0
+        if hl.size:
+            gov = K[hl[_np.maximum(seg, 0)]]
+            gmasks = omask[hl[_np.maximum(seg, 0)]]
+        else:
+            gov = _np.zeros(n - p, dtype=_np.int64)
+            gmasks = _np.zeros(n - p, dtype=_np.uint64)
+        kk = K[p:]
+        if last is not None:
+            gov = _np.where(in_seg, gov, last)
+            gmasks = _np.where(in_seg, gmasks, _np.uint64(wmask))
+            windowed = _np.ones(n - p, dtype=bool)
+        else:
+            windowed = in_seg
+        in_win = stores_m[p:] & windowed & (kk >= gov) & (kk <= gov + ni)
+        ranks = _np.cumsum(in_win)
+        if hl.size:
+            base = _np.where(in_seg, ranks[hl - p][_np.maximum(seg, 0)], 0)
+        else:
+            base = 0
+        cap = _np.where(in_seg, nt, nt - props)
+        taint = in_win & (ranks - 1 - base < cap)
+        if untainting:
+            untaint_cand = stores_m[p:] & ~taint & hit[p:]
+        else:
+            untaint_cand = _np.zeros(n - p, dtype=bool)
+        absorbed = contained[p:] & ((cover_mask[p:] & gmasks) == gmasks)
+        content_mut = (taint & ~absorbed) | untaint_cand
+        cuts = _np.flatnonzero(content_mut)
+        cut = (int(cuts[0]) + p) if cuts.size else n
+
+        # -- bulk-commit the mutation-free prefix [p, cut) --------------
+        if cut > p:
+            sl = slice(p, cut)
+            load_count = int(_np.count_nonzero(L[sl]))
+            stats.loads_observed += load_count
+            stats.stores_observed += (cut - p) - load_count
+            stats.tainted_loads += int(_np.count_nonzero(L[sl] & hit[sl]))
+            taint_count = int(_np.count_nonzero(taint[: cut - p]))
+            stats.taint_operations += taint_count
+            top = int(K[sl].max())
+            if top >= window.instructions_retired:
+                stats.instructions_observed += (
+                    top + 1 - window.instructions_retired
+                )
+                window.instructions_retired = top + 1
+            hl_before = hl[hl < cut]
+            if hl_before.size:
+                last_load = int(hl_before[-1])
+                last = int(K[last_load])
+                props = int(
+                    _np.count_nonzero(taint[last_load + 1 - p : cut - p])
+                )
+                wmask = int(omask[last_load])
+            elif last is not None:
+                props += taint_count
+        if cut >= n:
+            break
+
+        # -- a content mutation: execute its run via bulk primitives ----
+        mutations += 1
+        if mutations > DENSE_MAX_MUTATIONS:
+            window.last_tainted_load = last
+            window.propagations = props
+            window.colour_mask = wmask
+            tracker._dense_churn_streak = streak + 1
+            tracker.observe_columns_scalar(columns, lo + cut, run_hi)
+            return n, scalar_events + (n - cut)
+        other_size = tracker.tainted_bytes - state.total_size
+        other_count = tracker.range_count - state.range_count
+        if taint[cut - p]:
+            # A consecutive taint run contains no loads, so one governing
+            # window — and one colour mask — covers the whole run.
+            gmask = int(gmasks[cut - p])
+            rest = taint[cut - p :]
+            stop_rel = _np.flatnonzero(~rest)
+            j = cut + (int(stop_rel[0]) if stop_rel.size else n - cut)
+            pairs = list(
+                zip(S[cut:j].tolist(), E[cut:j].tolist())
+            )
+            count_before = other_count + state.range_count
+            # A coloured add can *split* its covering range (two extra
+            # intervals at the colour boundaries), so the no-new-high-water
+            # guard budgets two per add, not one.
+            if count_before + 2 * len(pairs) <= stats.max_range_count:
+                extent = state.add_many(pairs, gmask)
+                size = other_size + state.total_size
+                if size > stats.max_tainted_bytes:
+                    stats.max_tainted_bytes = size
+            else:
+                add = state.add
+                max_bytes = stats.max_tainted_bytes
+                max_ranges = stats.max_range_count
+                for pair_start, pair_end in pairs:
+                    add(AddressRange(pair_start, pair_end), gmask)
+                    size = other_size + state.total_size
+                    count = other_count + state.range_count
+                    if size > max_bytes:
+                        max_bytes = size
+                    if count > max_ranges:
+                        max_ranges = count
+                stats.max_tainted_bytes = max_bytes
+                stats.max_range_count = max_ranges
+                starts2, ends2 = state.as_arrays()
+                hull_lo = int(min(s for s, _ in pairs))
+                hull_hi = int(max(e for _, e in pairs))
+                i0 = int(_np.searchsorted(ends2, hull_lo, side="left"))
+                i1 = int(
+                    _np.searchsorted(starts2, hull_hi, side="right")
+                ) - 1
+                extent = (int(starts2[i0]), int(ends2[i1]))
+            stats.stores_observed += j - cut
+            stats.taint_operations += j - cut
+            props += j - cut
+        else:
+            rest = L[cut:] | taint[cut - p :]
+            stop_rel = _np.flatnonzero(rest)
+            j = cut + (int(stop_rel[0]) if stop_rel.size else n - cut)
+            cand = _np.flatnonzero(hit[cut:j]) + cut
+            steps = state.remove_many(
+                [(int(S[i]), int(E[i])) for i in cand]
+            )
+            effective = [
+                (i, total_after, count_after)
+                for (i, (ok, total_after, count_after)) in zip(cand, steps)
+                if ok
+            ]
+            for _, total_after, count_after in effective:
+                stats.untaint_operations += 1
+                size = other_size + total_after
+                count = other_count + count_after
+                if size > stats.max_tainted_bytes:
+                    stats.max_tainted_bytes = size
+                if count > stats.max_range_count:
+                    stats.max_range_count = count
+            stats.stores_observed += j - cut
+            if effective:
+                extent = (
+                    int(min(S[i] for i, _, _ in effective)),
+                    int(max(E[i] for i, _, _ in effective)),
+                )
+            else:
+                extent = None
+        top = int(K[cut:j].max())
+        if top >= window.instructions_retired:
+            stats.instructions_observed += top + 1 - window.instructions_retired
+            window.instructions_retired = top + 1
+
+        # -- patch the masks (coverage *and* colours) from the extent ---
+        if extent is not None and j < n:
+            extent_lo, extent_hi = extent
+            suspects = _np.flatnonzero(
+                (S[j:] <= extent_hi) & (E[j:] >= extent_lo)
+            ) + j
+            if suspects.size:
+                new_hit, new_contained, new_omask, new_cover = _colour_masks(
+                    state, S[suspects], E[suspects]
+                )
+                hit[suspects] = new_hit
+                contained[suspects] = new_contained
+                omask[suspects] = new_omask
+                cover_mask[suspects] = new_cover
+        p = j
+    window.last_tainted_load = last
+    window.propagations = props
+    window.colour_mask = wmask
+    tracker._dense_churn_streak = 0
+    return n, scalar_events
+
+
 def observe_columns(
     tracker: "PIFTTracker", columns: "EventColumns", start: int, stop: int
 ) -> None:
@@ -526,6 +820,7 @@ def observe_columns(
     arrays = columns.arrays()
     scalar = tracker.observe_columns_scalar
     dense_ok = not tracker._record_timeline
+    dense = _dense_span_coloured if tracker._coloured else _dense_span
     position = start
     block = BLOCK_MIN
     vector_handled = 0
@@ -545,7 +840,7 @@ def observe_columns(
         # the exact scalar loop when timeline recording demands
         # per-mutation samples), then re-sync against the updated state.
         if dense_ok:
-            consumed, dense_scalar = _dense_span(
+            consumed, dense_scalar = dense(
                 tracker, columns, arrays, position, stop
             )
         else:

@@ -62,6 +62,9 @@ def _cell_identity(cell) -> dict:
         "state_spec": cell.state_spec,
         "droidbench": cell.droidbench,
         "malware": cell.malware,
+        # Only colour-on cells carry the marker: journals written before
+        # the flag existed keep fingerprint-matching their grids.
+        **({"colours": True} if getattr(cell, "colours", False) else {}),
     }
 
 
@@ -121,6 +124,8 @@ def cell_result_from_record(record: dict):
     if "malware_total" in cell:
         result.malware_detected = cell["malware_detected"]
         result.malware_total = cell["malware_total"]
+    if "colours" in cell:
+        result.colours = cell["colours"]
     return result
 
 
@@ -314,6 +319,13 @@ class RunJournal:
                     "operations": cell.get("operations", 0),
                     "duration_seconds": record.get("duration_seconds", 0.0),
                     "worker": record.get("worker", 0),
+                    # Conditional, like the journal record itself: rows
+                    # from colour-off runs keep their original key set.
+                    **(
+                        {"colours": cell["colours"]}
+                        if "colours" in cell
+                        else {}
+                    ),
                 }
             )
         return rows

@@ -53,6 +53,11 @@ class CellResult:
     report: Optional[object] = None  # AccuracyReport
     malware_detected: Optional[int] = None
     malware_total: Optional[int] = None
+    #: Per-source attribution payload (SuiteAttribution.as_dict()) when
+    #: the cell asked for colours; None otherwise.  Deterministic — the
+    #: coloured replay registers colour bits in recorded instruction
+    #: order — so it participates in serial-vs-parallel equality.
+    colours: Optional[dict] = None
     fault_stats: FaultStats = field(default_factory=FaultStats)
     events_tracked: int = 0
     operations: int = 0
@@ -84,6 +89,8 @@ class CellResult:
         if self.malware_total is not None:
             payload["malware_detected"] = self.malware_detected
             payload["malware_total"] = self.malware_total
+        if self.colours is not None:
+            payload["colours"] = self.colours
         return payload
 
 
@@ -226,6 +233,17 @@ def run_cell(
                     _accumulate(result.fault_stats, stats)
                 report.record(app.name, app.leaks, replayed.alarm)
             result.report = report
+            if cell.colours:
+                # Attribution pass: coloured replay over the pristine
+                # recordings.  Fault plans apply to the *verdict* replay
+                # above only — attribution answers "which source fed
+                # this flow", a property of the recorded run, not of a
+                # particular fault draw.
+                from repro.analysis.provenance import attribute_suite
+
+                result.colours = attribute_suite(
+                    cache.droidbench_runs(), cell.config
+                ).as_dict()
         if cell.malware:
             runs = cache.malware_runs()
             detected = 0

@@ -79,10 +79,20 @@ class SweepCell:
     state_spec: str = "rangeset"
     droidbench: bool = True
     malware: bool = False
+    #: Run the coloured attribution pass (per-source provenance) on top
+    #: of the verdict replay.  Attribution never changes verdicts — the
+    #: union projection is byte-identical — so a colour-on cell's
+    #: accuracy payload equals the colour-off cell's.
+    colours: bool = False
 
     def key(self) -> Tuple:
-        """Stable identity of the cell (used for result bookkeeping)."""
-        return (
+        """Stable identity of the cell (used for result bookkeeping).
+
+        The ``colours`` marker is appended *only when set*, so journals
+        written before the flag existed still fingerprint-match their
+        (colour-off) grids.
+        """
+        base = (
             self.config.window_size,
             self.config.max_propagations,
             self.config.untainting,
@@ -91,6 +101,7 @@ class SweepCell:
             self.seed,
             self.state_spec,
         )
+        return base + ("colours",) if self.colours else base
 
 
 @dataclass(frozen=True)
@@ -121,6 +132,9 @@ class GridSpec:
     state_spec: str = "rangeset"
     droidbench: bool = True
     malware: bool = False
+    #: Thread per-source provenance attribution into every cell (see
+    #: :attr:`SweepCell.colours`).
+    colours: bool = False
     #: Execution-strategy flag threaded into every cell's PIFTConfig;
     #: results are bit-identical either way (the CLI's --no-vectorized
     #: escape hatch flips it off for A/B timing runs).
@@ -168,5 +182,6 @@ class GridSpec:
                         state_spec=self.state_spec,
                         droidbench=self.droidbench,
                         malware=self.malware,
+                        colours=self.colours,
                     )
                     index += 1

@@ -192,6 +192,66 @@ def build_dense_prefix_run():
     return run
 
 
+def build_colours_run():
+    """Multi-source run with *distinct* per-source flows — the coloured
+    replay's attribution freeze.
+
+    Three sources leak into three disjoint scratch areas, and a fourth
+    area receives in-window stores from imei and location windows at
+    different times, so its intervals carry a two-colour mask.  Sinks
+    cover: a single-colour hit per flow, the mixed area (two colours on
+    one verdict), and a clean heap region (no colours, untainted).  The
+    union projection of this run is also frozen through the plain GOLDEN
+    table — the same fixture pins both the verdict bits and the labels.
+    """
+    rng = random.Random(20_262)
+    run = RecordedRun()
+    area = {"imei": 2_000, "location": 3_000, "phone_number": 4_000}
+    mixed = 5_000
+    for slot, name in enumerate(area):
+        lo = 64 * slot
+        run.sources.append(
+            SourceRegistration(AddressRange(lo, lo + 31), 0, name)
+        )
+    index = 0
+    for i in range(2_400):
+        index += 1
+        cycle = i % 300
+        if cycle in (0, 100, 200):
+            name = list(area)[cycle // 100]
+            run.trace.append(load(64 * (cycle // 100), 64 * (cycle // 100) + 7,
+                                  index))
+            for k in range(2):
+                index += 2
+                a = area[name] + 16 * ((i // 300) * 2 + k)
+                run.trace.append(store(a, a + 7, index))
+            # Every flow also drips into the shared mixed area — imei and
+            # location only, so its masks settle at exactly two colours.
+            if name != "phone_number":
+                index += 2
+                a = mixed + 16 * ((i // 300) % 8)
+                run.trace.append(store(a, a + 7, index))
+        else:
+            run.trace.append(_background_event(rng, index, 0))
+    run.trace.note_instruction(index + 1)
+    run.sink_checks.extend(
+        [
+            SinkCheck(AddressRange(area["imei"], area["imei"] + 63),
+                      index + 1, "network", "socket"),
+            SinkCheck(AddressRange(area["location"], area["location"] + 63),
+                      index + 1, "sms", "sms"),
+            SinkCheck(AddressRange(area["phone_number"],
+                                   area["phone_number"] + 63),
+                      index + 1, "network", "socket"),
+            SinkCheck(AddressRange(mixed, mixed + 127), index + 1,
+                      "network", "socket"),
+            SinkCheck(AddressRange(HEAP, HEAP + 1_023), index + 1,
+                      "log", "logcat"),
+        ]
+    )
+    return run
+
+
 def write_v2(run: RecordedRun, path: Path) -> None:
     """Serialise the way the version-2 writer did: no pid fields at all."""
     document = {
@@ -234,9 +294,11 @@ def main() -> None:
     tracefile.save_recorded_run(
         prefix, HERE / "golden_dense_prefix_v1.pift.gz"
     )
+    colours = build_colours_run()
+    tracefile.save_recorded_run(colours, HERE / "golden_colours_v1.pift.gz")
     for name, run in (
         ("v3", v3), ("v2", v2), ("dense_v1", dense),
-        ("dense_prefix_v1", prefix),
+        ("dense_prefix_v1", prefix), ("colours_v1", colours),
     ):
         print(
             f"golden_{name}: {len(run.trace)} events, "

@@ -333,3 +333,111 @@ class TestQueueBackendCli:
             main(self.ARGS + [
                 "--backend", "queue", "--chaos", "explode-everything:1",
             ])
+
+
+class TestColourJson:
+    """Schema freeze for the colour-attribution blocks: ``suite
+    --colours``, the ``provenance`` subcommand, ``sweep --colours``
+    cells, and the run report's ``colour_attribution`` fold."""
+
+    COLOUR_ROW_KEYS = {"colour", "apps", "app_count", "sink_hits", "channels"}
+    ATTRIBUTION_KEYS = {
+        "window_size", "max_propagations", "attributed_sink_hits",
+        "colours", "apps",
+    }
+
+    def _assert_attribution_schema(self, attribution):
+        assert self.ATTRIBUTION_KEYS <= attribution.keys()
+        assert attribution["attributed_sink_hits"] > 0
+        for row in attribution["colours"]:
+            assert self.COLOUR_ROW_KEYS <= row.keys()
+            assert row["app_count"] == len(row["apps"])
+            assert row["sink_hits"] >= sum(row["channels"].values()) > 0
+        for app in attribution["apps"]:
+            assert {
+                "app", "category", "leaks", "alarm", "colours", "sink_hits",
+            } <= app.keys()
+            for hit in app["sink_hits"]:
+                assert {
+                    "sink", "channel", "index", "pid", "colours",
+                } <= hit.keys()
+
+    def test_suite_colours_block_schema(self, capsys):
+        plain = run_json(capsys, ["suite", "--json"])
+        coloured = run_json(capsys, ["suite", "--colours", "--json"])
+        assert "colours" not in plain
+        self._assert_attribution_schema(coloured["colours"])
+        # Attribution is a second pass, never a second opinion: the
+        # verdict payload is byte-identical with and without it.
+        assert json.dumps(plain["report"], sort_keys=True) == json.dumps(
+            coloured["report"], sort_keys=True
+        )
+
+    def test_provenance_schema(self, capsys):
+        payload = run_json(capsys, ["provenance", "--json"])
+        assert payload["command"] == "provenance"
+        assert {"ni", "nt", "untainting"} <= payload["config"].keys()
+        self._assert_attribution_schema(payload)
+
+    def test_sweep_colours_cell_schema(self, capsys):
+        plain = run_json(
+            capsys, ["sweep", "--windows", "5,13", "--caps", "2", "--json"]
+        )
+        coloured = run_json(
+            capsys,
+            ["sweep", "--windows", "5,13", "--caps", "2", "--colours",
+             "--json"],
+        )
+        assert all("colours" not in cell for cell in plain["cells"])
+        for cell in coloured["cells"]:
+            self._assert_attribution_schema(cell["colours"])
+        # The colours key is additive: everything else is unchanged.
+        def essence(payload):
+            return json.dumps(
+                [
+                    {k: v for k, v in cell.items() if k != "colours"}
+                    for cell in payload["cells"]
+                ],
+                sort_keys=True,
+            )
+
+        assert essence(plain) == essence(coloured)
+
+    def test_report_colour_attribution_schema(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "colour-store")
+        capsys.readouterr()
+        assert main([
+            "sweep", "--windows", "5,13", "--caps", "2", "--colours",
+            "--store", store_dir, "--run-id", "run-colours", "--json",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", "run-colours", "--store", store_dir, "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        attribution = report["colour_attribution"]
+        assert attribution["cells"] == 2
+        for row in attribution["colours"]:
+            assert {"colour", "apps", "sink_hits"} <= row.keys()
+            assert row["sink_hits"] > 0
+        capsys.readouterr()
+        assert main(["report", "run-colours", "--store", store_dir]) == 0
+        human = capsys.readouterr().out
+        assert "leak attribution (2 coloured cells):" in human
+
+    def test_plain_report_has_no_attribution(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "plain-store")
+        capsys.readouterr()
+        assert main([
+            "sweep", "--windows", "5", "--caps", "2",
+            "--store", store_dir, "--run-id", "run-plain", "--json",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", "run-plain", "--store", store_dir, "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["colour_attribution"] is None
+        capsys.readouterr()
+        assert main(["report", "run-plain", "--store", store_dir]) == 0
+        assert "leak attribution" not in capsys.readouterr().out

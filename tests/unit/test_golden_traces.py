@@ -82,6 +82,27 @@ GOLDEN = {
             "max_range_count": 2,
         },
     },
+    "golden_colours_v1": {
+        "instruction_count": 2530,
+        "events": 2464,
+        "verdicts": [
+            ("network", 0, True),
+            ("sms", 0, True),
+            ("network", 0, True),
+            ("network", 0, True),
+            ("log", 0, False),
+        ],
+        "stats": {
+            "instructions_observed": 2529,
+            "loads_observed": 1176,
+            "stores_observed": 1288,
+            "tainted_loads": 24,
+            "taint_operations": 72,
+            "untaint_operations": 0,
+            "max_tainted_bytes": 575,
+            "max_range_count": 67,
+        },
+    },
     "golden_v2": {
         "instruction_count": 3979,
         "events": 2008,
@@ -187,6 +208,39 @@ def test_golden_dense_prefix_trips_and_recovers(monkeypatch):
     replay(recorded, replace(PAPER_DEFAULT, vectorized=True))
     assert spans, "churn prefix should force scalar spans"
     assert max(hi - lo for lo, hi in spans) <= REPROBE_EVERY
+
+
+#: Frozen per-sink colour attribution of ``golden_colours_v1`` — three
+#: single-colour flows, one mixed (two-colour) area, one clean sink.
+GOLDEN_COLOUR_VERDICTS = [
+    ("network", "socket", True, ("imei",)),
+    ("sms", "sms", True, ("location",)),
+    ("network", "socket", True, ("phone_number",)),
+    ("network", "socket", True, ("imei", "location")),
+    ("log", "logcat", False, ()),
+]
+
+
+@pytest.mark.parametrize("vectorized", [True, False], ids=["vec", "scalar"])
+def test_golden_colours_attribution_is_frozen(vectorized):
+    """The coloured replay of ``golden_colours_v1`` must attribute every
+    sink hit to exactly these source colours — including the mixed area
+    whose intervals carry a two-colour mask — and its stats must equal
+    the plain replay's (the colour layer adds labels, never events)."""
+    from repro.analysis.replay import replay_coloured
+
+    recorded = _load("golden_colours_v1")
+    config = replace(PAPER_DEFAULT, vectorized=vectorized)
+    coloured = replay_coloured(recorded, config)
+    assert [
+        (o.sink_name, o.channel, o.tainted, o.colours)
+        for o in coloured.sink_outcomes
+    ] == GOLDEN_COLOUR_VERDICTS
+    assert all(
+        o.tainted == bool(o.colours) for o in coloured.sink_outcomes
+    )
+    plain = replay(recorded, config)
+    assert coloured.stats.as_dict() == plain.stats.as_dict()
 
 
 def test_golden_v2_document_shape():

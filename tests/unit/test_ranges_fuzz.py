@@ -95,3 +95,96 @@ def test_rangeset_snapshot_restore_under_fuzz():
     # Restoring does not alias the source's internals.
     clone.add(AddressRange(0, ADDRESS_SPACE + MAX_RANGE + 10))
     assert clone != rangeset
+
+
+# -- batch primitives vs the scalar oracle (hypothesis) ----------------------
+#
+# The dense executor commits taint runs through add_many/remove_many; the
+# parity guarantee of the vectorised kernel rests on those batch
+# primitives being *content-equivalent* to the scalar add/remove loop the
+# exact tracker runs.  These properties drive both against each other on
+# the same interleavings, including remove-induced splits (range_count can
+# rise on a remove) and batches that straddle the top of the address space.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+HUGE = (1 << 62)  # overflow edge: far beyond any trace address
+
+pair = st.builds(
+    lambda start, size: (start, start + size),
+    st.one_of(
+        st.integers(0, ADDRESS_SPACE),
+        st.integers(HUGE, HUGE + ADDRESS_SPACE),
+    ),
+    st.integers(0, MAX_RANGE),
+)
+
+batches = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), st.lists(pair, max_size=8)),
+    max_size=12,
+)
+
+
+@given(batches)
+@settings(max_examples=150, deadline=None)
+def test_add_many_remove_many_match_interleaved_scalar_oracle(ops):
+    batched = RangeSet()
+    oracle = RangeSet()
+    for op, items in ops:
+        if op == "add":
+            extent = batched.add_many(items)
+            for start, end in items:
+                oracle.add(AddressRange(start, end))
+            if items:
+                # Extent contract: the returned span covers every batch
+                # item's final coverage (callers patch caches from it).
+                lo, hi = extent
+                assert lo <= min(s for s, _ in items)
+                assert hi >= max(e for _, e in items)
+            else:
+                assert extent is None
+        else:
+            steps = batched.remove_many(items)
+            assert len(steps) == len(items)
+            for (start, end), step in zip(items, steps):
+                before_version = oracle._version
+                oracle.remove(AddressRange(start, end))
+                effective, total_after, count_after = step
+                assert effective == (oracle._version != before_version)
+                assert total_after == oracle.total_size
+                assert count_after == oracle.range_count
+        assert list(batched) == list(oracle)
+        assert batched.total_size == oracle.total_size
+        assert batched.range_count == oracle.range_count
+
+
+@given(st.lists(pair, min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_remove_many_reports_split_growth(items):
+    """A remove that lands strictly inside a stored range splits it —
+    remove_many's per-step range counts must show the growth, because the
+    tracker's max_range_count high-water is taken per mutation."""
+    rangeset = RangeSet()
+    hull_lo = min(s for s, _ in items)
+    hull_hi = max(e for _, e in items) + 2
+    rangeset.add(AddressRange(hull_lo, hull_hi))
+    interior = [
+        (s + 1, min(e, hull_hi - 1))
+        for s, e in items
+        if s + 1 <= min(e, hull_hi - 1)
+    ]
+    steps = rangeset.remove_many(interior)
+    oracle = RangeSet()
+    oracle.add(AddressRange(hull_lo, hull_hi))
+    for (start, end), (effective, total_after, count_after) in zip(
+        interior, steps
+    ):
+        before_version = oracle._version
+        oracle.remove(AddressRange(start, end))
+        # A repeated interior pair is a no-op the second time around;
+        # what matters is that per-step reports track the oracle exactly.
+        assert effective == (oracle._version != before_version)
+        assert total_after == oracle.total_size
+        assert count_after == oracle.range_count
+    assert list(rangeset) == list(oracle)
