@@ -257,6 +257,12 @@ class PIFTTracker:
         self._states: Dict[int, TaintStateLike] = {}
         self._windows: Dict[int, _WindowState] = {}
         self.stats = TrackerStats()
+        #: Consecutive dense-executor mutation-budget bail-outs
+        #: (churn hysteresis, :mod:`repro.core.vectorized`).  Pure
+        #: execution-strategy state: it never affects semantics, only
+        #: which loop runs, and is cleared on reset/restore so a reused
+        #: tracker's routing does not depend on a previous run.
+        self._dense_churn_streak = 0
         self._record_timeline = record_timeline
         self._tel: Optional["Telemetry"] = None
         self._instruments: Optional[_TrackerInstruments] = None
@@ -295,6 +301,7 @@ class PIFTTracker:
         self._states.clear()
         self._windows.clear()
         self.stats = TrackerStats()
+        self._dense_churn_streak = 0
 
     # -- checkpoint / restore --------------------------------------------
 
@@ -356,6 +363,10 @@ class PIFTTracker:
                 telemetry_open=bool(payload["telemetry_open"]),
             )
         self.stats = TrackerStats.from_dict(snapshot["stats"])
+        # Churn hysteresis is execution-strategy state, deliberately
+        # absent from snapshots (like ``vectorized``); start it fresh so
+        # routing after a restore does not inherit the donor's history.
+        self._dense_churn_streak = 0
 
     @property
     def instructions_per_pid(self) -> Dict[int, int]:

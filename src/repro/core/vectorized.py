@@ -692,37 +692,25 @@ def _dense_span_coloured(
             pairs = list(
                 zip(S[cut:j].tolist(), E[cut:j].tolist())
             )
-            count_before = other_count + state.range_count
-            # A coloured add can *split* its covering range (two extra
-            # intervals at the colour boundaries), so the no-new-high-water
-            # guard budgets two per add, not one.
-            if count_before + 2 * len(pairs) <= stats.max_range_count:
-                extent = state.add_many(pairs, gmask)
-                size = other_size + state.total_size
-                if size > stats.max_tainted_bytes:
-                    stats.max_tainted_bytes = size
-            else:
-                add = state.add
-                max_bytes = stats.max_tainted_bytes
-                max_ranges = stats.max_range_count
-                for pair_start, pair_end in pairs:
-                    add(AddressRange(pair_start, pair_end), gmask)
-                    size = other_size + state.total_size
-                    count = other_count + state.range_count
-                    if size > max_bytes:
-                        max_bytes = size
-                    if count > max_ranges:
-                        max_ranges = count
-                stats.max_tainted_bytes = max_bytes
-                stats.max_range_count = max_ranges
-                starts2, ends2 = state.as_arrays()
-                hull_lo = int(min(s for s, _ in pairs))
-                hull_hi = int(max(e for _, e in pairs))
-                i0 = int(_np.searchsorted(ends2, hull_lo, side="left"))
-                i1 = int(
-                    _np.searchsorted(starts2, hull_hi, side="right")
-                ) - 1
-                extent = (int(starts2[i0]), int(ends2[i1]))
+            # A coloured add spanning k gapped differently-masked ranges
+            # can raise the range count by k+1 — no static per-add budget
+            # proves the bulk run sets no new high-water mark (unlike the
+            # plain path above, where each add raises the count by at most
+            # one).  add_many_steps reports (total, count) after every
+            # add, so the non-monotone maxima fold exactly as the scalar
+            # loop's per-mutation bookkeeping.
+            extent, steps = state.add_many_steps(pairs, gmask)
+            max_bytes = stats.max_tainted_bytes
+            max_ranges = stats.max_range_count
+            for total_after, count_after in steps:
+                size = other_size + total_after
+                count = other_count + count_after
+                if size > max_bytes:
+                    max_bytes = size
+                if count > max_ranges:
+                    max_ranges = count
+            stats.max_tainted_bytes = max_bytes
+            stats.max_range_count = max_ranges
             stats.stores_observed += j - cut
             stats.taint_operations += j - cut
             props += j - cut

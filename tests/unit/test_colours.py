@@ -14,7 +14,9 @@ import pytest
 
 from repro.core.colours import ColourRangeSet, ColourSpace
 from repro.core.config import PIFTConfig
+from repro.core.events import EventColumns, load, store
 from repro.core.ranges import AddressRange
+from repro.core.tracker import ColourTracker
 
 IMEI, GPS, SMS = 0b001, 0b010, 0b100
 
@@ -118,6 +120,26 @@ class TestColourRangeSetAdd:
         assert extent == (10, 49)
         assert crs.add_many([], IMEI) is None
 
+    def test_add_many_steps_reports_per_step_counts(self):
+        # One add spanning two gapped differently-masked ranges raises
+        # the range count by 3 (splits at both colour boundaries) — no
+        # static per-add budget bounds this, which is why the dense
+        # executor's high-water bookkeeping needs the per-step counts.
+        crs = ColourRangeSet()
+        crs.add(AddressRange(1, 1), IMEI)
+        crs.add(AddressRange(3, 3), GPS)
+        extent, steps = crs.add_many_steps([(0, 4)], SMS)
+        assert extent == (0, 4)
+        assert steps == [(5, 5)]
+        assert triples(crs) == [
+            (0, 0, SMS),
+            (1, 1, IMEI | SMS),
+            (2, 2, SMS),
+            (3, 3, GPS | SMS),
+            (4, 4, SMS),
+        ]
+        assert crs.add_many_steps([], SMS) == (None, [])
+
 
 class TestColourRangeSetRemove:
     def test_remove_is_colour_blind_and_keeps_remnant_masks(self):
@@ -142,6 +164,56 @@ class TestColourRangeSetRemove:
         crs.add(AddressRange(10, 19), GPS)
         assert crs.mask_overlapping(AddressRange(5, 15)) == IMEI | GPS
         assert crs.mask_overlapping(AddressRange(500, 600)) == 0
+
+
+class TestColouredDenseHighWater:
+    """Regression: the coloured dense executor's bulk taint commit once
+    guarded per-step ``max_range_count`` bookkeeping with a static
+    +2-per-add budget, but a coloured add spanning k gapped
+    differently-masked ranges raises the count by k+1 — the vectorised
+    run under-recorded the high-water mark the scalar loop saw."""
+
+    def build(self, config):
+        tracker = ColourTracker(config)
+        tracker.taint_source(AddressRange(201, 201), colour="a")
+        tracker.taint_source(AddressRange(203, 203), colour="b")
+        tracker.taint_source(AddressRange(300, 310), colour="c")
+        tracker.taint_source(AddressRange(400, 400), colour="d")
+        tracker.taint_source(AddressRange(402, 402), colour="e")
+        return tracker
+
+    def test_splitting_bulk_add_records_range_count_high_water(self):
+        config = PIFTConfig(
+            window_size=50,
+            max_propagations=8,
+            untainting=True,
+            vectorized=True,
+        )
+        # Five gapped source ranges set max_range_count = 5; the two
+        # overwrites drop the live count back to 3, so the splitting add
+        # below starts exactly 2 under the high-water mark — the case
+        # the old +2-per-add budget wrongly waved through the fast path.
+        events = [
+            store(400, 400, 0),  # out-of-window overwrite: untaints "d"
+            store(402, 402, 1),  # untaints "e"
+            load(300, 310, 2),   # tainted load opens a window, mask "c"
+            # In-window taint spanning [201]#a and [203]#b: one add, +3
+            # ranges ([200]c [201]ac [202]c [203]bc [204]c) -> count 6.
+            store(200, 204, 3),
+        ]
+        # Pad the same-PID run past DENSE_MIN so the dense executor (not
+        # the scalar fallback loop) commits the mutations above.
+        events += [
+            load(10_000 + 16 * i, 10_000 + 16 * i + 3, 4 + i)
+            for i in range(60)
+        ]
+        columns = EventColumns.from_events(events)
+        scalar = self.build(config)
+        scalar.observe_columns_scalar(columns)
+        vector = self.build(config)
+        vector.observe_columns_vectorized(columns)
+        assert scalar.stats.max_range_count == 6
+        assert vector.stats.as_dict() == scalar.stats.as_dict()
 
 
 class TestColourRangeSetPersistence:
