@@ -18,6 +18,13 @@ Commands:
 * ``report``   — post-hoc run summary (per-cell / per-worker timings,
   store traffic, stalls) reconstructed from a run's journal and its
   persisted telemetry stream
+* ``serve``    — long-lived streaming daemon: concurrent device
+  connections feed per-``(device, pid)`` tracker shards over TCP/unix
+  sockets, with watermark backpressure, a Prometheus ``/metrics``
+  endpoint, and live shard migration (``drain``/``restore``)
+* ``fleet``    — N-device fleet simulation against a daemon; verdicts
+  (and ``--colours`` attributions) are diffed byte-exact vs batch
+  replay, exit 1 on mismatch
 
 ``sweep`` and ``faults`` also take ``--trace-out run.trace.json`` to
 export the run as Chrome trace-event JSON (open in Perfetto) and
@@ -772,6 +779,135 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _serve_router_kwargs(args) -> dict:
+    """ShardRouter construction kwargs shared by serve and fleet."""
+    from repro.core import OverflowPolicy
+
+    return {
+        "workers": args.workers,
+        "capacity": args.capacity,
+        "drain_batch": args.drain_batch,
+        "policy": OverflowPolicy(args.policy),
+        "high_watermark": args.high_watermark,
+        "low_watermark": args.low_watermark,
+        "coloured": args.colours,
+    }
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import PIFTServer, ShardRouter
+
+    config = _config(args)
+    telemetry = _make_telemetry(args)
+    if args.port is None and args.unix is None:
+        args.port = 7787  # default ingestion endpoint
+
+    async def run() -> None:
+        router = ShardRouter(
+            config, telemetry=telemetry, **_serve_router_kwargs(args)
+        )
+        server = PIFTServer(router, telemetry=telemetry)
+        await server.start(
+            tcp=(args.host, args.port) if args.port is not None else None,
+            unix_path=args.unix,
+            metrics=(
+                (args.host, args.metrics_port)
+                if args.metrics_port is not None else None
+            ),
+        )
+        where = []
+        if server.tcp_port is not None:
+            where.append(f"tcp {args.host}:{server.tcp_port}")
+        if args.unix:
+            where.append(f"unix {args.unix}")
+        if server.metrics_port is not None:
+            where.append(
+                f"metrics http://{args.host}:{server.metrics_port}/metrics"
+            )
+        print(
+            f"pift-serve ready ({', '.join(where)}; "
+            f"workers={args.workers}, colours={args.colours}, "
+            f"policy={args.policy}, capacity={args.capacity})",
+            file=sys.stderr, flush=True,
+        )
+        await server.run_until_shutdown()
+
+    asyncio.run(run())
+    _finish_telemetry(args, telemetry)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from itertools import islice
+
+    from repro.serve.fleet import run_fleet_sync
+
+    config = _config(args)
+    telemetry = _make_telemetry(args)
+    if args.suite_file:
+        from repro.store.suitefile import iter_suite_runs
+
+        runs = iter_suite_runs(args.suite_file)
+    else:
+        from repro.apps.droidbench import record_suite
+
+        runs = iter(record_suite(telemetry=telemetry))
+    if args.limit is not None:
+        runs = islice(runs, args.limit)
+
+    report = run_fleet_sync(
+        runs,
+        devices=args.devices,
+        migrate=args.migrate,
+        config=config,
+        chunk=args.chunk,
+        host=args.connect_host,
+        port=args.connect_port,
+        unix_path=args.connect_unix,
+        telemetry=telemetry,
+        **_serve_router_kwargs(args),
+    )
+    if args.json:
+        payload = {
+            "command": "fleet",
+            "config": _config_dict(config),
+            **report,
+        }
+        _finish_telemetry(args, telemetry, payload)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"fleet: {report['devices']} devices, {report['runs']} runs, "
+            f"{report['checks']} checks, "
+            f"{report['events_streamed']} events "
+            f"({report['events_per_s']}/s)"
+        )
+        if report["migration"]:
+            m = report["migration"]
+            print(
+                f"migration: shard {m['device']}/{m['pid']} drained over "
+                f"the wire ({m['snapshot_bytes']} snapshot bytes), "
+                f"restored to worker {m['restored_to_worker']}; worker "
+                f"{m['killed_worker']} killed "
+                f"({m['shards_migrated_by_kill']} shards re-homed)"
+            )
+        print(
+            "parity: "
+            + ("OK — streamed verdicts byte-identical to batch replay"
+               if report["parity"]
+               else f"FAILED ({len(report['mismatches'])} mismatches)")
+        )
+        for row in report["mismatches"]:
+            print(
+                f"  {row['run']}[{row['index']}]: streamed="
+                f"{row['streamed']} batch={row['batch']}"
+            )
+        _finish_telemetry(args, telemetry)
+    return 0 if report["parity"] else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import build_run_report, render_run_report
     from repro.store import ArtifactStore, JournalError, RunJournal
@@ -1015,6 +1151,125 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(faults, with_json=True)
     _add_observability_arguments(faults)
     faults.set_defaults(func=cmd_faults)
+
+    def _add_serve_shard_arguments(sub) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=2, metavar="N",
+            help="shard drain workers — the unit a shard migrates "
+                 "between (default 2)",
+        )
+        sub.add_argument(
+            "--capacity", type=int, default=1024,
+            help="per-shard event FIFO capacity (default 1024)",
+        )
+        sub.add_argument(
+            "--drain-batch", type=int, default=256,
+            help="events a worker drains per shard per pass (default 256)",
+        )
+        sub.add_argument(
+            "--policy", default="block",
+            choices=["block", "drop_oldest", "drop_newest", "spill"],
+            help="per-shard overflow policy (default block)",
+        )
+        sub.add_argument(
+            "--high-watermark", type=int, default=None, metavar="N",
+            help="FIFO depth that pauses socket reads for the shard "
+                 "(real backpressure; default: capacity)",
+        )
+        sub.add_argument(
+            "--low-watermark", type=int, default=None, metavar="N",
+            help="FIFO depth at which paused reads resume "
+                 "(default: high watermark / 2)",
+        )
+        sub.add_argument(
+            "--colours", action="store_true",
+            help="run ColourTracker shards: verdicts carry per-source "
+                 "colour attribution (union projection keeps the taint "
+                 "bits bit-identical)",
+        )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="long-lived streaming taint-tracking daemon",
+        description="Accept newline-delimited JSON event frames from "
+                    "many concurrent device connections (TCP and/or a "
+                    "unix socket), route them to per-(device, pid) "
+                    "tracker shards, answer sink checks in-stream, and "
+                    "expose Prometheus metrics over HTTP.  Admin verbs "
+                    "(drain/restore/migrate/stop_worker) move shards "
+                    "between workers mid-stream with bit-identical "
+                    "verdicts.",
+    )
+    _add_window_arguments(serve_cmd)
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="TCP ingestion port (default 7787 when no --unix; 0 picks "
+             "a free port, printed on the ready line)",
+    )
+    serve_cmd.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="also (or instead) listen on this unix socket path",
+    )
+    serve_cmd.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve GET /metrics (Prometheus text format) on this port",
+    )
+    _add_serve_shard_arguments(serve_cmd)
+    _add_telemetry_arguments(serve_cmd)
+    serve_cmd.set_defaults(func=cmd_serve)
+
+    fleet_cmd = commands.add_parser(
+        "fleet",
+        help="N-device fleet simulation with byte-exact parity checking",
+        description="Stream recorded suites through a serve daemon as N "
+                    "concurrent simulated devices and diff every verdict "
+                    "(and colour attribution under --colours) against "
+                    "batch replay.  Self-hosts a daemon on a throwaway "
+                    "unix socket unless --connect/--connect-unix points "
+                    "at a running one.  Exits 1 on any parity mismatch.",
+    )
+    _add_window_arguments(fleet_cmd)
+    fleet_cmd.add_argument(
+        "--devices", type=int, default=4, metavar="N",
+        help="concurrent simulated device connections (default 4)",
+    )
+    fleet_cmd.add_argument(
+        "--suite-file", metavar="PATH", default=None,
+        help="stream a recorded suite artifact (.suite.gz) chunk by "
+             "chunk instead of recording DroidBench in-process",
+    )
+    fleet_cmd.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stream only the first N runs of the suite",
+    )
+    fleet_cmd.add_argument(
+        "--chunk", type=int, default=512, metavar="N",
+        help="events per streamed frame (default 512)",
+    )
+    fleet_cmd.add_argument(
+        "--migrate", action="store_true",
+        help="mid-stream chaos: drain one streaming shard over the "
+             "wire, restore it onto another worker, then kill worker 0 "
+             "— parity must still hold",
+    )
+    fleet_cmd.add_argument(
+        "--connect-host", metavar="HOST", default=None,
+        help="target an external daemon at this host (with "
+             "--connect-port) instead of self-hosting",
+    )
+    fleet_cmd.add_argument(
+        "--connect-port", type=int, default=None, metavar="PORT",
+        help="TCP port of the external daemon",
+    )
+    fleet_cmd.add_argument(
+        "--connect-unix", metavar="PATH", default=None,
+        help="unix socket of an external daemon",
+    )
+    _add_serve_shard_arguments(fleet_cmd)
+    _add_telemetry_arguments(fleet_cmd, with_json=True)
+    fleet_cmd.set_defaults(func=cmd_fleet)
 
     report_cmd = commands.add_parser(
         "report",

@@ -45,7 +45,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 from repro.core.colours import ColourSpace
 from repro.core.config import BufferConfig, OverflowPolicy, PIFTConfig
@@ -137,6 +137,14 @@ class BufferedPIFT:
             ``on_memory_event`` (as an instance attribute) when a plan
             is supplied, mirroring the telemetry shadow-method pattern.
         telemetry: optional :class:`~repro.telemetry.Telemetry` hub.
+        on_backpressure: optional callback invoked with ``True`` when the
+            FIFO crosses the high watermark and ``False`` when it falls
+            back to the low watermark.  This is the service hook: the
+            ``repro serve`` daemon registers one per shard and *stops
+            reading the device's socket* while engaged, so the overflow
+            watermarks become real TCP backpressure instead of silent
+            drops.  Called synchronously from the event/drain path —
+            keep it cheap and non-reentrant.
         colours: optional :class:`~repro.core.colours.ColourSpace`.  When
             supplied the wrapped tracker is a
             :class:`~repro.core.tracker.ColourTracker` over that space;
@@ -156,6 +164,7 @@ class BufferedPIFT:
         low_watermark: Optional[int] = None,
         faults: Optional["FaultPlan"] = None,
         colours: Optional[ColourSpace] = None,
+        on_backpressure: Optional[Callable[[bool], None]] = None,
     ) -> None:
         if capacity < 1 or drain_batch < 1:
             raise ValueError("capacity and drain_batch must be >= 1")
@@ -183,6 +192,7 @@ class BufferedPIFT:
         self._spill: Deque[MemoryAccess] = deque()
         self._pending_immediate: List[tuple] = []
         self._backpressure = False
+        self._on_backpressure = on_backpressure
         # FIFO sequence accounting: every accepted event gets the next
         # enqueue ordinal; it is *retired* when drained into the tracker
         # or force-dropped from the queue.  Events retire in FIFO order,
@@ -303,10 +313,14 @@ class BufferedPIFT:
             if self._tel is not None:
                 self._m_backpressure.inc()
                 self._tel.event("backpressure_on", depth=depth)
+            if self._on_backpressure is not None:
+                self._on_backpressure(True)
         elif self._backpressure and depth <= self._low_watermark:
             self._backpressure = False
             if self._tel is not None:
                 self._tel.event("backpressure_off", depth=depth)
+            if self._on_backpressure is not None:
+                self._on_backpressure(False)
 
     def taint_source(
         self,

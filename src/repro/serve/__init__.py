@@ -1,0 +1,49 @@
+"""`repro.serve` — online streaming service mode.
+
+Batch replay turned into a long-lived, sharded asyncio daemon: many
+concurrent simulated devices stream newline-delimited JSON event frames
+(TCP or unix socket), a :class:`~repro.serve.router.ShardRouter` keys
+tracker shards on ``(device_id, pid)``, overflow watermarks become real
+socket backpressure, and the PR 2 snapshot machinery becomes live
+shard migration (``drain`` / ``restore``) with bit-identical verdicts —
+proven end to end by :func:`~repro.serve.fleet.run_fleet`.
+
+Module map::
+
+    protocol  -- wire frames + run_to_frames (replay-plan ordering)
+    shard     -- TrackerShard: one (device, pid)'s BufferedPIFT + state
+    router    -- placement, drain workers, backpressure gates, migration
+    server    -- PIFTServer: listeners, dispatch, /metrics scrape
+    client    -- DeviceClient / AdminClient
+    fleet     -- N-device parity harness vs batch replay
+"""
+
+from repro.serve.client import AdminClient, DeviceClient, ServeClientError
+from repro.serve.fleet import run_fleet, run_fleet_sync
+from repro.serve.protocol import (
+    DEFAULT_CHUNK,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    run_to_frames,
+)
+from repro.serve.router import ShardRouter, ShardWorker
+from repro.serve.server import PIFTServer
+from repro.serve.shard import ShardError, ShardKey, TrackerShard
+
+__all__ = [
+    "AdminClient",
+    "DEFAULT_CHUNK",
+    "DeviceClient",
+    "PIFTServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClientError",
+    "ShardError",
+    "ShardKey",
+    "ShardRouter",
+    "ShardWorker",
+    "TrackerShard",
+    "run_fleet",
+    "run_fleet_sync",
+    "run_to_frames",
+]

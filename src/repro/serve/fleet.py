@@ -1,0 +1,276 @@
+"""Fleet simulation: N concurrent devices vs batch replay, byte for byte.
+
+The proof obligation of the serve subsystem lives here.  ``run_fleet``
+takes recorded runs — a list, or a *lazy iterator* such as
+:func:`repro.store.suitefile.iter_suite_runs` — deals them to N
+simulated devices pulling from a shared queue, streams them concurrently
+through a daemon (self-hosted on a unix socket by default, or any
+external endpoint), and diffs every streamed verdict against a batch
+replay of the same run under the same config.  The comparison is the
+full identity tuple (sink, channel, instruction index, pid, tainted,
+**colours**), so a coloured fleet proves attribution parity too, not
+just verdict bits.
+
+Memory stays proportional to the runs in flight (≤ devices), never the
+suite: each run is decoded, batch-replayed for its truth, streamed,
+compared, and dropped before the device pulls the next.
+
+With ``migrate=True`` the harness additionally fires the chaos scenario
+mid-stream, while every device is still sending:
+
+1. ``drain`` the streaming shard over an admin connection — the
+   snapshot crosses the wire to the client;
+2. ``restore`` that same snapshot back onto a *different* worker;
+3. ``stop_worker`` on worker 0 — killing a live drain engine and forcing
+   the router to migrate every shard it still owned.
+
+If the final diff is empty after all that, migration is verdict-
+invisible — the acceptance criterion of the subsystem.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.replay import replay, replay_coloured
+from repro.core.config import PAPER_DEFAULT, OverflowPolicy, PIFTConfig
+from repro.serve import protocol
+from repro.serve.client import AdminClient, DeviceClient
+from repro.serve.router import ShardRouter
+from repro.serve.server import PIFTServer
+
+#: Cap on reported mismatches — the diff is usually empty or systematic,
+#: and a systematic failure does not need ten thousand witnesses.
+MAX_MISMATCHES = 20
+
+
+def _iter_named(runs) -> Iterator[Tuple[str, object]]:
+    """Normalise ``AppRun``-likes / ``(name, recorded)`` pairs, lazily."""
+    seen = set()
+    for i, run in enumerate(runs):
+        if isinstance(run, tuple):
+            name, recorded = run
+        else:
+            name = getattr(run, "name", f"run-{i}")
+            recorded = getattr(run, "recorded", run)
+        name = str(name)
+        if name in seen:  # parity rows are keyed by name — keep unique
+            name = f"{name}#{i}"
+        seen.add(name)
+        yield name, recorded
+
+
+def _first_pid(frames: Sequence[dict]) -> Optional[int]:
+    """The pid whose shard frame 0 creates (migration target)."""
+    if not frames:
+        return None
+    frame = frames[0]
+    if "pid" in frame:
+        return int(frame["pid"])
+    pids = frame.get("pids") or ()
+    return int(pids[0]) if pids else None
+
+
+async def run_fleet(
+    runs,
+    devices: int = 4,
+    coloured: bool = False,
+    migrate: bool = False,
+    config: PIFTConfig = PAPER_DEFAULT,
+    chunk: int = protocol.DEFAULT_CHUNK,
+    workers: int = 2,
+    capacity: int = 1024,
+    drain_batch: int = 256,
+    policy: OverflowPolicy = OverflowPolicy.BLOCK,
+    high_watermark: Optional[int] = None,
+    low_watermark: Optional[int] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    telemetry=None,
+) -> dict:
+    """Stream ``runs`` as ``devices`` concurrent device connections and
+    diff the verdicts against batch replay.  Returns the parity report.
+
+    Self-hosts a daemon on a throwaway unix socket unless an endpoint
+    (``host``/``port`` or ``unix_path``) points at an external one.
+    """
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if migrate and workers < 2:
+        raise ValueError("migrate needs workers >= 2 (a worker is killed)")
+
+    server: Optional[PIFTServer] = None
+    tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    if host is None and unix_path is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="pift-serve-")
+        unix_path = os.path.join(tmpdir.name, "serve.sock")
+        router = ShardRouter(
+            config,
+            workers=workers,
+            capacity=capacity,
+            drain_batch=drain_batch,
+            policy=policy,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+            coloured=coloured,
+            telemetry=telemetry,
+        )
+        server = PIFTServer(router, telemetry=telemetry)
+        await server.start(unix_path=unix_path)
+
+    endpoint = {"host": host, "port": port, "unix_path": unix_path}
+    run_iter = _iter_named(runs)
+    pull_lock = asyncio.Lock()
+    totals = {"runs": 0, "checks": 0, "verdicts": 0, "events": 0}
+    mismatches: List[dict] = []
+    migration = {"armed": bool(migrate), "report": None}
+
+    async def next_run() -> Optional[Tuple[str, object]]:
+        async with pull_lock:
+            return next(run_iter, None)
+
+    async def _fire_migration(device_name: str, pid: int) -> None:
+        """Drain→wire→restore the streaming shard, then kill worker 0."""
+        admin = await AdminClient.connect(**endpoint)
+        try:
+            snapshot = await admin.drain(device_name, pid)
+            placed = await admin.restore(snapshot, worker=1)
+            killed = await admin.stop_worker(0)
+            migration["report"] = {
+                "device": device_name,
+                "pid": pid,
+                "restored_to_worker": placed,
+                "killed_worker": 0,
+                "shards_migrated_by_kill": len(killed),
+                "snapshot_bytes": len(protocol.encode_frame(snapshot)),
+            }
+        finally:
+            await admin.close()
+
+    def _diff(name: str, got: List[tuple], want: List[tuple]) -> None:
+        if got == want:
+            return
+        for i in range(max(len(got), len(want))):
+            if len(mismatches) >= MAX_MISMATCHES:
+                return
+            g = got[i] if i < len(got) else None
+            w = want[i] if i < len(want) else None
+            if g != w:
+                mismatches.append(
+                    {"run": name, "index": i,
+                     "streamed": list(g) if g else None,
+                     "batch": list(w) if w else None}
+                )
+
+    async def run_device(index: int) -> None:
+        device_name = f"device-{index:02d}"
+        client: Optional[DeviceClient] = None
+        try:
+            while True:
+                item = await next_run()
+                if item is None:
+                    break
+                name, recorded = item
+                if client is None:
+                    client = await DeviceClient.connect(
+                        device_name, colours=coloured, **endpoint
+                    )
+                else:
+                    await client.reset()  # fresh shards, like batch's
+                    # fresh tracker per run
+
+                # The batch truth for this run, computed just in time so
+                # a streamed suite never sits fully decoded in memory.
+                result = (
+                    replay_coloured(recorded, config) if coloured
+                    else replay(recorded, config)
+                )
+                want = [
+                    protocol.outcome_key(o) for o in result.sink_outcomes
+                ]
+
+                after_frame = None
+                if migration["armed"]:
+                    frames = list(protocol.run_to_frames(recorded, chunk))
+                    pid = _first_pid(frames)
+                    if pid is not None:
+                        migration["armed"] = False
+                        fire_at = max(0, len(frames) // 2 - 1)
+
+                        async def after_frame(i, frame, _pid=pid,
+                                              _at=fire_at,
+                                              _dev=device_name):
+                            if i == _at:
+                                await _fire_migration(_dev, _pid)
+
+                verdicts = await client.stream_run(
+                    recorded, chunk=chunk, after_frame=after_frame
+                )
+                got = [protocol.verdict_key(v) for v in verdicts]
+                totals["runs"] += 1
+                totals["checks"] += len(want)
+                totals["verdicts"] += len(got)
+                _diff(name, got, want)
+            if client is not None:
+                totals["events"] += client.events_sent
+                await client.end()
+                client = None
+        finally:
+            if client is not None:
+                await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(run_device(i) for i in range(devices)))
+    elapsed = time.perf_counter() - started
+
+    # Post-stream: query API + server accounting, then tear down.
+    admin = await AdminClient.connect(**endpoint)
+    try:
+        server_stats = await admin.stats()
+        query0 = await admin.query("device-00")
+        if server is not None:
+            await admin.shutdown()
+        else:
+            await admin.close()
+    except BaseException:
+        await admin.close()
+        raise
+
+    if server is not None:
+        await server.stop()
+    if tmpdir is not None:
+        tmpdir.cleanup()
+
+    if totals["runs"] == 0:
+        raise ValueError("run_fleet needs at least one recorded run")
+
+    server_stats.pop("op", None)
+    return {
+        "devices": devices,
+        "workers": workers,
+        "runs": totals["runs"],
+        "coloured": coloured,
+        "checks": totals["checks"],
+        "verdicts": totals["verdicts"],
+        "events_streamed": totals["events"],
+        "parity": not mismatches,
+        "mismatches": mismatches,
+        "migrate": bool(migrate),
+        "migration": migration["report"],
+        "attribution": query0.get("attribution", []),
+        "server_stats": server_stats,
+        "elapsed_s": round(elapsed, 6),
+        "events_per_s": (
+            round(totals["events"] / elapsed) if elapsed else 0
+        ),
+    }
+
+
+def run_fleet_sync(runs, **kwargs) -> dict:
+    """Blocking wrapper: one event loop per fleet (CLI / bench entry)."""
+    return asyncio.run(run_fleet(runs, **kwargs))

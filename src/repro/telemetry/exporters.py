@@ -25,6 +25,10 @@ from repro.telemetry.metrics import (
 
 PROMETHEUS_PREFIX = "pift"
 
+#: The Content-Type an HTTP scrape endpoint must answer with (the
+#: text exposition format version Prometheus negotiates by default).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def snapshot(registry: MetricsRegistry) -> dict:
     """``{family: {metric_name: {kind, value, ...}}}`` for JSON output."""
@@ -111,3 +115,19 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
         else:  # pragma: no cover - registry only creates the above
             continue
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def scrape_body(
+    registry: MetricsRegistry, extra_text: str = ""
+) -> "tuple[bytes, str]":
+    """``(body, content_type)`` for an HTTP ``/metrics`` scrape response.
+
+    The serve daemon's HTTP endpoint reuses the same renderer the CLI's
+    ``--metrics-dump prom`` uses; ``extra_text`` lets a server append
+    endpoint-local series (shard counts, migrations) after the registry's
+    without re-implementing the exposition format.
+    """
+    text = to_prometheus_text(registry)
+    if extra_text:
+        text += extra_text if text.endswith("\n") or not text else "\n" + extra_text
+    return text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE

@@ -1,0 +1,426 @@
+"""End-to-end tests of the `repro serve` daemon over unix sockets.
+
+Each test boots a real :class:`PIFTServer` on a throwaway unix socket
+inside an ``asyncio.run`` and exercises the full stack — protocol
+handshake and error frames, live backpressure under tight watermarks,
+admin verbs (query/stats/drain/restore/migrate/stop_worker), the HTTP
+metrics scrape, and the fleet harness's parity claim in plain, coloured,
+and mid-stream-migration configurations.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.android.device import RecordedRun, SinkCheck, SourceRegistration
+from repro.core.config import OverflowPolicy, PIFTConfig
+from repro.core.events import EventTrace, load, store
+from repro.core.ranges import AddressRange
+from repro.serve import protocol
+from repro.serve.client import (
+    AdminClient,
+    DeviceClient,
+    ServeClientError,
+    open_connection,
+)
+from repro.serve.fleet import run_fleet, run_fleet_sync
+from repro.serve.router import ShardRouter
+from repro.serve.server import PIFTServer
+
+CONFIG = PIFTConfig(5, 2)
+
+
+def make_run(pids=(0,), rounds=6, leak=True):
+    """A synthetic recorded run: per-PID source, leak loop, two checks."""
+    events, sources, checks = [], [], []
+    top = 0
+    for i, pid in enumerate(pids):
+        src = 0x1000 + 0x100000 * i
+        dst = 0x8000 + 0x100000 * i
+        sources.append(
+            SourceRegistration(
+                AddressRange(src, src + 0xF), 0, f"src-{pid}", pid=pid
+            )
+        )
+        index = 1
+        for r in range(rounds):
+            events.append(load(src, src + 3, index, pid))
+            if leak:
+                events.append(
+                    store(dst + 4 * r, dst + 4 * r + 3, index + 1, pid)
+                )
+            index += 3
+        checks.append(
+            SinkCheck(
+                AddressRange(dst, dst + 4 * rounds - 1), index,
+                f"sink-{pid}", "net", pid=pid,
+            )
+        )
+        checks.append(
+            SinkCheck(
+                AddressRange(0xF0000, 0xF0003), index + 1,
+                f"clean-{pid}", "sms", pid=pid,
+            )
+        )
+        top += index + 2
+    return RecordedRun(
+        trace=EventTrace(events, instruction_count=top),
+        sources=sources,
+        sink_checks=checks,
+    )
+
+
+def make_suite(count=6, pids_per_run=2):
+    return [
+        (f"app-{i}", make_run(
+            pids=tuple(range(pids_per_run)), rounds=3 + i % 4,
+            leak=bool(i % 3),
+        ))
+        for i in range(count)
+    ]
+
+
+class Daemon:
+    """Async context manager: a live daemon on a tmp unix socket."""
+
+    def __init__(self, tmp_path, metrics=False, **router_kwargs):
+        router_kwargs.setdefault("workers", 2)
+        self.router = ShardRouter(CONFIG, **router_kwargs)
+        self.server = PIFTServer(self.router)
+        self.path = str(tmp_path / "serve.sock")
+        self.metrics = metrics
+
+    async def __aenter__(self):
+        await self.server.start(
+            unix_path=self.path,
+            metrics=("127.0.0.1", 0) if self.metrics else None,
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.server.stop()
+
+
+class TestHandshakeAndErrors:
+    def test_version_mismatch_rejected(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                reader, writer = await open_connection(
+                    unix_path=daemon.path
+                )
+                bad = protocol.hello_frame("dev")
+                bad["version"] = 999
+                writer.write(protocol.encode_frame(bad))
+                await writer.drain()
+                reply = protocol.decode_frame(await reader.readline())
+                writer.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["op"] == "error"
+        assert "version 999" in reply["error"]
+
+    def test_colour_mode_mismatch_rejected(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path, coloured=False) as daemon:
+                with pytest.raises(ServeClientError, match="colour-mode"):
+                    await DeviceClient.connect(
+                        "dev", unix_path=daemon.path, colours=True
+                    )
+
+        asyncio.run(scenario())
+
+    def test_frames_before_hello_rejected(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                reader, writer = await open_connection(
+                    unix_path=daemon.path
+                )
+                writer.write(protocol.encode_frame(
+                    protocol.events_frame([load(0x10, 0x13, 1)])
+                ))
+                await writer.drain()
+                reply = protocol.decode_frame(await reader.readline())
+                writer.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["op"] == "error"
+        assert "no hello yet" in reply["error"]
+
+    def test_unknown_op_and_garbage_keep_connection_alive(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                reader, writer = await open_connection(
+                    unix_path=daemon.path
+                )
+                writer.write(b"this is not json\n")
+                writer.write(protocol.encode_frame({"op": "frobnicate"}))
+                await writer.drain()
+                first = protocol.decode_frame(await reader.readline())
+                second = protocol.decode_frame(await reader.readline())
+                # The connection survived both errors: a hello still works.
+                writer.write(protocol.encode_frame(
+                    protocol.hello_frame("dev")
+                ))
+                await writer.drain()
+                third = protocol.decode_frame(await reader.readline())
+                writer.close()
+                return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first["op"] == "error" and "unparseable" in first["error"]
+        assert second["op"] == "error" and "frobnicate" in second["error"]
+        assert third["op"] == "welcome"
+
+
+class TestStreamAndQuery:
+    def test_streamed_verdicts_and_query_api(self, tmp_path):
+        recorded = make_run(pids=(0, 5))
+
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                verdicts = await client.stream_run(recorded)
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                result = await admin.query("dev-a")
+                stats = await admin.stats()
+                await admin.close()
+                await client.end()
+                return verdicts, result, stats
+
+        verdicts, result, stats = asyncio.run(scenario())
+        # One tainted + one clean check per pid; both pids share
+        # instruction indices, so the replay plan interleaves them.
+        assert [(v["sink"], v["tainted"]) for v in verdicts] == [
+            ("sink-0", True), ("sink-5", True),
+            ("clean-0", False), ("clean-5", False),
+        ]
+        assert not any(v["degraded"] for v in verdicts)
+        assert [v["sink"] for v in result["verdicts"]] == [
+            v["sink"] for v in verdicts
+        ]
+        assert {s["pid"] for s in result["shards"]} == {0, 5}
+        assert stats["server"]["devices"] == ["dev-a"]
+        assert stats["shards"] == 2
+        assert stats["events_ingested"] == len(recorded.trace.events)
+
+    def test_reset_drops_shards_but_keeps_verdict_log(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                await client.stream_run(make_run())
+                dropped = await client.reset()
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                result = await admin.query("dev-a")
+                await admin.close()
+                await client.end()
+                return dropped, result
+
+        dropped, result = asyncio.run(scenario())
+        assert dropped == 1
+        assert result["shards"] == []  # live shards gone...
+        assert len(result["verdicts"]) == 2  # ...log survives
+
+
+class TestBackpressure:
+    def test_watermarks_pause_reads_without_loss(self, tmp_path):
+        # A FIFO of 32 with the drain worker racing a 200-round burst:
+        # the gate must engage, and parity must still hold.
+        recorded = make_run(rounds=200)
+
+        async def scenario():
+            async with Daemon(
+                tmp_path, capacity=32, drain_batch=4,
+                high_watermark=24, low_watermark=4,
+            ) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                verdicts = await client.stream_run(recorded, chunk=16)
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                stats = await admin.stats()
+                await admin.close()
+                await client.end()
+                return verdicts, stats
+
+        verdicts, stats = asyncio.run(scenario())
+        assert stats["backpressure_engagements"] > 0
+        assert stats["forced_drops"] == 0
+        assert [v["tainted"] for v in verdicts] == [True, False]
+
+    def test_drop_oldest_policy_degrades_verdicts(self, tmp_path):
+        # Overflow the FIFO inside one frame (frame chunk > capacity):
+        # ingest is synchronous, so the drain worker cannot interleave
+        # and the drop policy must fire; every later verdict carries the
+        # degraded-confidence flag.
+        recorded = make_run(rounds=300)
+
+        async def scenario():
+            async with Daemon(
+                tmp_path, capacity=16, drain_batch=4,
+                policy=OverflowPolicy.DROP_OLDEST,
+            ) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                verdicts = await client.stream_run(recorded, chunk=600)
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                stats = await admin.stats()
+                await admin.close()
+                await client.end()
+                return verdicts, stats
+
+        verdicts, stats = asyncio.run(scenario())
+        assert stats["forced_drops"] > 0
+        assert all(v["degraded"] for v in verdicts)
+
+
+class TestAdminVerbs:
+    def test_drain_of_nonexistent_shard_errors(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                with pytest.raises(ServeClientError, match="no live shard"):
+                    await admin.drain("ghost", 0)
+                await admin.close()
+
+        asyncio.run(scenario())
+
+    def test_restore_of_live_shard_errors(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                await client.stream_run(make_run())
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                snapshot = await admin.drain("dev-a", 0)
+                await admin.restore(snapshot)
+                with pytest.raises(ServeClientError, match="already live"):
+                    await admin.restore(snapshot)
+                await admin.close()
+                await client.end()
+
+        asyncio.run(scenario())
+
+    def test_stop_last_worker_refused(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path, workers=2) as daemon:
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                await admin.stop_worker(0)
+                with pytest.raises(ServeClientError, match="last live"):
+                    await admin.stop_worker(1)
+                with pytest.raises(ServeClientError, match="no live worker"):
+                    await admin.stop_worker(0)  # already dead
+                await admin.close()
+
+        asyncio.run(scenario())
+
+    def test_server_side_migrate_moves_worker(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path, workers=2) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                await client.stream_run(make_run())
+                before = daemon.router.placement[("dev-a", 0)]
+                admin = await AdminClient.connect(unix_path=daemon.path)
+                placed = await admin.migrate("dev-a", 0, worker=1 - before)
+                await admin.close()
+                await client.end()
+                return before, placed, daemon.router.migrations
+
+        before, placed, migrations = asyncio.run(scenario())
+        assert placed == 1 - before
+        assert migrations == 1
+
+
+class TestMetricsScrape:
+    async def _get(self, port, path):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        await writer.drain()
+        response = await reader.read()
+        writer.close()
+        head, _, body = response.partition(b"\r\n\r\n")
+        return head.decode("latin-1"), body.decode()
+
+    def test_metrics_endpoint(self, tmp_path):
+        async def scenario():
+            async with Daemon(tmp_path, metrics=True) as daemon:
+                client = await DeviceClient.connect(
+                    "dev-a", unix_path=daemon.path
+                )
+                await client.stream_run(make_run())
+                port = daemon.server.metrics_port
+                ok = await self._get(port, "/metrics")
+                missing = await self._get(port, "/nope")
+                await client.end()
+                return ok, missing
+
+        (ok_head, ok_body), (miss_head, _) = asyncio.run(scenario())
+        assert ok_head.startswith("HTTP/1.0 200")
+        assert "pift_serve_shards 1" in ok_body
+        assert "pift_serve_events_ingested_total" in ok_body
+        assert "pift_serve_checks_answered_total" in ok_body
+        assert miss_head.startswith("HTTP/1.0 404")
+
+
+class TestFleetParity:
+    def test_plain_fleet(self):
+        report = run_fleet_sync(make_suite(), devices=3)
+        assert report["parity"] is True
+        assert report["runs"] == 6
+        assert report["checks"] == report["verdicts"] == 6 * 2 * 2
+        assert report["mismatches"] == []
+
+    def test_coloured_fleet_carries_attribution(self):
+        # Every run leaks, so whichever runs device-00 pulled off the
+        # shared queue, its attribution fold has colours in it.
+        suite = [
+            (f"app-{i}", make_run(pids=(0, 1), rounds=4 + i))
+            for i in range(6)
+        ]
+        report = run_fleet_sync(suite, devices=3, coloured=True)
+        assert report["parity"] is True
+        assert report["coloured"] is True
+        attribution = {row["colour"] for row in report["attribution"]}
+        assert any(c.startswith("src-") for c in attribution)
+
+    def test_migrating_fleet_stays_byte_identical(self):
+        report = run_fleet_sync(
+            make_suite(8), devices=4, migrate=True, workers=2,
+            capacity=64, drain_batch=8, high_watermark=48, low_watermark=8,
+        )
+        assert report["parity"] is True
+        assert report["migration"] is not None
+        assert report["migration"]["killed_worker"] == 0
+        assert report["server_stats"]["migrations"] >= 2
+        dead = [
+            w for w in report["server_stats"]["workers"] if not w["alive"]
+        ]
+        assert [w["id"] for w in dead] == [0]
+
+    def test_fleet_against_external_daemon(self, tmp_path):
+        # The fleet can point at a daemon it does not own.
+        async def scenario():
+            async with Daemon(tmp_path) as daemon:
+                return await run_fleet(
+                    make_suite(4), devices=2, unix_path=daemon.path
+                )
+
+        report = asyncio.run(scenario())
+        assert report["parity"] is True
+
+    def test_fleet_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="devices"):
+            run_fleet_sync(make_suite(1), devices=0)
+        with pytest.raises(ValueError, match="workers"):
+            run_fleet_sync(make_suite(1), migrate=True, workers=1)
+        with pytest.raises(ValueError, match="at least one"):
+            run_fleet_sync([], devices=2)

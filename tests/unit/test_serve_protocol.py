@@ -1,0 +1,268 @@
+"""Wire protocol and streaming loaders for `repro serve`.
+
+Covers frame encode/decode, the replay-plan-ordered ``run_to_frames``
+framing (the ordering contract behind fleet parity), and the two
+streaming loaders the fleet client feeds on: the incremental
+``iter_suite_runs`` suite reader and ``ArtifactStore.stream_runs``.
+"""
+
+import gzip
+
+import pytest
+
+from repro.analysis.accuracy import AppRun
+from repro.analysis.replay import replay, replay_plan_for
+from repro.analysis.tracefile import FORMAT_VERSION, TraceFormatError
+from repro.android.device import RecordedRun, SinkCheck, SourceRegistration
+from repro.core.config import PIFTConfig
+from repro.core.events import EventTrace, load, store
+from repro.core.ranges import AddressRange
+from repro.serve import protocol
+from repro.store import ArtifactStore, StoreKey
+from repro.store.suitefile import (
+    dump_suite_bytes,
+    iter_suite_runs,
+    load_suite_bytes,
+)
+
+CONFIG = PIFTConfig(5, 2)
+
+
+def make_run(pids=(0,), rounds=6, leak=True):
+    """A synthetic multi-PID recorded run with one check per PID."""
+    events, sources, checks = [], [], []
+    top = 0
+    for i, pid in enumerate(pids):
+        src = 0x1000 + 0x100000 * i
+        dst = 0x8000 + 0x100000 * i
+        sources.append(
+            SourceRegistration(
+                AddressRange(src, src + 0xF), 0, f"src-{pid}", pid=pid
+            )
+        )
+        index = 1
+        for r in range(rounds):
+            events.append(load(src, src + 3, index, pid))
+            if leak:
+                events.append(
+                    store(dst + 4 * r, dst + 4 * r + 3, index + 1, pid)
+                )
+            index += 3
+        checks.append(
+            SinkCheck(
+                AddressRange(dst, dst + 4 * rounds - 1), index,
+                f"sink-{pid}", "net", pid=pid,
+            )
+        )
+        checks.append(
+            SinkCheck(
+                AddressRange(0xF0000, 0xF0003), index + 1,
+                f"clean-{pid}", "sms", pid=pid,
+            )
+        )
+        top += index + 2
+    return RecordedRun(
+        trace=EventTrace(events, instruction_count=top),
+        sources=sources,
+        sink_checks=checks,
+    )
+
+
+class TestFrames:
+    def test_encode_decode_round_trip(self):
+        frame = {"op": "hello", "device": "d", "n": 3}
+        assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+
+    def test_encoding_is_one_sorted_compact_line(self):
+        line = protocol.encode_frame({"b": 1, "a": 2, "op": "x"})
+        assert line == b'{"a":2,"b":1,"op":"x"}\n'
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"not json\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"[1,2]\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b'{"no_op":1}\n')
+
+    def test_events_frame_round_trip(self):
+        events = [load(0x10, 0x13, 1, 0), store(0x20, 0x23, 2, 7)]
+        decoded = list(protocol.decode_events(protocol.events_frame(events)))
+        assert decoded == events
+
+    def test_events_frame_length_mismatch_rejected(self):
+        frame = protocol.events_frame([load(0x10, 0x13, 1, 0)])
+        frame["pids"] = []
+        with pytest.raises(protocol.ProtocolError, match="length"):
+            list(protocol.decode_events(frame))
+
+    def test_frame_range_rejects_missing_fields(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.frame_range({"op": "check"})
+
+
+class TestRunToFrames:
+    def test_framing_matches_replay_plan_order(self):
+        recorded = make_run(pids=(0, 3))
+        plan = replay_plan_for(recorded)
+        frames = list(protocol.run_to_frames(recorded, chunk=4))
+
+        # Reconstruct the three streams and check each is complete and
+        # in recorded order.
+        events = [
+            e for f in frames if f["op"] == "events"
+            for e in protocol.decode_events(f)
+        ]
+        assert events == recorded.trace.events
+        names = [f["name"] for f in frames if f["op"] == "source"]
+        assert names == [s.source_name for s in plan.sources]
+        sinks = [f["sink"] for f in frames if f["op"] == "check"]
+        assert sinks == [c.sink_name for c in plan.checks]
+
+        # The interleaving respects every plan boundary: when a
+        # source/check frame appears, exactly the events before its
+        # boundary position have been streamed.
+        position = source_i = check_i = 0
+        bounds = {}
+        for boundary, sources_due, checks_due in plan.boundaries:
+            for _ in range(sources_due):
+                bounds[("s", source_i)] = boundary
+                source_i += 1
+            for _ in range(checks_due):
+                bounds[("c", check_i)] = boundary
+                check_i += 1
+        source_i = check_i = 0
+        for frame in frames:
+            if frame["op"] == "events":
+                position += len(frame["starts"])
+            elif frame["op"] == "source":
+                expected = bounds.get(("s", source_i), len(events))
+                assert position == expected
+                source_i += 1
+            else:
+                expected = bounds.get(("c", check_i), len(events))
+                assert position == expected
+                check_i += 1
+
+    def test_chunking_bounds_frame_size(self):
+        recorded = make_run(rounds=10)
+        frames = list(protocol.run_to_frames(recorded, chunk=3))
+        sizes = [
+            len(f["starts"]) for f in frames if f["op"] == "events"
+        ]
+        assert sizes and max(sizes) <= 3
+        with pytest.raises(ValueError):
+            list(protocol.run_to_frames(recorded, chunk=0))
+
+    def test_verdict_key_mirrors_outcome_key(self):
+        recorded = make_run()
+        result = replay(recorded, CONFIG)
+        for outcome in result.sink_outcomes:
+            verdict = {
+                "sink": outcome.sink_name,
+                "channel": outcome.channel,
+                "index": outcome.instruction_index,
+                "pid": outcome.pid,
+                "tainted": outcome.tainted,
+                "colours": list(outcome.colours),
+            }
+            assert (
+                protocol.verdict_key(verdict)
+                == protocol.outcome_key(outcome)
+            )
+
+
+def make_suite(count=3):
+    return [
+        AppRun(
+            name=f"app-{i}",
+            recorded=make_run(pids=(0, i + 1), rounds=3 + i),
+            leaks=bool(i % 2),
+            category="synthetic",
+        )
+        for i in range(count)
+    ]
+
+
+class TestStreamingSuiteIterator:
+    def equivalent(self, left, right):
+        assert left.name == right.name
+        assert left.leaks == right.leaks
+        assert left.category == right.category
+        assert left.recorded.trace.events == right.recorded.trace.events
+        assert (
+            replay(left.recorded, CONFIG).sink_outcomes
+            == replay(right.recorded, CONFIG).sink_outcomes
+        )
+
+    def test_streamed_equals_bulk_load(self, tmp_path):
+        payload = dump_suite_bytes(make_suite())
+        bulk = load_suite_bytes(payload)
+        streamed = list(iter_suite_runs(payload))
+        assert len(streamed) == len(bulk) == 3
+        for left, right in zip(streamed, bulk):
+            self.equivalent(left, right)
+        # Path and file-object sources behave identically.
+        path = tmp_path / "suite.gz"
+        path.write_bytes(payload)
+        assert [r.name for r in iter_suite_runs(str(path))] == [
+            r.name for r in bulk
+        ]
+
+    def test_empty_suite_streams_empty(self):
+        assert list(iter_suite_runs(dump_suite_bytes([]))) == []
+
+    def test_truncated_payload_raises(self):
+        payload = dump_suite_bytes(make_suite(2))
+        raw = gzip.decompress(payload)
+        truncated = gzip.compress(raw[: len(raw) // 2], mtime=0)
+        with pytest.raises(TraceFormatError):
+            list(iter_suite_runs(truncated))
+
+    def test_non_canonical_document_rejected(self):
+        raw = b'{"runs":[],"format":"pift-suite","version":3}'
+        with pytest.raises(TraceFormatError, match="canonical"):
+            list(iter_suite_runs(gzip.compress(raw, mtime=0)))
+
+    def test_version_mismatch_detected_at_tail(self):
+        payload = dump_suite_bytes(make_suite(2))
+        raw = gzip.decompress(payload).replace(
+            f'"version":{FORMAT_VERSION}'.encode(), b'"version":9999'
+        )
+        runs = []
+        with pytest.raises(TraceFormatError, match="version"):
+            for run in iter_suite_runs(gzip.compress(raw, mtime=0)):
+                runs.append(run.name)
+        # The canonical key order puts version at the tail, so the runs
+        # themselves streamed before the mismatch surfaced.
+        assert len(runs) == 2
+
+
+KEY = StoreKey(kind="serve-test", inputs=(("suite", "synthetic"),))
+
+
+class TestStoreStreamRuns:
+    def put(self, tmp_path, runs):
+        store_dir = ArtifactStore(tmp_path / "store")
+        store_dir.put_runs(KEY, runs)
+        return store_dir, KEY
+
+    def test_stream_matches_get(self, tmp_path):
+        suite = make_suite()
+        store, key = self.put(tmp_path, suite)
+        streamed = list(store.stream_runs(key))
+        bulk = store.get_runs(key)
+        assert [r.name for r in streamed] == [r.name for r in bulk]
+        for left, right in zip(streamed, bulk):
+            assert left.recorded.trace.events == right.recorded.trace.events
+
+    def test_stream_miss_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.stream_runs(KEY) is None
+
+    def test_stream_corruption_quarantines(self, tmp_path):
+        store, key = self.put(tmp_path, make_suite(1))
+        payload_path, _meta = store._entry_paths(key.digest)
+        payload_path.write_bytes(b"garbage")
+        assert store.stream_runs(key) is None
+        assert not payload_path.exists()  # quarantined away
